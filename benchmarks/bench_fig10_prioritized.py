@@ -1,0 +1,62 @@
+"""Fig. 10: prioritized vs random pipeline search, 100 trials.
+
+Benchmarks one simulated prioritized trial (tree rebuild + ordered walk
+over known scores and costs)."""
+
+import numpy as np
+from conftest import BENCH_SEED, write_result
+
+from repro.core.merge import (
+    SearchSimulator,
+    build_compatibility_lut,
+    build_merge_scope,
+    prune_incompatible,
+)
+from repro.core.repository import MLCask
+from repro.workloads import apply_nonlinear_history, nonlinear_script, readmission_workload
+
+
+def test_fig10_prioritized_search(search_result, benchmark):
+    workload = readmission_workload(scale=0.4, seed=BENCH_SEED)
+    repo = MLCask(metric=workload.metric, seed=BENCH_SEED)
+    apply_nonlinear_history(repo, nonlinear_script(workload))
+    scope = build_merge_scope(
+        repo.graph,
+        repo.registry,
+        repo.spec(workload.name),
+        repo.head_commit(workload.name, "master"),
+        repo.head_commit(workload.name, "dev"),
+    )
+    outcome = repo.merge(workload.name, "master", "dev", mode="pcpr")
+    leaf_scores = {
+        e.path_key: e.score for e in outcome.evaluations if e.score is not None
+    }
+    costs = {r.component_id: r.run_seconds for r in repo.checkpoints.records()}
+    lut = build_compatibility_lut(scope)
+    simulator = SearchSimulator(
+        scope, leaf_scores, costs, prune=lambda root: prune_incompatible(root, lut)
+    )
+    state = {"seed": 0}
+
+    def one_prioritized_trial():
+        state["seed"] += 1
+        return simulator.run_trial("prioritized", seed=state["seed"])
+
+    benchmark.pedantic(one_prioritized_trial, rounds=10, iterations=1)
+
+    write_result("fig10_prioritized.txt", search_result.render_fig10())
+
+    for app in search_result.points:
+        prioritized = search_result.points[app]["prioritized"]
+        random_points = search_result.points[app]["random"]
+        # Paper: prioritized scores decline with rank; random stays flat.
+        first = np.mean([p.mean_score for p in prioritized[:3]])
+        last = np.mean([p.mean_score for p in prioritized[-3:]])
+        assert first >= last, app
+        # Paper: "higher score pipeline candidates ... have a smaller
+        # average end time" for the prioritized search.
+        ranks_by_score = sorted(prioritized, key=lambda p: -p.mean_score)
+        top_time = np.mean([p.mean_end_time for p in ranks_by_score[:3]])
+        bottom_time = np.mean([p.mean_end_time for p in ranks_by_score[-3:]])
+        assert top_time <= bottom_time * 1.2, app
+        assert len(random_points) == len(prioritized)

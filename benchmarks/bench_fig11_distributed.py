@@ -1,0 +1,37 @@
+"""Fig. 11: distributed training — (a) loss vs time for 1/2/4/8 workers,
+(b) the pipeline-speedup grid 1/((1-p)+p/k).
+
+Benchmarks one synchronous 8-worker training step (gradient shards plus
+averaging)."""
+
+import numpy as np
+from conftest import BENCH_SEED, write_result
+
+from repro.experiments import loss_decay_ordering
+from repro.ml import DistributedTrainer, MLPClassifier, pipeline_speedup
+
+
+def test_fig11_distributed(distributed_result, benchmark):
+    rng = np.random.default_rng(BENCH_SEED)
+    X = rng.standard_normal((800, 16))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+
+    def one_sync_step():
+        model = MLPClassifier(hidden_sizes=(64, 32), seed=BENCH_SEED)
+        DistributedTrainer(model, n_workers=8, seed=BENCH_SEED).train(
+            X, y, n_steps=1, compute_time_per_batch=0.01
+        )
+
+    benchmark.pedantic(one_sync_step, rounds=5, iterations=1)
+
+    text = "\n\n".join(
+        [distributed_result.render_fig11a(), distributed_result.render_fig11b()]
+    )
+    write_result("fig11_distributed.txt", text)
+
+    # Paper: "the training loss decreases faster over training time for
+    # more GPUs."
+    assert loss_decay_ordering(distributed_result) == [1, 2, 4, 8]
+    # Paper: p > 0.9 and k = 8 cut pipeline time below one quarter.
+    assert distributed_result.speedup_grid[(0.9, 8)] > 4.0
+    assert pipeline_speedup(0.95, 8) == distributed_result.speedup_grid[(0.95, 8)]

@@ -1,0 +1,38 @@
+"""Fig. 5: total time per iteration, linear versioning, 4 apps x 3 systems.
+
+Regenerates the cumulative-time series and benchmarks the unit whose cost
+the figure accumulates: one MLCask iteration (model update with
+pre-processing reuse) on the Readmission pipeline.
+"""
+
+from conftest import BENCH_SEED, write_result
+
+from repro.baselines import MLCaskLinear
+from repro.workloads import readmission_workload
+
+
+def test_fig5_series(linear_result, benchmark):
+    workload = readmission_workload(scale=0.5, seed=BENCH_SEED)
+    system = MLCaskLinear(workload, seed=BENCH_SEED)
+    system.run_iteration(1, {})
+    state = {"idx": 1}
+
+    def one_mlcask_iteration():
+        state["idx"] += 1
+        system.run_iteration(
+            state["idx"],
+            {workload.model_stage: workload.model_version(state["idx"] % 8)},
+        )
+
+    benchmark.pedantic(one_mlcask_iteration, rounds=3, iterations=1)
+
+    write_result("fig5_linear_total_time.txt", linear_result.render_fig5())
+
+    # Paper shape: ModelDB's total grows fastest in every application.
+    for app, by_system in linear_result.series.items():
+        executed = {name: s.total_executed for name, s in by_system.items()}
+        assert executed["modeldb"] > executed["mlflow"], app
+        assert executed["modeldb"] > executed["mlcask"], app
+        # MLCask never runs the designed-incompatible final iteration.
+        assert by_system["mlcask"].flags[-1] == "skipped", app
+        assert by_system["modeldb"].flags[-1] == "failed", app

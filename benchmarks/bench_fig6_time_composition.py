@@ -1,0 +1,42 @@
+"""Fig. 6: pipeline time composition (storage / pre-processing / training).
+
+Regenerates the stacked-bar data and benchmarks the full-rerun iteration
+(ModelDB's unit: every component executes)."""
+
+from conftest import BENCH_SEED, write_result
+
+from repro.baselines import ModelDBSim
+from repro.workloads import readmission_workload
+
+
+def test_fig6_composition(linear_result, benchmark):
+    workload = readmission_workload(scale=0.5, seed=BENCH_SEED)
+    system = ModelDBSim(workload, seed=BENCH_SEED)
+    state = {"idx": 0}
+
+    def one_modeldb_iteration():
+        state["idx"] += 1
+        system.run_iteration(state["idx"], {})
+
+    benchmark.pedantic(one_modeldb_iteration, rounds=3, iterations=1)
+
+    write_result("fig6_time_composition.txt", linear_result.render_fig6())
+
+    for app in linear_result.series:
+        composition = linear_result.fig6_composition(app)
+        # Paper: training time comparable across systems; the difference
+        # lies in pre-processing (ModelDB reruns it, others reuse).
+        assert (
+            composition["modeldb"]["preprocessing"]
+            >= 0.9 * composition["mlflow"]["preprocessing"]
+        ), app
+    # Per-application cost profile (section VII-A): readmission is
+    # training-dominated, DPM/SA/Autolearn preprocessing-dominated. The
+    # check uses ModelDB's composition — with no reuse, it reflects the
+    # pipelines' intrinsic profile (reuse rightly shrinks the
+    # pre-processing share for MLflow/MLCask).
+    readmission = linear_result.fig6_composition("readmission")["modeldb"]
+    assert readmission["training"] > readmission["preprocessing"]
+    for app in ("dpm", "sa", "autolearn"):
+        parts = linear_result.fig6_composition(app)["modeldb"]
+        assert parts["preprocessing"] > parts["training"], app

@@ -1,0 +1,44 @@
+"""Fig. 8: non-linear versioning performance (CPT / CSS / CET / CST) for
+MLCask vs MLCask w/o PR vs MLCask w/o PCPR, on all four applications.
+
+Benchmarks the headline unit: a full metric-driven merge with both
+pruning methods on the Fig. 3-shaped Readmission history.
+"""
+
+from conftest import BENCH_SEED, write_result
+
+from repro.core.repository import MLCask
+from repro.workloads import apply_nonlinear_history, nonlinear_script, readmission_workload
+
+
+def test_fig8_merge_performance(merge_result, benchmark):
+    def full_pcpr_merge():
+        workload = readmission_workload(scale=0.5, seed=BENCH_SEED)
+        repo = MLCask(metric=workload.metric, seed=BENCH_SEED)
+        apply_nonlinear_history(repo, nonlinear_script(workload))
+        return repo.merge(workload.name, "master", "dev", mode="pcpr")
+
+    outcome = benchmark.pedantic(full_pcpr_merge, rounds=3, iterations=1)
+    assert outcome.commit.score is not None
+
+    lines = [merge_result.render_fig8(), ""]
+    for app in merge_result.measures:
+        lines.append(
+            f"{app}: merge speedup (w/o PCPR vs MLCask) = "
+            f"{merge_result.speedup(app):.2f}x, storage saving = "
+            f"{merge_result.storage_saving(app):.2f}x"
+        )
+    write_result("fig8_merge_perf.txt", "\n".join(lines))
+
+    for app, by_mode in merge_result.measures.items():
+        # Paper: "The proposed system dominates the comparison in all
+        # test cases as well as all metrics."
+        assert by_mode["pcpr"].cpt_seconds <= by_mode["pc_only"].cpt_seconds, app
+        assert by_mode["pcpr"].cpt_seconds <= by_mode["none"].cpt_seconds, app
+        assert by_mode["pcpr"].css_bytes <= by_mode["pc_only"].css_bytes, app
+        assert by_mode["pcpr"].css_bytes <= by_mode["none"].css_bytes, app
+        # "MLCask without PR provides minor advantages over w/o PCPR."
+        assert by_mode["pc_only"].cpt_seconds <= 1.1 * by_mode["none"].cpt_seconds, app
+        # All modes must elect an equally-scored winner.
+        scores = {m.winner_score for m in by_mode.values()}
+        assert len(scores) == 1, app

@@ -1,0 +1,36 @@
+"""Table I: % of trials with the optimal pipeline found within the first
+20/40/60/80/100% of searches, random vs prioritized, four applications.
+
+Benchmarks the full 100-trial simulation for one application."""
+
+from conftest import BENCH_SEED, write_result
+
+from repro.experiments import run_search_experiment
+
+
+def test_table1_optimal_found(search_result, benchmark):
+    def hundred_trials_one_app():
+        return run_search_experiment(
+            apps=("readmission",), n_trials=100, scale=0.4, seed=BENCH_SEED
+        )
+
+    benchmark.pedantic(hundred_trials_one_app, rounds=1, iterations=1)
+
+    write_result("table1_optimal_found.txt", search_result.render_table1())
+
+    for app, by_method in search_result.table1.items():
+        # Everything is found eventually (both methods are exhaustive).
+        assert by_method["random"][1.0] == 100.0, app
+        assert by_method["prioritized"][1.0] == 100.0, app
+    # Paper: prioritized finds the optimum earlier than random; assert
+    # dominance of the cumulative curves in aggregate across apps.
+    for fraction in (0.4, 0.6, 0.8):
+        prioritized_total = sum(
+            search_result.table1[app]["prioritized"][fraction]
+            for app in search_result.table1
+        )
+        random_total = sum(
+            search_result.table1[app]["random"][fraction]
+            for app in search_result.table1
+        )
+        assert prioritized_total >= random_total, fraction

@@ -1,0 +1,55 @@
+"""Prioritized pipeline search under a limited evaluation budget.
+
+When the merge search space is large, MLCask can trade optimality for
+time: the prioritized search evaluates the most promising candidates
+first (ranked by version-history scores), so a small budget still returns
+a near-optimal pipeline (paper section VII-E).
+
+This example merges the Readmission pipeline's branches under shrinking budgets
+and compares what prioritized vs random search finds.
+
+Run:  python examples/prioritized_merge_budget.py
+"""
+
+from repro import MLCask
+from repro.workloads import apply_nonlinear_history, nonlinear_script, readmission_workload
+
+
+def best_found(search: str, budget: int | None, seed: int = 0) -> tuple[float, int]:
+    workload = readmission_workload(scale=0.5, seed=0)
+    repo = MLCask(metric=workload.metric, seed=0)
+    apply_nonlinear_history(repo, nonlinear_script(workload))
+    outcome = repo.merge(
+        workload.name, "master", "dev", mode="pcpr",
+        search=search, budget=budget, seed=seed,
+    )
+    return outcome.commit.score, outcome.candidates_evaluated
+
+
+def main() -> None:
+    optimal_score, n_candidates = best_found("exhaustive", None)
+    print(f"exhaustive merge: {n_candidates} candidates, "
+          f"optimal accuracy {optimal_score:.3f}\n")
+
+    n_repeats = 8  # both searches tie-break randomly; average over seeds
+    print(f"{'budget':>7s}  {'prioritized':>11s}  {'random':>7s}   (mean of {n_repeats} runs)")
+    for budget in (n_candidates, 6, 4, 2):
+        prioritized = sum(
+            best_found("prioritized", budget, seed=s)[0] for s in range(n_repeats)
+        ) / n_repeats
+        random_score = sum(
+            best_found("random", budget, seed=s)[0] for s in range(n_repeats)
+        ) / n_repeats
+        marker = "  <- full coverage" if budget >= n_candidates else ""
+        print(f"{budget:7d}  {prioritized:11.3f}  {random_score:7.3f}{marker}")
+
+    print(
+        "\nWith the full budget both searches find the optimum; as the\n"
+        "budget shrinks, the prioritized search holds on to high-scoring\n"
+        "pipelines because version-history scores steer it to the most\n"
+        "promising subtrees first."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: version-controlled ML pipelines with MLCask.
+
+Builds the paper's running example — a hospital-readmission pipeline —
+then exercises the Git-like workflow: commit, branch, update on a branch,
+and merge back with the metric-driven merge operation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MLCask
+from repro.workloads import readmission_workload
+
+
+def main() -> None:
+    workload = readmission_workload(scale=0.5, seed=3)
+    repo = MLCask(metric=workload.metric, seed=3)
+
+    # 1. Create the pipeline: dataset -> clean -> extract -> model.
+    #    This trains it and commits master.0.0.
+    commit, report = repo.create_pipeline(
+        workload.spec, workload.initial_components(), message="initial pipeline"
+    )
+    print(f"created {commit.label}: accuracy={commit.score:.3f} "
+          f"({report.pipeline_seconds:.2f}s)")
+
+    # 2. A model developer iterates on a branch.
+    repo.branch(workload.name, "model-dev")
+    for idx in (1, 2):
+        commit, report = repo.commit(
+            workload.name,
+            {"model": workload.model_version(idx)},
+            branch="model-dev",
+            message=f"try model v0.{idx}",
+        )
+        print(f"committed {commit.label}: accuracy={commit.score:.3f} "
+              f"(reused {report.n_reused} stages, executed {report.n_executed})")
+
+    # 3. Meanwhile the data owner fixes the cleaning step on master.
+    commit, _ = repo.commit(
+        workload.name,
+        {"clean": workload.stage_version("clean", 1)},
+        message="gentler outlier clipping",
+    )
+    print(f"committed {commit.label}: accuracy={commit.score:.3f}")
+
+    # 4. Merge: MLCask searches component combinations from both branches
+    #    and commits the best-scoring pipeline (not just the latest parts).
+    outcome = repo.merge(workload.name, "master", "model-dev")
+    print(f"\nmerge evaluated {outcome.candidates_evaluated} candidates "
+          f"({outcome.candidates_total} raw, "
+          f"{outcome.candidates_pruned_incompatible} pruned as incompatible)")
+    print(f"merge result {outcome.commit.label}: {outcome.commit.describe()}")
+
+    # 5. Full lineage of the master branch.
+    print("\nmaster history:")
+    for entry in repo.history(workload.name, "master"):
+        print(f"  {entry.label:16s} score={entry.score:.3f}  {entry.message}")
+
+    stats = repo.storage_stats()
+    print(f"\nstorage: {stats.logical_bytes/1e6:.2f} MB logical -> "
+          f"{stats.physical_bytes/1e6:.2f} MB physical "
+          f"(dedup {stats.dedup_ratio:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

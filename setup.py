@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy `python setup.py develop` in offline
+environments that lack the `wheel` package required by PEP 660 editable
+installs. Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Baseline systems: policy-faithful ModelDB and MLflow simulators."""
+
+from .base import IterationRecord, TrackingSystem
+from .mlcask_adapter import MLCaskLinear
+from .mlflow import MLflowSim
+from .modeldb import ModelDBSim
+
+ALL_SYSTEMS = {
+    "modeldb": ModelDBSim,
+    "mlflow": MLflowSim,
+    "mlcask": MLCaskLinear,
+}
+
+__all__ = [
+    "IterationRecord",
+    "TrackingSystem",
+    "MLCaskLinear",
+    "MLflowSim",
+    "ModelDBSim",
+    "ALL_SYSTEMS",
+]

@@ -1,0 +1,139 @@
+"""Baseline tracking systems: the shared run loop.
+
+Paper section VII-B compares MLCask against ModelDB and MLflow on the
+linear-versioning workload. What differentiates the three systems in that
+experiment is *policy*, not modelling power:
+
+===========  ===================  =============================  ==========
+system       intermediate reuse   storage mechanism              incompat.
+===========  ===================  =============================  ==========
+ModelDB      none (rerun all)     separate folders (full copies)  runtime
+MLflow       yes                  separate folders (full copies)  runtime
+MLCask       yes                  ForkBase chunks (deduped)       static
+===========  ===================  =============================  ==========
+
+All three run the *same* executor over the *same* component update
+schedule, so measured differences are attributable to the policies alone.
+Each system also archives every new library version it sees — the
+baselines as full folder copies, MLCask through its chunk-deduplicating
+engine (section VII-C's library-version dedup).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..core.component import Component, DatasetComponent, LibraryComponent
+from ..core.context import ExecutionContext
+from ..core.executor import Executor, RunReport
+from ..core.pipeline import PipelineInstance
+from ..workloads.base import Workload, library_code_blob
+
+
+@dataclass
+class IterationRecord:
+    """Per-iteration measurements (the points plotted in Figs. 5-7)."""
+
+    iteration: int
+    total_seconds: float = 0.0
+    preprocessing_seconds: float = 0.0
+    training_seconds: float = 0.0
+    storage_seconds: float = 0.0
+    storage_bytes: int = 0  # physical bytes held after this iteration
+    failed: bool = False
+    skipped_incompatible: bool = False
+    score: float | None = None
+    n_executed: int = 0
+    n_reused: int = 0
+
+
+class TrackingSystem(ABC):
+    """A pipeline manager replaying a linear update schedule."""
+
+    name: str = "base"
+
+    def __init__(self, workload: Workload, seed: int = 0):
+        self.workload = workload
+        self.seed = seed
+        self.instance: PipelineInstance | None = None
+        self._known_libraries: set[str] = set()
+        self.records: list[IterationRecord] = []
+
+    # ------------------------------------------------------------ interface
+    @abstractmethod
+    def _executor(self) -> Executor: ...
+
+    @abstractmethod
+    def _archive_library(self, component: LibraryComponent, blob: bytes) -> float:
+        """Persist a library version; return seconds spent."""
+
+    @abstractmethod
+    def _storage_bytes(self) -> int:
+        """Physical bytes currently held by this system's stores."""
+
+    def _detects_incompatibility_statically(self) -> bool:
+        """MLCask validates schemas before running; the baselines do not."""
+        return False
+
+    # ------------------------------------------------------------- run loop
+    def run_iteration(self, iteration: int, updates: dict[str, Component]) -> IterationRecord:
+        """Apply ``updates``, retrain, and record the cost."""
+        if self.instance is None:
+            components = self.workload.initial_components()
+            components.update(updates)
+            self.instance = PipelineInstance(
+                spec=self.workload.spec, components=components
+            )
+        else:
+            self.instance = self.instance.with_updates(dict(updates))
+
+        record = IterationRecord(iteration=iteration)
+        store_seconds = 0.0
+        for component in self.instance.components.values():
+            if (
+                isinstance(component, LibraryComponent)
+                and component.identifier not in self._known_libraries
+            ):
+                self._known_libraries.add(component.identifier)
+                blob = library_code_blob(component.name, component.version)
+                store_seconds += self._archive_library(component, blob)
+
+        if self._detects_incompatibility_statically() and not self.instance.is_compatible():
+            # MLCask skips the run entirely: "it does not run the pipeline,
+            # which leads to no increase in the total time" (section VII-C).
+            record.skipped_incompatible = True
+            record.storage_seconds = store_seconds
+            record.total_seconds = store_seconds
+            record.storage_bytes = self._storage_bytes()
+            self.records.append(record)
+            return record
+
+        report = self._executor().run(
+            self.instance, ExecutionContext(seed=self.seed, metric=self.workload.metric)
+        )
+        record.failed = report.failed
+        record.preprocessing_seconds = report.preprocessing_seconds
+        record.training_seconds = report.training_seconds
+        record.storage_seconds = report.storage_seconds + store_seconds
+        record.total_seconds = report.pipeline_seconds + store_seconds
+        record.score = report.score
+        record.n_executed = report.n_executed
+        record.n_reused = report.n_reused
+        record.storage_bytes = self._storage_bytes()
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------ summaries
+    @property
+    def cumulative_seconds(self) -> list[float]:
+        total = 0.0
+        out = []
+        for record in self.records:
+            total += record.total_seconds
+            out.append(total)
+        return out
+
+    @property
+    def cumulative_bytes(self) -> list[int]:
+        return [record.storage_bytes for record in self.records]

@@ -1,0 +1,51 @@
+"""MLCask as a tracking system, for like-for-like linear comparisons.
+
+Same run loop as the baselines, but with MLCask's policies: reuse through
+the chunk-deduplicating checkpoint store, library archives through the
+same engine (chunk-level dedup across versions, section VII-C), and
+*static* incompatibility detection — the final designed-incompatible
+iteration is refused before any component runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.checkpoint import ChunkedCheckpointStore
+from ..core.component import LibraryComponent
+from ..core.executor import Executor
+from ..storage.object_store import ObjectStore
+from ..workloads.base import Workload
+from .base import TrackingSystem
+
+
+class MLCaskLinear(TrackingSystem):
+    """MLCask's policies in the shared linear-versioning harness."""
+
+    name = "mlcask"
+
+    def __init__(self, workload: Workload, seed: int = 0):
+        super().__init__(workload, seed)
+        self.objects = ObjectStore()
+        self.output_store = ChunkedCheckpointStore(self.objects)
+        self.library_objects = ObjectStore()
+        self.executor = Executor(
+            self.output_store, metric=workload.metric, reuse=True
+        )
+
+    def _executor(self) -> Executor:
+        return self.executor
+
+    def _archive_library(self, component: LibraryComponent, blob: bytes) -> float:
+        start = time.perf_counter()
+        self.library_objects.put(blob)
+        return time.perf_counter() - start
+
+    def _storage_bytes(self) -> int:
+        return (
+            self.objects.stats.physical_bytes
+            + self.library_objects.stats.physical_bytes
+        )
+
+    def _detects_incompatibility_statically(self) -> bool:
+        return True

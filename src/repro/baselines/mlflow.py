@@ -1,0 +1,49 @@
+"""MLflow-like baseline (Zaharia et al. 2018) for the linear experiments.
+
+Per paper section VII-B: "MLflow is able to reuse intermediate results"
+but, like ModelDB, "archives different versions of libraries and
+intermediate results into separate folders". Policy: ``reuse=True`` over a
+folder checkpoint store — so it skips executed components (tracking MLCask
+closely on time) but pays full-copy storage (the gap in Fig. 7).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.checkpoint import FolderCheckpointStore
+from ..core.component import LibraryComponent
+from ..core.executor import Executor
+from ..storage.folder_store import FolderStore
+from ..workloads.base import Workload
+from .base import TrackingSystem
+
+
+class MLflowSim(TrackingSystem):
+    """Reuse intermediates, folder archival."""
+
+    name = "mlflow"
+
+    def __init__(self, workload: Workload, seed: int = 0):
+        super().__init__(workload, seed)
+        self.output_store = FolderCheckpointStore(FolderStore())
+        self.library_store = FolderStore()
+        self.executor = Executor(
+            self.output_store, metric=workload.metric, reuse=True
+        )
+
+    def _executor(self) -> Executor:
+        return self.executor
+
+    def _archive_library(self, component: LibraryComponent, blob: bytes) -> float:
+        start = time.perf_counter()
+        self.library_store.archive(
+            component.name, component.version.full, blob
+        )
+        return time.perf_counter() - start
+
+    def _storage_bytes(self) -> int:
+        return (
+            self.output_store.stats.physical_bytes
+            + self.library_store.stats.physical_bytes
+        )

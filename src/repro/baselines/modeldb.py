@@ -1,0 +1,49 @@
+"""ModelDB-like baseline (Vartak et al. 2016) for the linear experiments.
+
+Per paper section VII-B/VII-C: "ModelDB does not offer automatic reuse of
+intermediate results" and "has to start all over in every iteration due to
+the lack of historical information on reusable outputs"; its storage
+"archives different versions of libraries and intermediate results into
+separate folders". Policy: ``reuse=False`` over a folder checkpoint store.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.checkpoint import FolderCheckpointStore
+from ..core.component import LibraryComponent
+from ..core.executor import Executor
+from ..storage.folder_store import FolderStore
+from ..workloads.base import Workload
+from .base import TrackingSystem
+
+
+class ModelDBSim(TrackingSystem):
+    """No reuse, folder archival: the linear-growth baseline of Figs. 5-7."""
+
+    name = "modeldb"
+
+    def __init__(self, workload: Workload, seed: int = 0):
+        super().__init__(workload, seed)
+        self.output_store = FolderCheckpointStore(FolderStore())
+        self.library_store = FolderStore()
+        self.executor = Executor(
+            self.output_store, metric=workload.metric, reuse=False
+        )
+
+    def _executor(self) -> Executor:
+        return self.executor
+
+    def _archive_library(self, component: LibraryComponent, blob: bytes) -> float:
+        start = time.perf_counter()
+        self.library_store.archive(
+            component.name, component.version.full, blob
+        )
+        return time.perf_counter() - start
+
+    def _storage_bytes(self) -> int:
+        return (
+            self.output_store.stats.physical_bytes
+            + self.library_store.stats.physical_bytes
+        )

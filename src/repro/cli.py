@@ -1,0 +1,144 @@
+"""Command-line interface: demos and experiment drivers.
+
+Usage::
+
+    python -m repro workloads                 # list the evaluated pipelines
+    python -m repro demo readmission          # Fig. 3 scenario + merge
+    python -m repro experiment linear         # regenerate Figs. 5-7
+    python -m repro experiment merge          # regenerate Figs. 8-9
+    python -m repro experiment search         # regenerate Fig. 10 + Table I
+    python -m repro experiment distributed    # regenerate Fig. 11
+
+``--scale`` resizes workloads (1.0 = the benchmark default), ``--seed``
+fixes all randomness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MLCask reproduction: pipeline version control demos "
+        "and experiment drivers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the paper's evaluated pipelines")
+
+    demo = sub.add_parser("demo", help="run the Fig. 3 two-branch scenario")
+    demo.add_argument("workload", choices=["readmission", "dpm", "sa", "autolearn"])
+    demo.add_argument("--scale", type=float, default=0.5)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--mode", choices=["pcpr", "pc_only", "none"], default="pcpr",
+        help="merge mode (ablations: pc_only = w/o PR, none = w/o PCPR)",
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    experiment.add_argument(
+        "which", choices=["linear", "merge", "search", "distributed"]
+    )
+    experiment.add_argument("--scale", type=float, default=0.5)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--iterations", type=int, default=10)
+    experiment.add_argument("--trials", type=int, default=50)
+    experiment.add_argument(
+        "--apps", nargs="+", default=["readmission", "dpm", "sa", "autolearn"]
+    )
+    return parser
+
+
+def _cmd_workloads(out) -> int:
+    from .workloads import ALL_WORKLOADS
+
+    for name, factory in ALL_WORKLOADS.items():
+        workload = factory()
+        stages = " -> ".join(["dataset", *workload.stage_names])
+        print(f"{name:12s} {stages}  (metric: {workload.metric})", file=out)
+    return 0
+
+
+def _cmd_demo(args, out) -> int:
+    from .core.repository import MLCask
+    from .workloads import ALL_WORKLOADS, apply_nonlinear_history, nonlinear_script
+
+    workload = ALL_WORKLOADS[args.workload](scale=args.scale, seed=args.seed)
+    repo = MLCask(metric=workload.metric, seed=args.seed)
+    print(f"building the Fig. 3 history for {workload.name!r} ...", file=out)
+    apply_nonlinear_history(repo, nonlinear_script(workload))
+    print(repo.log(workload.name, "dev"), file=out)
+    print(repo.log(workload.name, "master"), file=out)
+    outcome = repo.merge(workload.name, "master", "dev", mode=args.mode)
+    print(f"\n{outcome.summary()}", file=out)
+    print(f"winner: {outcome.commit.describe()}", file=out)
+    print(f"\n{repo.diff(workload.name, outcome.commit.parents[0], 'master')}", file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    if args.which == "linear":
+        from .experiments import run_linear_experiment
+
+        result = run_linear_experiment(
+            apps=tuple(args.apps),
+            n_iterations=args.iterations,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        print(result.render_fig5(), file=out)
+        print(file=out)
+        print(result.render_fig6(), file=out)
+        print(file=out)
+        print(result.render_fig7(), file=out)
+    elif args.which == "merge":
+        from .experiments import run_merge_experiment
+
+        result = run_merge_experiment(
+            apps=tuple(args.apps), scale=args.scale, seed=args.seed
+        )
+        print(result.render_fig8(), file=out)
+        print(file=out)
+        print(result.render_fig9(), file=out)
+        for app in args.apps:
+            print(
+                f"{app}: speedup {result.speedup(app):.2f}x, "
+                f"storage saving {result.storage_saving(app):.2f}x",
+                file=out,
+            )
+    elif args.which == "search":
+        from .experiments import run_search_experiment
+
+        result = run_search_experiment(
+            apps=tuple(args.apps),
+            n_trials=args.trials,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        print(result.render_table1(), file=out)
+    else:  # distributed
+        from .experiments import run_distributed_experiment
+
+        result = run_distributed_experiment(seed=args.seed)
+        print(result.render_fig11a(), file=out)
+        print(file=out)
+        print(result.render_fig11b(), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "workloads":
+        return _cmd_workloads(out)
+    if args.command == "demo":
+        return _cmd_demo(args, out)
+    return _cmd_experiment(args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""MLCask core: versioning, components, pipelines, execution, merging."""
+
+from .branching import BranchManager
+from .checkpoint import (
+    CheckpointRecord,
+    CheckpointStore,
+    ChunkedCheckpointStore,
+    FolderCheckpointStore,
+    checkpoint_key,
+)
+from .commit import PipelineCommit, make_commit_id
+from .component import ANY_SCHEMA, Component, DatasetComponent, LibraryComponent
+from .context import ExecutionContext
+from .diff import (
+    ComponentDelta,
+    attribute_improvement,
+    diff_commits,
+    render_diff,
+    render_log,
+)
+from .executor import Executor, RunReport, StageReport
+from .history import CommitGraph
+from .metafile import DatasetMetafile, LibraryMetafile, PipelineMetafile
+from .pipeline import PipelineInstance, PipelineSpec
+from .repository import ComponentRegistry, MergeOutcome, MLCask
+from .semver import INITIAL_VERSION, MASTER, SemVer
+
+__all__ = [
+    "BranchManager",
+    "CheckpointRecord", "CheckpointStore", "ChunkedCheckpointStore",
+    "FolderCheckpointStore", "checkpoint_key",
+    "PipelineCommit", "make_commit_id",
+    "ANY_SCHEMA", "Component", "DatasetComponent", "LibraryComponent",
+    "ExecutionContext",
+    "ComponentDelta", "attribute_improvement", "diff_commits",
+    "render_diff", "render_log",
+    "Executor", "RunReport", "StageReport",
+    "CommitGraph",
+    "DatasetMetafile", "LibraryMetafile", "PipelineMetafile",
+    "PipelineInstance", "PipelineSpec",
+    "ComponentRegistry", "MergeOutcome", "MLCask",
+    "INITIAL_VERSION", "MASTER", "SemVer",
+]

@@ -1,0 +1,75 @@
+"""Branch bookkeeping and the fast-forward merge test (paper section V).
+
+"MLCask is designed to support branch operations on every pipeline
+version" — a branch is a named movable pointer to a commit, per pipeline.
+A merge is *fast-forward* when "the HEAD does not contain any commits after
+the common ancestor of HEAD and MERGE_HEAD", i.e. the base branch's tip is
+itself the merge base.
+"""
+
+from __future__ import annotations
+
+from ..errors import BranchNotFoundError, RepositoryError
+from .history import CommitGraph
+
+
+class BranchManager:
+    """Per-pipeline branch pointers plus per-branch version counters."""
+
+    def __init__(self) -> None:
+        # heads[pipeline][branch] -> commit_id
+        self._heads: dict[str, dict[str, str]] = {}
+        # committed_on[pipeline][branch] -> number of commits created on
+        # that branch (drives branch-local version numbering: the first
+        # commit on Frank-dev is Frank-dev.0.0 even though the branch
+        # point was master.0.0 — see Fig. 3).
+        self._committed_on: dict[str, dict[str, int]] = {}
+
+    # ---------------------------------------------------------------- heads
+    def head(self, pipeline: str, branch: str) -> str:
+        try:
+            return self._heads[pipeline][branch]
+        except KeyError:
+            raise BranchNotFoundError(f"{pipeline}:{branch}") from None
+
+    def set_head(self, pipeline: str, branch: str, commit_id: str) -> None:
+        self._heads.setdefault(pipeline, {})[branch] = commit_id
+
+    def has_branch(self, pipeline: str, branch: str) -> bool:
+        return branch in self._heads.get(pipeline, {})
+
+    def branches(self, pipeline: str) -> list[str]:
+        return sorted(self._heads.get(pipeline, {}))
+
+    def pipelines(self) -> list[str]:
+        return sorted(self._heads)
+
+    # -------------------------------------------------------------- creation
+    def create_branch(self, pipeline: str, new_branch: str, from_branch: str) -> str:
+        """Branch off ``from_branch``'s current head."""
+        if self.has_branch(pipeline, new_branch):
+            raise RepositoryError(
+                f"branch {new_branch!r} already exists for {pipeline!r}"
+            )
+        base = self.head(pipeline, from_branch)
+        self.set_head(pipeline, new_branch, base)
+        return base
+
+    # ----------------------------------------------------------- versioning
+    def next_commit_count(self, pipeline: str, branch: str) -> int:
+        """Zero-based index of the next commit created on ``branch``."""
+        return self._committed_on.get(pipeline, {}).get(branch, 0)
+
+    def note_commit(self, pipeline: str, branch: str) -> None:
+        counts = self._committed_on.setdefault(pipeline, {})
+        counts[branch] = counts.get(branch, 0) + 1
+
+    # ---------------------------------------------------------- merge tests
+    def is_fast_forward(
+        self, graph: CommitGraph, pipeline: str, head_branch: str, merge_branch: str
+    ) -> bool:
+        """True iff the base branch has no commits after the merge base."""
+        head_id = self.head(pipeline, head_branch)
+        merge_id = self.head(pipeline, merge_branch)
+        ancestor = graph.common_ancestor(head_id, merge_id)
+        return ancestor.commit_id == head_id

@@ -1,0 +1,165 @@
+"""Checkpoint stores: archived component outputs keyed for reuse.
+
+Section III: "Once a pipeline is fully processed, all its component outputs
+are archived for future reuse." Section VI-B builds the PR pruning on top:
+"if a component of the pipeline candidate was executed before, it does not
+need to be executed again since its output has already been saved and thus
+can be reused."
+
+A checkpoint is keyed by the pair *(component fingerprint, input content
+reference)* — the same component version fed the same input bytes always
+produces the same archived output, so the key is exactly the reuse
+condition. Two persistence backends implement the same interface:
+
+* :class:`ChunkedCheckpointStore` — MLCask's path: outputs go through the
+  deduplicating object store (ForkBase-like);
+* :class:`FolderCheckpointStore` — the baselines' path: every output is a
+  full copy in its own folder.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..data.serialize import payload_from_bytes, payload_to_bytes
+from ..storage.accounting import StorageStats
+from ..storage.folder_store import FolderStore
+from ..storage.hashing import fingerprint_many
+from ..storage.object_store import ObjectStore
+from .component import Component
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One archived component output."""
+
+    key: str
+    component_id: str
+    output_ref: str
+    output_bytes: int
+    run_seconds: float
+    metrics: dict = field(default_factory=dict, compare=False)
+
+
+def checkpoint_key(component: Component, input_ref: str) -> str:
+    """Reuse key: same component version + params + input content."""
+    return fingerprint_many(["checkpoint", component.fingerprint, input_ref])
+
+
+class CheckpointStore(ABC):
+    """Index of checkpoint records over a persistence backend."""
+
+    def __init__(self) -> None:
+        self._index: dict[str, CheckpointRecord] = {}
+        self.save_seconds = 0.0
+        self.load_seconds = 0.0
+
+    # ------------------------------------------------------------ interface
+    @abstractmethod
+    def _persist(self, key: str, data: bytes) -> str:
+        """Store bytes; return a retrieval reference."""
+
+    @abstractmethod
+    def _retrieve(self, record: CheckpointRecord) -> bytes: ...
+
+    @property
+    @abstractmethod
+    def stats(self) -> StorageStats: ...
+
+    # ------------------------------------------------------------ operations
+    def lookup(self, component: Component, input_ref: str) -> CheckpointRecord | None:
+        return self._index.get(checkpoint_key(component, input_ref))
+
+    def save(
+        self,
+        component: Component,
+        input_ref: str,
+        payload,
+        run_seconds: float,
+        metrics: dict | None = None,
+    ) -> CheckpointRecord:
+        key = checkpoint_key(component, input_ref)
+        start = time.perf_counter()
+        data = payload_to_bytes(payload)
+        output_ref = self._persist(key, data)
+        self.save_seconds += time.perf_counter() - start
+        record = CheckpointRecord(
+            key=key,
+            component_id=component.identifier,
+            output_ref=output_ref,
+            output_bytes=len(data),
+            run_seconds=run_seconds,
+            metrics=dict(metrics or {}),
+        )
+        self._index[key] = record
+        return record
+
+    def load(self, record: CheckpointRecord):
+        start = time.perf_counter()
+        data = self._retrieve(record)
+        payload = payload_from_bytes(data)
+        self.load_seconds += time.perf_counter() - start
+        return payload
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def records(self) -> list[CheckpointRecord]:
+        return list(self._index.values())
+
+    def prune(self, live_refs: set[str]) -> int:
+        """Drop index entries whose output is no longer held (post-GC);
+        returns the number of records removed."""
+        dead = [
+            key
+            for key, record in self._index.items()
+            if record.output_ref not in live_refs
+        ]
+        for key in dead:
+            del self._index[key]
+        return len(dead)
+
+
+class ChunkedCheckpointStore(CheckpointStore):
+    """MLCask's checkpoint path: deduplicating chunked object store."""
+
+    def __init__(self, objects: ObjectStore | None = None):
+        super().__init__()
+        self.objects = objects if objects is not None else ObjectStore()
+
+    def _persist(self, key: str, data: bytes) -> str:
+        return self.objects.put(data)
+
+    def _retrieve(self, record: CheckpointRecord) -> bytes:
+        return self.objects.get(record.output_ref)
+
+    @property
+    def stats(self) -> StorageStats:
+        return self.objects.stats
+
+
+class FolderCheckpointStore(CheckpointStore):
+    """Baselines' checkpoint path: one full folder copy per output."""
+
+    def __init__(self, folders: FolderStore | None = None):
+        super().__init__()
+        self.folders = folders if folders is not None else FolderStore()
+        self._counter = 0
+
+    def _persist(self, key: str, data: bytes) -> str:
+        # Each archive lands in its own version folder, like the paper's
+        # baselines; the counter mirrors "iteration N's output directory".
+        self._counter += 1
+        version = f"v{self._counter:06d}"
+        self.folders.archive(key, version, data)
+        return f"{key}/{version}"
+
+    def _retrieve(self, record: CheckpointRecord) -> bytes:
+        namespace, version = record.output_ref.rsplit("/", 1)
+        return self.folders.retrieve(namespace, version)
+
+    @property
+    def stats(self) -> StorageStats:
+        return self.folders.stats

@@ -1,0 +1,140 @@
+"""Commit diffing and history rendering: retrospective-research tooling.
+
+The paper's third challenge is "the demand for retrospective research on
+models and data from different time periods", which "complicates the
+management of massive pipeline versions". These helpers answer the
+questions a retrospective study actually asks: what changed between two
+pipeline versions, which change moved the metric, and which version was
+best over a given period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .commit import PipelineCommit
+from .semver import SemVer
+
+
+@dataclass(frozen=True)
+class ComponentDelta:
+    """One stage's change between two commits."""
+
+    stage: str
+    kind: str  # "unchanged" | "updated" | "added" | "removed"
+    old: str | None = None  # component identifier in the old commit
+    new: str | None = None
+    schema_changed: bool = False
+
+    def render(self) -> str:
+        if self.kind == "unchanged":
+            return f"  {self.stage}: {self.new}"
+        if self.kind == "added":
+            return f"+ {self.stage}: {self.new}"
+        if self.kind == "removed":
+            return f"- {self.stage}: {self.old}"
+        marker = " [schema change]" if self.schema_changed else ""
+        return f"~ {self.stage}: {self.old} -> {self.new}{marker}"
+
+
+def _identifier_version(identifier: str) -> SemVer | None:
+    """Parse the version out of a ``name@branch@schema.increment`` id."""
+    parts = identifier.rsplit("@", 2)
+    if len(parts) != 3:
+        return None
+    try:
+        return SemVer.parse(f"{parts[1]}@{parts[2]}")
+    except Exception:
+        return None
+
+
+def _schema_changed(old_identifier: str, new_identifier: str) -> bool:
+    """Did the component's output-schema (major) version move?"""
+    old_version = _identifier_version(old_identifier)
+    new_version = _identifier_version(new_identifier)
+    if old_version is None or new_version is None:
+        return False
+    return old_version.schema != new_version.schema
+
+
+def diff_commits(old: PipelineCommit, new: PipelineCommit) -> list[ComponentDelta]:
+    """Per-stage deltas from ``old`` to ``new``."""
+    deltas: list[ComponentDelta] = []
+    stages = list(old.component_versions)
+    for stage in new.component_versions:
+        if stage not in stages:
+            stages.append(stage)
+    for stage in stages:
+        old_id = old.component_versions.get(stage)
+        new_id = new.component_versions.get(stage)
+        if old_id is None:
+            deltas.append(ComponentDelta(stage=stage, kind="added", new=new_id))
+        elif new_id is None:
+            deltas.append(ComponentDelta(stage=stage, kind="removed", old=old_id))
+        elif old_id == new_id:
+            deltas.append(
+                ComponentDelta(stage=stage, kind="unchanged", old=old_id, new=new_id)
+            )
+        else:
+            deltas.append(
+                ComponentDelta(
+                    stage=stage,
+                    kind="updated",
+                    old=old_id,
+                    new=new_id,
+                    schema_changed=_schema_changed(old_id, new_id),
+                )
+            )
+    return deltas
+
+
+def render_diff(old: PipelineCommit, new: PipelineCommit) -> str:
+    """Human-readable diff, including the metric movement."""
+    lines = [f"diff {old.label} -> {new.label}"]
+    for delta in diff_commits(old, new):
+        lines.append(delta.render())
+    if old.score is not None and new.score is not None:
+        direction = "+" if new.score >= old.score else ""
+        lines.append(
+            f"  score: {old.score:.4f} -> {new.score:.4f} "
+            f"({direction}{new.score - old.score:.4f})"
+        )
+    return "\n".join(lines)
+
+
+def render_log(commits: list[PipelineCommit]) -> str:
+    """git-log-like listing, newest first."""
+    lines = []
+    for commit in sorted(commits, key=lambda c: -c.sequence):
+        score = f" score={commit.score:.4f}" if commit.score is not None else ""
+        merge = " (merge)" if len(commit.parents) > 1 else ""
+        lines.append(f"{commit.label:20s} [{commit.commit_id[:12]}]{score}{merge}")
+        if commit.message:
+            lines.append(f"    {commit.message}")
+    return "\n".join(lines)
+
+
+def attribute_improvement(
+    commits: list[PipelineCommit],
+) -> dict[str, float]:
+    """Sum each stage's score contribution along a linear history.
+
+    For every consecutive commit pair that changed exactly one stage, the
+    score delta is attributed to that stage — a first-order answer to
+    "which component's evolution moved the metric?"."""
+    contributions: dict[str, float] = {}
+    ordered = sorted(commits, key=lambda c: c.sequence)
+    for previous, current in zip(ordered, ordered[1:]):
+        if previous.score is None or current.score is None:
+            continue
+        changed = [
+            delta.stage
+            for delta in diff_commits(previous, current)
+            if delta.kind == "updated"
+        ]
+        if len(changed) == 1:
+            stage = changed[0]
+            contributions[stage] = contributions.get(stage, 0.0) + (
+                current.score - previous.score
+            )
+    return contributions

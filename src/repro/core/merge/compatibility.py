@@ -1,0 +1,146 @@
+"""Compatibility look-up table and PC pruning (paper section VI-A).
+
+"In practice, a compatibility look-up table (LUT) is evaluated based on
+the pipelines' version history to support the pruning procedure. Firstly,
+given a component, all its versions on the HEAD and MERGE_HEAD are
+enumerated. Secondly, for every version of the given component, we find
+its compatible succeeding component versions. Finally, we make the
+compatible component pairs in 2-tuple and fill the LUT with 2-tuple."
+
+Compatibility itself follows the semantic-version rule of section IV-B:
+the consumer must accept the producer's output data schema.
+"""
+
+from __future__ import annotations
+
+from ..component import Component, DatasetComponent, LibraryComponent
+from .search_space import MergeScope
+from .tree import TreeNode, iter_nodes
+
+
+class CompatibilityLUT:
+    """Set of compatible (producer id, consumer id) 2-tuples."""
+
+    def __init__(self) -> None:
+        self._pairs: set[tuple[str, str]] = set()
+
+    def add(self, producer: Component, consumer: Component) -> None:
+        self._pairs.add((producer.identifier, consumer.identifier))
+
+    def compatible(self, producer: Component | None, consumer: Component) -> bool:
+        """Root children (datasets) are always allowed: nothing precedes
+        them. Everything else must appear in the table."""
+        if producer is None:
+            return True
+        return (producer.identifier, consumer.identifier) in self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def pairs(self) -> set[tuple[str, str]]:
+        return set(self._pairs)
+
+
+def schema_compatible(producer: Component, consumer: Component) -> bool:
+    """Definition 4 via schema tags: the semantic-version ground truth."""
+    if isinstance(consumer, LibraryComponent):
+        return consumer.accepts(producer.output_schema)
+    # Dataset components never consume — they only ever sit at the source.
+    return isinstance(consumer, DatasetComponent) is False
+
+
+def build_compatibility_lut(scope: MergeScope) -> CompatibilityLUT:
+    """Enumerate per-stage version pairs along pipeline edges and keep the
+    compatible ones."""
+    lut = CompatibilityLUT()
+    for src_stage, dst_stage in scope.spec.edges:
+        for producer in scope.space(src_stage):
+            for consumer in scope.space(dst_stage):
+                if isinstance(consumer, LibraryComponent) and consumer.accepts(
+                    producer.output_schema
+                ):
+                    lut.add(producer, consumer)
+    return lut
+
+
+def compatible_with_predecessors(
+    binding: dict,
+    parent: TreeNode,
+    child: TreeNode,
+    lut: CompatibilityLUT,
+    spec=None,
+) -> bool:
+    """Is ``child`` compatible with every one of its *pipeline*
+    predecessors? The search tree linearizes the DAG in topological
+    order, so a node's tree parent is not necessarily its data producer;
+    with a ``spec`` the real predecessors are looked up in ``binding``
+    (stage -> component along the current path). Without a spec the
+    pipeline is assumed to be a chain and the tree parent is the
+    producer."""
+    if child.component is None:
+        return True
+    if spec is None:
+        return lut.compatible(parent.component, child.component)
+    predecessors = spec.predecessors(child.stage)
+    if not predecessors:
+        return True
+    return all(
+        lut.compatible(binding[stage], child.component) for stage in predecessors
+    )
+
+
+def prune_incompatible(root: TreeNode, lut: CompatibilityLUT, spec=None) -> int:
+    """PC pruning: drop children incompatible with their pipeline
+    predecessors, then remove any *dead-end* branches left behind (an
+    internal node whose every child was pruned can never complete a
+    pipeline, so keeping it would hand Algorithm 2 a truncated candidate).
+
+    Returns the number of pipeline candidates removed, mirroring the
+    paper's "the size of the pre-merge pipeline candidate set can be
+    reduced" framing. Pass the pipeline ``spec`` for DAG-shaped pipelines
+    (see :func:`compatible_with_predecessors`).
+    """
+    depth = _tree_depth(root)
+    before = _full_leaf_count(root, depth)
+    binding: dict = {}
+
+    def visit(node: TreeNode) -> None:
+        node.children = [
+            child
+            for child in node.children
+            if compatible_with_predecessors(binding, node, child, lut, spec)
+        ]
+        for child in node.children:
+            binding[child.stage] = child.component
+            visit(child)
+
+    visit(root)
+    _remove_dead_ends(root, depth)
+    after = _full_leaf_count(root, depth)
+    return before - after
+
+
+def _tree_depth(root: TreeNode) -> int:
+    depth = 0
+    node = root
+    while node.children:
+        depth += 1
+        node = node.children[0]
+    return depth
+
+
+def _full_leaf_count(node: TreeNode, remaining: int) -> int:
+    """Count root-to-leaf paths of exactly the full pipeline length."""
+    if remaining == 0:
+        return 1 if node.is_leaf else 0
+    return sum(_full_leaf_count(child, remaining - 1) for child in node.children)
+
+
+def _remove_dead_ends(node: TreeNode, remaining: int) -> bool:
+    """Drop subtrees that cannot reach full depth; returns viability."""
+    if remaining == 0:
+        return True
+    node.children = [
+        child for child in node.children if _remove_dead_ends(child, remaining - 1)
+    ]
+    return bool(node.children)

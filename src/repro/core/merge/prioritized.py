@@ -1,0 +1,303 @@
+"""Prioritized pipeline search (paper section VII-E).
+
+"Every time a pipeline candidate is run, the corresponding leaf node on
+the pipeline search tree is associated with its score. We associate the
+other nodes ... with scores as well, following the rule that the score of
+the parent node is computed using the average of its children (except for
+the children that have not gotten a score yet). The initial scores are
+assigned using scores of the trained pipelines on MERGE_HEAD and HEAD.
+
+... To perform a prioritized pipeline search, we start from the root node
+and sequentially pick the child nodes that have the highest scores until
+we reach a leaf node that has not been run yet."
+
+The module provides both the *live* search (executing real pipelines, with
+an optional evaluation budget — the paper's limited-time-budget setting)
+and a *simulator* that replays searches over known candidate scores and
+component costs, which is how the 100-trial experiments of Fig. 10 and
+Table I are produced without re-training 100x.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..context import ExecutionContext
+from ..executor import Executor
+from .search_space import MergeScope
+from .traversal import CandidateEvaluation, execute_candidate, path_key_of
+from .tree import TreeNode, build_search_tree, leaves
+
+
+# ----------------------------------------------------------- score updates
+def refresh_scores(root: TreeNode) -> None:
+    """Bottom-up recompute: parent = mean of its *scored* children."""
+
+    def visit(node: TreeNode) -> None:
+        if node.is_leaf:
+            return
+        for child in node.children:
+            visit(child)
+        scored = [c.score for c in node.children if c.score is not None]
+        if scored:
+            node.score = float(np.mean(scored))
+
+    visit(root)
+
+
+def propagate_leaf_score(leaf: TreeNode) -> None:
+    """Cheaper incremental update along one leaf's ancestry."""
+    node = leaf.parent
+    while node is not None and not node.is_root:
+        scored = [c.score for c in node.children if c.score is not None]
+        node.score = float(np.mean(scored)) if scored else None
+        node = node.parent
+
+
+# ------------------------------------------------------------- leaf picking
+def _has_unrun_leaf(node: TreeNode, run: set[int]) -> bool:
+    if node.is_leaf:
+        return id(node) not in run
+    return any(_has_unrun_leaf(child, run) for child in node.children)
+
+
+def pick_prioritized_leaf(
+    root: TreeNode, run: set[int], rng: np.random.Generator
+) -> TreeNode | None:
+    """Descend by highest score until an unrun leaf is reached.
+
+    A child that has no score yet inherits its parent's current estimate
+    (the mean of the scored siblings): never-explored subtrees compete on
+    equal terms with the parent's average instead of being starved until
+    everything scored is exhausted. Ties — which this rule deliberately
+    creates between a subtree's best-known child and its unexplored
+    siblings — break uniformly at random, which is what spreads the
+    prioritized search's per-rank scores across trials (the variance the
+    paper reports in Fig. 10).
+    """
+    node = root
+    while not node.is_leaf:
+        open_children = [c for c in node.children if _has_unrun_leaf(c, run)]
+        if not open_children:
+            return None
+        prior = node.score
+        effective = [
+            c.score if c.score is not None else prior for c in open_children
+        ]
+        if all(e is None for e in effective):
+            node = open_children[int(rng.integers(len(open_children)))]
+            continue
+        known = [e for e in effective if e is not None]
+        best = max(known)
+        ties = [
+            c
+            for c, e in zip(open_children, effective)
+            if e is not None and e == best
+        ]
+        if not ties:  # all open children unscored with no prior
+            ties = open_children
+        node = ties[int(rng.integers(len(ties)))]
+    return node if id(node) not in run else None
+
+
+def pick_random_leaf(
+    root: TreeNode, run: set[int], rng: np.random.Generator
+) -> TreeNode | None:
+    candidates = [leaf for leaf in leaves(root) if id(leaf) not in run]
+    if not candidates:
+        return None
+    return candidates[int(rng.integers(len(candidates)))]
+
+
+# ------------------------------------------------------------- live search
+def run_ordered_search(
+    root: TreeNode,
+    scope: MergeScope,
+    executor: Executor,
+    context: ExecutionContext,
+    method: str = "prioritized",
+    budget: int | None = None,
+    time_budget_seconds: float | None = None,
+    seed: int = 0,
+) -> list[CandidateEvaluation]:
+    """Execute candidates in prioritized or random order.
+
+    ``budget`` caps the number of candidate evaluations and
+    ``time_budget_seconds`` stops starting new evaluations once the wall
+    clock is exhausted — the paper's fixed-time-budget trade-off ("the
+    prioritized pipeline search only searches the most promising pipelines
+    according to the history"). Already-trained candidates (history-scored
+    leaves) count as searched without re-execution, exactly like the
+    checkpointed nodes of Fig. 4.
+    """
+    if method not in ("prioritized", "random"):
+        raise ValueError(f"unknown search method {method!r}")
+    if time_budget_seconds is not None and time_budget_seconds < 0:
+        raise ValueError("time_budget_seconds must be non-negative")
+    rng = np.random.default_rng(seed)
+    refresh_scores(root)
+    run: set[int] = set()
+    evaluations: list[CandidateEvaluation] = []
+    picker = pick_prioritized_leaf if method == "prioritized" else pick_random_leaf
+    clock_start = time.perf_counter()
+
+    while budget is None or len(evaluations) < budget:
+        if (
+            time_budget_seconds is not None
+            and evaluations
+            and time.perf_counter() - clock_start >= time_budget_seconds
+        ):
+            break
+        leaf = picker(root, run, rng)
+        if leaf is None:
+            break
+        run.add(id(leaf))
+        if leaf.score is not None and leaf.executed:
+            # History-trained candidate: score known, nothing to execute.
+            evaluations.append(
+                CandidateEvaluation(
+                    index=len(evaluations),
+                    path_key=path_key_of(leaf),
+                    components={n.stage: n.component for n in leaf.path_from_root()},
+                    report=None,
+                    score=leaf.score,
+                    elapsed_seconds=time.perf_counter() - clock_start,
+                )
+            )
+            continue
+        report = execute_candidate(leaf, scope, executor, context)
+        if report.failed:
+            leaf.score = None
+        evaluations.append(
+            CandidateEvaluation(
+                index=len(evaluations),
+                path_key=path_key_of(leaf),
+                components={n.stage: n.component for n in leaf.path_from_root()},
+                report=report,
+                score=None if report.failed else report.score,
+                elapsed_seconds=time.perf_counter() - clock_start,
+            )
+        )
+        if method == "prioritized":
+            propagate_leaf_score(leaf)
+    return evaluations
+
+
+# --------------------------------------------------------------- simulator
+@dataclass
+class SimulatedStep:
+    """One search step of one simulated trial."""
+
+    rank: int
+    path_key: str
+    end_time: float
+    score: float
+
+
+@dataclass
+class TrialResult:
+    steps: list[SimulatedStep] = field(default_factory=list)
+
+    def position_of(self, path_key: str) -> int | None:
+        for step in self.steps:
+            if step.path_key == path_key:
+                return step.rank
+        return None
+
+
+class SearchSimulator:
+    """Replay prioritized/random searches over known scores and costs.
+
+    The simulator mirrors the PR-reuse cost model: evaluating a candidate
+    costs the sum of its *not-yet-executed* component costs within the
+    trial (components shared with earlier candidates are free), exactly
+    like the real merge's checkpoint reuse. History-trained leaves start
+    pre-executed and pre-scored (the green nodes of Fig. 4).
+    """
+
+    def __init__(
+        self,
+        scope: MergeScope,
+        leaf_scores: dict[str, float],
+        component_costs: dict[str, float],
+        mark_history: bool = True,
+        prune=None,
+    ):
+        self.scope = scope
+        self.leaf_scores = dict(leaf_scores)
+        self.component_costs = dict(component_costs)
+        self.mark_history = mark_history
+        self.prune = prune  # callable(root) applied after tree build
+
+    def _fresh_tree(self) -> TreeNode:
+        from .pruning import mark_checkpointed_nodes
+
+        root = build_search_tree(self.scope)
+        if self.prune is not None:
+            self.prune(root)
+        if self.mark_history:
+            mark_checkpointed_nodes(root, self.scope)
+        return root
+
+    def run_trial(self, method: str, seed: int) -> TrialResult:
+        rng = np.random.default_rng(seed)
+        root = self._fresh_tree()
+        refresh_scores(root)
+        run: set[int] = set()
+        executed_components: set[str] = set()
+        for node in _all_nodes(root):
+            if not node.is_root and node.executed:
+                executed_components.add(_node_key(node))
+        picker = pick_prioritized_leaf if method == "prioritized" else pick_random_leaf
+
+        result = TrialResult()
+        clock = 0.0
+        rank = 0
+        while True:
+            leaf = picker(root, run, rng)
+            if leaf is None:
+                break
+            run.add(id(leaf))
+            cost = 0.0
+            for node in leaf.path_from_root():
+                key = _node_key(node)
+                if key not in executed_components:
+                    cost += self.component_costs.get(node.identifier, 0.0)
+                    executed_components.add(key)
+                    node.executed = True
+            clock += cost
+            score = self.leaf_scores.get(path_key_of(leaf), 0.0)
+            leaf.score = score
+            if method == "prioritized":
+                propagate_leaf_score(leaf)
+            result.steps.append(
+                SimulatedStep(
+                    rank=rank,
+                    path_key=path_key_of(leaf),
+                    end_time=clock,
+                    score=score,
+                )
+            )
+            rank += 1
+        return result
+
+    def run_trials(self, method: str, n_trials: int, seed: int = 0) -> list[TrialResult]:
+        return [self.run_trial(method, seed * 100_003 + t) for t in range(n_trials)]
+
+
+def _all_nodes(root: TreeNode):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children)
+
+
+def _node_key(node: TreeNode) -> str:
+    """Identity of a tree node within a trial: its path from the root —
+    the same component under a different upstream prefix is a different
+    execution (its input differs)."""
+    return "/".join(n.identifier for n in node.path_from_root())

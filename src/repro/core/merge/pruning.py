@@ -1,0 +1,65 @@
+"""PR pruning: marking checkpointed nodes from the commit history.
+
+Paper section VI-B, step one: "we mark the node with an execution status
+using the previously trained pipelines in the commit history ... a
+reference to the component's output is recorded in the node object for
+future reuse." A tree node is checkpointed (green in Fig. 4) when the path
+from the root to it matches a *prefix* of some trained pipeline's
+component sequence — those components ran with exactly those upstream
+versions, so their archived outputs apply verbatim.
+
+Leaf nodes matching a full trained pipeline also inherit the commit's
+metric score, which doubles as the initialization of the prioritized
+search (section VII-E: "The initial scores are assigned using scores of
+the trained pipelines on MERGE_HEAD and HEAD").
+"""
+
+from __future__ import annotations
+
+from .search_space import MergeScope
+from .tree import TreeNode
+
+
+def mark_checkpointed_nodes(root: TreeNode, scope: MergeScope) -> int:
+    """Walk each in-scope trained commit down the tree, marking matched
+    prefixes executed. Returns the number of nodes newly marked."""
+    marked = 0
+    stage_order = scope.stage_order
+    for commit in scope.commits:
+        node = root
+        for stage in stage_order:
+            identifier = commit.component_versions.get(stage)
+            if identifier is None:
+                break
+            match = None
+            for child in node.children:
+                if child.component is not None and child.component.identifier == identifier:
+                    match = child
+                    break
+            if match is None:
+                break  # this commit's tail was pruned (incompatible elsewhere)
+            if not match.executed:
+                match.executed = True
+                marked += 1
+            output_ref = commit.stage_outputs.get(stage, "")
+            if output_ref and not match.output_ref:
+                match.output_ref = output_ref
+            node = match
+        else:
+            # Full path matched: the leaf is a previously-trained pipeline.
+            if node.is_leaf and node.score is None and commit.score is not None:
+                node.score = commit.score
+    return marked
+
+
+def executed_leaf_scores(root: TreeNode) -> dict[str, float]:
+    """identifier-path -> score for leaves already carrying scores."""
+    scores: dict[str, float] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf and not node.is_root and node.score is not None:
+            key = "/".join(n.identifier for n in node.path_from_root())
+            scores[key] = node.score
+        stack.extend(node.children)
+    return scores

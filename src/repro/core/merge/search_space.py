@@ -1,0 +1,113 @@
+"""Component search spaces for the metric-driven merge (paper section V).
+
+For a component ``f_i`` of pipeline ``p`` on branch ``b``::
+
+    S_b(f_i) = { v(f_i | p) : p ∈ P_b }
+
+where ``P_b`` is the set of pipeline versions on branch ``b`` *from the
+common ancestor towards the branch head* — versions before the ancestor
+"could be outdated or irrelevant to the pipeline improvement" and are
+excluded. Merging unions the two branches::
+
+    S(f_i) = S_MERGE_HEAD(f_i) ∪ S_HEAD(f_i)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..commit import PipelineCommit
+from ..component import Component
+from ..history import CommitGraph
+from ..pipeline import PipelineSpec
+
+
+@dataclass
+class MergeScope:
+    """Everything the merge operates over: ancestor, in-scope commits,
+    and the per-stage component search spaces."""
+
+    spec: PipelineSpec
+    ancestor: PipelineCommit
+    head: PipelineCommit
+    merge_head: PipelineCommit
+    commits: list[PipelineCommit] = field(default_factory=list)
+    spaces: dict = field(default_factory=dict)  # stage -> list[Component]
+
+    @property
+    def stage_order(self) -> list[str]:
+        return self.spec.topological_order()
+
+    def space(self, stage: str) -> list[Component]:
+        return self.spaces[stage]
+
+    @property
+    def upper_bound(self) -> int:
+        """``∏ N(S(f_i))`` — the paper's candidate-count upper bound."""
+        product = 1
+        for stage in self.stage_order:
+            product *= len(self.spaces[stage])
+        return product
+
+    def describe(self) -> str:
+        lines = [f"merge scope: ancestor={self.ancestor.label}"]
+        for stage in self.stage_order:
+            versions = ", ".join(c.display for c in self.spaces[stage])
+            lines.append(f"  {stage}: {versions}")
+        lines.append(f"  upper bound: {self.upper_bound} candidates")
+        return "\n".join(lines)
+
+
+def branch_search_space(
+    graph: CommitGraph,
+    registry,
+    head_id: str,
+    ancestor_id: str,
+    stage: str,
+) -> list[Component]:
+    """``S_b(f_i)``: versions of ``stage`` appearing in commits from the
+    ancestor (inclusive) up to ``head`` (inclusive), in first-seen order."""
+    seen: dict[str, Component] = {}
+    for commit in graph.commits_between(head_id, ancestor_id):
+        identifier = commit.component_versions.get(stage)
+        if identifier is not None and identifier not in seen:
+            seen[identifier] = registry.get(identifier)
+    return list(seen.values())
+
+
+def build_merge_scope(
+    graph: CommitGraph,
+    registry,
+    spec: PipelineSpec,
+    head: PipelineCommit,
+    merge_head: PipelineCommit,
+) -> MergeScope:
+    """Compute the common ancestor and union the branch search spaces."""
+    ancestor = graph.common_ancestor(head.commit_id, merge_head.commit_id)
+    spaces: dict[str, list[Component]] = {}
+    for stage in spec.topological_order():
+        merged: dict[str, Component] = {}
+        for component in branch_search_space(
+            graph, registry, head.commit_id, ancestor.commit_id, stage
+        ):
+            merged.setdefault(component.identifier, component)
+        for component in branch_search_space(
+            graph, registry, merge_head.commit_id, ancestor.commit_id, stage
+        ):
+            merged.setdefault(component.identifier, component)
+        spaces[stage] = list(merged.values())
+
+    in_scope: dict[str, PipelineCommit] = {}
+    for tip in (head, merge_head):
+        for commit in graph.commits_between(tip.commit_id, ancestor.commit_id):
+            in_scope.setdefault(commit.commit_id, commit)
+    commits = sorted(in_scope.values(), key=lambda c: c.sequence)
+
+    return MergeScope(
+        spec=spec,
+        ancestor=ancestor,
+        head=head,
+        merge_head=merge_head,
+        commits=commits,
+        spaces=spaces,
+    )

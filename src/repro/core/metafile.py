@@ -1,0 +1,103 @@
+"""Metafiles: the declarative descriptions attached to components/pipelines.
+
+Paper section III: a library "consists of a mandatory metafile and several
+executables. ... The mandatory metafile describes the entry point, inputs
+and outputs, as well as all the essential hyperparameters"; a dataset
+"contains a mandatory metafile that describes the encapsulation of data";
+a pipeline metafile "describes the entry point of the pipeline and the
+order of the pipeline components". Section IV-B: "the update to schema is
+explicitly indicated by the library developer in the library metafile."
+
+Metafiles serialize deterministically (sorted JSON) so they dedup cleanly
+in the storage engine and version the same way data does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class LibraryMetafile:
+    """Declares a library component: entry point, I/O schemas, hyperparams."""
+
+    name: str
+    entry_point: str
+    input_schema: str
+    output_schema: str
+    hyperparameters: dict = field(default_factory=dict)
+    description: str = ""
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(
+            {"kind": "library", **asdict(self)}, sort_keys=True
+        ).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "LibraryMetafile":
+        payload = json.loads(raw.decode("utf-8"))
+        payload.pop("kind", None)
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class DatasetMetafile:
+    """Declares a dataset: where it comes from and what schema it carries."""
+
+    name: str
+    schema_hash: str
+    source: str = "synthetic"
+    description: str = ""
+    n_rows: int = 0
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(
+            {"kind": "dataset", **asdict(self)}, sort_keys=True
+        ).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DatasetMetafile":
+        payload = json.loads(raw.decode("utf-8"))
+        payload.pop("kind", None)
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class PipelineMetafile:
+    """Declares a pipeline: entry point plus ordered component references.
+
+    ``components`` maps stage name to ``(component name, version string)``;
+    ``outputs`` maps stage name to the archived output's blob digest, filled
+    in once the pipeline "is fully processed [and] all its component outputs
+    are archived for future reuse, with their references logged into the
+    pipeline metafile" (section III).
+    """
+
+    name: str
+    entry_point: str
+    stage_order: tuple[str, ...]
+    components: dict = field(default_factory=dict)
+    outputs: dict = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        payload = {
+            "kind": "pipeline",
+            "name": self.name,
+            "entry_point": self.entry_point,
+            "stage_order": list(self.stage_order),
+            "components": self.components,
+            "outputs": self.outputs,
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "PipelineMetafile":
+        payload = json.loads(raw.decode("utf-8"))
+        return cls(
+            name=payload["name"],
+            entry_point=payload["entry_point"],
+            stage_order=tuple(payload["stage_order"]),
+            components=payload["components"],
+            outputs=payload["outputs"],
+        )

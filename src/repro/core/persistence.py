@@ -1,0 +1,145 @@
+"""Repository persistence: save/load the version-control state as JSON.
+
+What persists is the *metadata* half of MLCask — the commit graph, branch
+pointers, specs, and per-commit component references. Component
+*executables* are Python callables and live in workload code, so loading
+re-binds commits to components through a registry the caller provides
+(the same separation the paper uses: the library repository stores
+executables, the pipeline repository stores references).
+
+Checkpointed outputs are content-addressed; a loaded repository starts
+with an empty checkpoint store and repopulates it lazily on the next runs
+(every re-execution is deterministic, so the archive converges to the
+same content).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import RepositoryError
+from .commit import PipelineCommit
+from .pipeline import PipelineSpec
+from .semver import SemVer
+
+FORMAT_VERSION = 1
+
+
+def repository_state(repo) -> dict:
+    """Serializable snapshot of a repository's version-control state."""
+    commits = []
+    for commit in repo.graph.all_commits():
+        commits.append({
+            "commit_id": commit.commit_id,
+            "pipeline": commit.pipeline,
+            "version": commit.version.dotted,
+            "branch": commit.branch,
+            "parents": list(commit.parents),
+            "component_versions": dict(commit.component_versions),
+            "component_fingerprints": dict(commit.component_fingerprints),
+            "stage_outputs": dict(commit.stage_outputs),
+            "metrics": dict(commit.metrics),
+            "score": commit.score,
+            "message": commit.message,
+            "author": commit.author,
+            "sequence": commit.sequence,
+        })
+    specs = {}
+    for name in repo.branches.pipelines():
+        spec = repo.spec(name)
+        specs[name] = {
+            "stages": list(spec.stages),
+            "edges": [list(edge) for edge in spec.edges],
+        }
+    heads = {
+        pipeline: {
+            branch: repo.branches.head(pipeline, branch)
+            for branch in repo.branches.branches(pipeline)
+        }
+        for pipeline in repo.branches.pipelines()
+    }
+    counts = {
+        pipeline: {
+            branch: repo.branches.next_commit_count(pipeline, branch)
+            for branch in repo.branches.branches(pipeline)
+        }
+        for pipeline in repo.branches.pipelines()
+    }
+    return {
+        "format": FORMAT_VERSION,
+        "metric": repo.metric,
+        "seed": repo.seed,
+        "commits": commits,
+        "specs": specs,
+        "heads": heads,
+        "commit_counts": counts,
+        "sequence": repo._sequence,
+    }
+
+
+def save_repository(repo, path: str | os.PathLike[str]) -> None:
+    """Write the repository state to ``path`` as JSON."""
+    state = repository_state(repo)
+    with open(os.fspath(path), "w") as fh:
+        json.dump(state, fh, indent=2, sort_keys=True)
+
+
+def load_repository(path: str | os.PathLike[str], registry=None, repo=None):
+    """Rebuild a repository from ``path``.
+
+    ``registry`` (a :class:`ComponentRegistry` or any object with a
+    compatible ``get``/``register``) supplies the live components the
+    commits reference; commits whose components are absent still load (the
+    history is intact) but cannot be re-instantiated until the components
+    are registered.
+    """
+    from .repository import MLCask
+
+    with open(os.fspath(path)) as fh:
+        state = json.load(fh)
+    if state.get("format") != FORMAT_VERSION:
+        raise RepositoryError(
+            f"unsupported repository format {state.get('format')!r}"
+        )
+
+    if repo is None:
+        repo = MLCask(metric=state["metric"], seed=state["seed"])
+    if registry is not None:
+        repo.registry = registry
+
+    for name, spec_state in state["specs"].items():
+        spec = PipelineSpec(
+            name=name,
+            stages=tuple(spec_state["stages"]),
+            edges=tuple(tuple(edge) for edge in spec_state["edges"]),
+        )
+        repo._specs[name] = spec
+
+    for entry in state["commits"]:
+        commit = PipelineCommit(
+            commit_id=entry["commit_id"],
+            pipeline=entry["pipeline"],
+            version=SemVer.parse_dotted(entry["version"]),
+            branch=entry["branch"],
+            parents=tuple(entry["parents"]),
+            component_versions=entry["component_versions"],
+            component_fingerprints=entry["component_fingerprints"],
+            stage_outputs=entry["stage_outputs"],
+            metrics=entry["metrics"],
+            score=entry["score"],
+            message=entry["message"],
+            author=entry["author"],
+            sequence=entry["sequence"],
+        )
+        repo.graph.add(commit)
+
+    for pipeline, branches in state["heads"].items():
+        for branch, head in branches.items():
+            repo.branches.set_head(pipeline, branch, head)
+    for pipeline, branches in state["commit_counts"].items():
+        for branch, count in branches.items():
+            for _ in range(count):
+                repo.branches.note_commit(pipeline, branch)
+    repo._sequence = state["sequence"]
+    return repo

@@ -1,0 +1,6 @@
+"""Data substrate: columnar tables, serialization, synthetic datasets."""
+
+from .serialize import payload_from_bytes, payload_to_bytes
+from .table import Table, concat_rows
+
+__all__ = ["payload_from_bytes", "payload_to_bytes", "Table", "concat_rows"]

@@ -1,0 +1,230 @@
+"""Deterministic binary serialization for pipeline payloads.
+
+Everything a component emits must become bytes before the storage engine
+can chunk and dedup it. Determinism matters: the same logical value must
+serialize to the same bytes on every run, otherwise content addressing
+would see phantom changes. We therefore avoid pickle and write a small
+tagged format covering the payload kinds pipelines actually produce:
+
+* ``Table`` (columnar, numeric + string columns)
+* ``numpy.ndarray`` of any shape/dtype
+* ``dict`` with string keys (e.g. model parameter sets), ``list``/``tuple``
+* scalars: ``str``, ``int``, ``float``, ``bool``, ``None``, ``bytes``
+
+The format is length-prefixed throughout, so payloads survive chunking
+boundaries and truncation is always detected.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+
+import numpy as np
+
+from ..errors import StorageError
+from .table import Table
+
+MAGIC = b"RPR1"
+
+_TAG_NONE = b"N"
+_TAG_BOOL = b"b"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"y"
+_TAG_LIST = b"L"
+_TAG_DICT = b"D"
+_TAG_ARRAY = b"A"
+_TAG_TABLE = b"T"
+
+
+def _write_len(out: io.BytesIO, n: int) -> None:
+    out.write(struct.pack(">Q", n))
+
+
+def _read_len(buf: io.BytesIO) -> int:
+    raw = buf.read(8)
+    if len(raw) != 8:
+        raise StorageError("truncated payload: missing length prefix")
+    return struct.unpack(">Q", raw)[0]
+
+
+def _read_exact(buf: io.BytesIO, n: int) -> bytes:
+    raw = buf.read(n)
+    if len(raw) != n:
+        raise StorageError(f"truncated payload: wanted {n} bytes, got {len(raw)}")
+    return raw
+
+
+# --------------------------------------------------------------------- array
+def _write_array(out: io.BytesIO, arr: np.ndarray) -> None:
+    if arr.dtype == object:
+        _write_string_column(out, arr)
+        return
+    header = json.dumps({
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "kind": "dense",
+    }, sort_keys=True).encode("utf-8")
+    _write_len(out, len(header))
+    out.write(header)
+    raw = np.ascontiguousarray(arr).tobytes()
+    _write_len(out, len(raw))
+    out.write(raw)
+
+
+def _write_string_column(out: io.BytesIO, arr: np.ndarray) -> None:
+    header = json.dumps({
+        "dtype": "object",
+        "shape": list(arr.shape),
+        "kind": "strings",
+    }, sort_keys=True).encode("utf-8")
+    _write_len(out, len(header))
+    out.write(header)
+    body = io.BytesIO()
+    for item in arr.ravel():
+        if item is None:
+            body.write(struct.pack(">q", -1))
+        else:
+            encoded = str(item).encode("utf-8")
+            body.write(struct.pack(">q", len(encoded)))
+            body.write(encoded)
+    raw = body.getvalue()
+    _write_len(out, len(raw))
+    out.write(raw)
+
+
+def _read_array(buf: io.BytesIO) -> np.ndarray:
+    header = json.loads(_read_exact(buf, _read_len(buf)).decode("utf-8"))
+    raw = _read_exact(buf, _read_len(buf))
+    shape = tuple(header["shape"])
+    if header["kind"] == "strings":
+        body = io.BytesIO(raw)
+        items: list[object] = []
+        total = int(np.prod(shape)) if shape else 1
+        for _ in range(total):
+            (n,) = struct.unpack(">q", _read_exact(body, 8))
+            items.append(None if n < 0 else _read_exact(body, n).decode("utf-8"))
+        arr = np.empty(total, dtype=object)
+        arr[:] = items
+        return arr.reshape(shape)
+    arr = np.frombuffer(raw, dtype=np.dtype(header["dtype"]))
+    return arr.reshape(shape).copy()
+
+
+# -------------------------------------------------------------------- values
+def _write_value(out: io.BytesIO, value) -> None:
+    if value is None:
+        out.write(_TAG_NONE)
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        out.write(_TAG_BOOL)
+        out.write(b"\x01" if value else b"\x00")
+    elif isinstance(value, (int, np.integer)):
+        out.write(_TAG_INT)
+        encoded = str(int(value)).encode("ascii")
+        _write_len(out, len(encoded))
+        out.write(encoded)
+    elif isinstance(value, (float, np.floating)):
+        out.write(_TAG_FLOAT)
+        out.write(struct.pack(">d", float(value)))
+    elif isinstance(value, str):
+        out.write(_TAG_STR)
+        encoded = value.encode("utf-8")
+        _write_len(out, len(encoded))
+        out.write(encoded)
+    elif isinstance(value, (bytes, bytearray)):
+        out.write(_TAG_BYTES)
+        _write_len(out, len(value))
+        out.write(bytes(value))
+    elif isinstance(value, np.ndarray):
+        out.write(_TAG_ARRAY)
+        _write_array(out, value)
+    elif isinstance(value, Table):
+        out.write(_TAG_TABLE)
+        names = value.column_names
+        _write_len(out, len(names))
+        for name in names:
+            encoded = name.encode("utf-8")
+            _write_len(out, len(encoded))
+            out.write(encoded)
+            _write_array(out, value.column(name))
+    elif isinstance(value, (list, tuple)):
+        out.write(_TAG_LIST)
+        _write_len(out, len(value))
+        for item in value:
+            _write_value(out, item)
+    elif isinstance(value, dict):
+        out.write(_TAG_DICT)
+        keys = list(value)
+        for key in keys:
+            if not isinstance(key, str):
+                raise StorageError(f"dict keys must be str, got {type(key).__name__}")
+        _write_len(out, len(keys))
+        # Preserve insertion order: parameter dicts are ordered on purpose.
+        for key in keys:
+            encoded = key.encode("utf-8")
+            _write_len(out, len(encoded))
+            out.write(encoded)
+            _write_value(out, value[key])
+    else:
+        raise StorageError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def _read_value(buf: io.BytesIO):
+    tag = buf.read(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_BOOL:
+        return _read_exact(buf, 1) == b"\x01"
+    if tag == _TAG_INT:
+        return int(_read_exact(buf, _read_len(buf)).decode("ascii"))
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", _read_exact(buf, 8))[0]
+    if tag == _TAG_STR:
+        return _read_exact(buf, _read_len(buf)).decode("utf-8")
+    if tag == _TAG_BYTES:
+        return _read_exact(buf, _read_len(buf))
+    if tag == _TAG_ARRAY:
+        return _read_array(buf)
+    if tag == _TAG_TABLE:
+        n = _read_len(buf)
+        columns: dict[str, np.ndarray] = {}
+        for _ in range(n):
+            name = _read_exact(buf, _read_len(buf)).decode("utf-8")
+            columns[name] = _read_array(buf)
+        return Table(columns)
+    if tag == _TAG_LIST:
+        n = _read_len(buf)
+        return [_read_value(buf) for _ in range(n)]
+    if tag == _TAG_DICT:
+        n = _read_len(buf)
+        result = {}
+        for _ in range(n):
+            key = _read_exact(buf, _read_len(buf)).decode("utf-8")
+            result[key] = _read_value(buf)
+        return result
+    raise StorageError(f"unknown payload tag: {tag!r}")
+
+
+# ---------------------------------------------------------------- public API
+def payload_to_bytes(value) -> bytes:
+    """Serialize any supported payload to deterministic bytes."""
+    out = io.BytesIO()
+    out.write(MAGIC)
+    _write_value(out, value)
+    return out.getvalue()
+
+
+def payload_from_bytes(data: bytes):
+    """Inverse of :func:`payload_to_bytes`."""
+    buf = io.BytesIO(data)
+    magic = buf.read(len(MAGIC))
+    if magic != MAGIC:
+        raise StorageError(f"bad payload magic: {magic!r}")
+    value = _read_value(buf)
+    trailing = buf.read(1)
+    if trailing:
+        raise StorageError("trailing bytes after payload")
+    return value

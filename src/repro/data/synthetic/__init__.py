@@ -1,0 +1,15 @@
+"""Seeded synthetic datasets standing in for the paper's private data."""
+
+from .digits import make_digits
+from .dpm import make_dpm, true_transition_matrix
+from .readmission import make_readmission
+from .sentiment import make_reviews, vocabulary
+
+__all__ = [
+    "make_digits",
+    "make_dpm",
+    "true_transition_matrix",
+    "make_readmission",
+    "make_reviews",
+    "vocabulary",
+]

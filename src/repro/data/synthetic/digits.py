@@ -1,0 +1,85 @@
+"""Procedural digit images for the Autolearn pipeline (section VII-A).
+
+The Autolearn pipeline classifies digit images using Zernike moments as
+features. We render digits 0-9 as seven-segment glyphs on a small grid with
+random translation, per-pixel noise, and stroke-intensity jitter — enough
+variation that the Zernike feature extractor and AdaBoost classifier do
+real work, while staying fully offline and seeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Seven-segment encoding per digit: (top, top-left, top-right, middle,
+# bottom-left, bottom-right, bottom).
+_SEGMENTS = {
+    0: (1, 1, 1, 0, 1, 1, 1),
+    1: (0, 0, 1, 0, 0, 1, 0),
+    2: (1, 0, 1, 1, 1, 0, 1),
+    3: (1, 0, 1, 1, 0, 1, 1),
+    4: (0, 1, 1, 1, 0, 1, 0),
+    5: (1, 1, 0, 1, 0, 1, 1),
+    6: (1, 1, 0, 1, 1, 1, 1),
+    7: (1, 0, 1, 0, 0, 1, 0),
+    8: (1, 1, 1, 1, 1, 1, 1),
+    9: (1, 1, 1, 1, 0, 1, 1),
+}
+
+
+def _render_glyph(digit: int, size: int, thickness: int) -> np.ndarray:
+    """Draw the seven-segment glyph for ``digit`` onto a ``size``² canvas."""
+    canvas = np.zeros((size, size), dtype=np.float64)
+    margin = max(2, size // 8)
+    top, bottom = margin, size - margin - 1
+    left, right = margin + 1, size - margin - 2
+    middle = (top + bottom) // 2
+    seg = _SEGMENTS[digit]
+
+    def hline(row: int) -> None:
+        canvas[row : row + thickness, left : right + 1] = 1.0
+
+    def vline(col: int, r0: int, r1: int) -> None:
+        canvas[r0 : r1 + 1, col : col + thickness] = 1.0
+
+    if seg[0]:
+        hline(top)
+    if seg[1]:
+        vline(left, top, middle)
+    if seg[2]:
+        vline(right - thickness + 1, top, middle)
+    if seg[3]:
+        hline(middle)
+    if seg[4]:
+        vline(left, middle, bottom)
+    if seg[5]:
+        vline(right - thickness + 1, middle, bottom)
+    if seg[6]:
+        hline(bottom - thickness + 1)
+    return canvas
+
+
+def make_digits(
+    n_samples: int = 500,
+    size: int = 16,
+    noise: float = 0.08,
+    max_shift: int = 1,
+    seed: int = 17,
+    day: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(images, labels)``: images ``(n, size, size)`` in [0, 1]."""
+    if size < 10:
+        raise ValueError(f"size must be >= 10 to render glyphs, got {size}")
+    rng = np.random.default_rng(seed + 104729 * day)
+    thickness = max(1, size // 8)
+
+    glyphs = {d: _render_glyph(d, size, thickness) for d in range(10)}
+    labels = rng.integers(0, 10, n_samples)
+    images = np.zeros((n_samples, size, size), dtype=np.float64)
+    for i, digit in enumerate(labels):
+        img = glyphs[int(digit)] * rng.uniform(0.75, 1.0)
+        dx, dy = rng.integers(-max_shift, max_shift + 1, 2)
+        img = np.roll(np.roll(img, dx, axis=0), dy, axis=1)
+        img = img + rng.standard_normal((size, size)) * noise
+        images[i] = img.clip(0.0, 1.0)
+    return images, labels.astype(np.int64)

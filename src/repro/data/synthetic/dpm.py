@@ -1,0 +1,92 @@
+"""Synthetic longitudinal CKD data for the DPM pipeline (section VII-A).
+
+The Disease Progression Modeling pipeline predicts progression trajectories
+of chronic kidney disease patients from one year of diagnoses and lab
+results. We generate patient-visit rows whose lab values are emitted from a
+*hidden Markov ground truth* over CKD stages — precisely the structure the
+pipeline's third step (an HMM that "unbiases" the extracted features) is
+designed to recover.
+
+Stages follow a left-to-right-biased Markov chain (kidney function rarely
+improves); each stage emits Gaussian-distributed eGFR / creatinine / UACR
+values. The prediction target is whether the patient's stage worsens by the
+final visit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import Table
+
+N_STAGES = 4
+
+# Stage-conditional emission means for (egfr, creatinine, uacr, sbp).
+_STAGE_MEANS = np.array([
+    [85.0, 0.9, 20.0, 122.0],
+    [65.0, 1.3, 80.0, 130.0],
+    [42.0, 1.9, 280.0, 138.0],
+    [22.0, 3.2, 700.0, 147.0],
+])
+_STAGE_STDS = np.array([
+    [8.0, 0.12, 10.0, 9.0],
+    [7.0, 0.18, 30.0, 10.0],
+    [6.0, 0.30, 80.0, 11.0],
+    [5.0, 0.55, 160.0, 12.0],
+])
+
+# Progression-biased transition matrix.
+_TRANSITIONS = np.array([
+    [0.86, 0.12, 0.02, 0.00],
+    [0.05, 0.80, 0.13, 0.02],
+    [0.01, 0.06, 0.81, 0.12],
+    [0.00, 0.01, 0.07, 0.92],
+])
+_INITIAL = np.array([0.45, 0.30, 0.17, 0.08])
+
+
+def true_transition_matrix() -> np.ndarray:
+    """Ground-truth stage transition matrix (for HMM recovery tests)."""
+    return _TRANSITIONS.copy()
+
+
+def make_dpm(
+    n_patients: int = 120,
+    n_visits: int = 12,
+    seed: int = 11,
+    day: int = 0,
+) -> Table:
+    """Generate patient-visit rows with hidden-stage Gaussian emissions."""
+    rng = np.random.default_rng(seed + 104729 * day)
+    rows_per = n_patients * n_visits
+
+    patient_id = np.repeat(np.arange(n_patients, dtype=np.int64), n_visits)
+    visit_idx = np.tile(np.arange(n_visits, dtype=np.int64), n_patients)
+
+    stages = np.empty((n_patients, n_visits), dtype=np.int64)
+    for p in range(n_patients):
+        stage = rng.choice(N_STAGES, p=_INITIAL)
+        for v in range(n_visits):
+            stages[p, v] = stage
+            stage = rng.choice(N_STAGES, p=_TRANSITIONS[stage])
+
+    flat_stages = stages.ravel()
+    emissions = (
+        _STAGE_MEANS[flat_stages]
+        + rng.standard_normal((rows_per, 4)) * _STAGE_STDS[flat_stages]
+    )
+
+    # Label per row: does this patient's stage worsen from first to last visit?
+    progressed = (stages[:, -1] > stages[:, 0]).astype(np.int64)
+    label = np.repeat(progressed, n_visits)
+
+    return Table({
+        "patient_id": patient_id + 1000 * (day + 1),
+        "visit_idx": visit_idx,
+        "egfr": emissions[:, 0].clip(2.0, 130.0),
+        "creatinine": emissions[:, 1].clip(0.3, 12.0),
+        "uacr": emissions[:, 2].clip(0.0, 5000.0),
+        "sbp": emissions[:, 3].clip(80.0, 220.0),
+        "true_stage": flat_stages,
+        "progressed": label,
+    })

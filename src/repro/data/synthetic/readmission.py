@@ -1,0 +1,87 @@
+"""Synthetic EHR for the Readmission pipeline (paper section VII-A).
+
+The real pipeline predicts 30-day hospital readmission from NUHS inpatient
+data. That data is private, so we generate a relational table with the same
+structural properties the pipeline's pre-processing steps depend on:
+
+* demographic and utilization features with a planted logistic signal;
+* a categorical ``diagnosis_code`` column with *missing values* — the
+  pipeline's first step is "clean the dataset by filling in the missing
+  diagnosis codes";
+* categorical ``procedure_code`` and numeric lab columns for the feature
+  extraction step.
+
+Generation is fully seeded; the ``day`` parameter shifts the sampled
+cohort so successive "daily feeds" (paper section II, challenge C1) produce
+overlapping-but-not-identical tables, which is what gives chunk-level
+dedup something to work with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import Table
+
+_DIAG_PREFIXES = ("E11", "I10", "N18", "J44", "I50", "K21", "F32", "M54")
+_PROC_CODES = ("dialysis", "angioplasty", "transfusion", "endoscopy", "none")
+
+
+def make_readmission(
+    n_patients: int = 600,
+    seed: int = 7,
+    missing_rate: float = 0.15,
+    day: int = 0,
+) -> Table:
+    """Generate a readmission cohort table with a planted outcome signal."""
+    if not 0.0 <= missing_rate < 1.0:
+        raise ValueError(f"missing_rate must be in [0, 1), got {missing_rate}")
+    rng = np.random.default_rng(seed + 104729 * day)
+
+    age = rng.normal(62.0, 14.0, n_patients).clip(18, 99)
+    gender = rng.integers(0, 2, n_patients)
+    n_prior = rng.poisson(1.4, n_patients)
+    los = rng.gamma(2.0, 2.5, n_patients).clip(0.5, 60.0)
+    creatinine = rng.lognormal(0.1, 0.45, n_patients)
+    hba1c = rng.normal(6.8, 1.3, n_patients).clip(4.0, 14.0)
+    charlson = rng.poisson(2.0, n_patients)
+
+    diag_idx = rng.integers(0, len(_DIAG_PREFIXES), n_patients)
+    diag = np.array(
+        [f"{_DIAG_PREFIXES[i]}.{rng.integers(0, 10)}" for i in diag_idx],
+        dtype=object,
+    )
+    missing_mask = rng.random(n_patients) < missing_rate
+    diag[missing_mask] = None
+
+    proc = np.array(
+        [_PROC_CODES[i] for i in rng.integers(0, len(_PROC_CODES), n_patients)],
+        dtype=object,
+    )
+
+    # Planted signal: utilization + severity drive readmission risk.
+    logits = (
+        -1.4
+        + 0.45 * n_prior
+        + 0.06 * (los - 5.0)
+        + 0.35 * (creatinine - 1.0)
+        + 0.18 * (charlson - 2.0)
+        + 0.012 * (age - 60.0)
+        + 0.3 * (diag_idx == 2)  # CKD (N18) raises risk
+    )
+    probs = 1.0 / (1.0 + np.exp(-logits))
+    label = (rng.random(n_patients) < probs).astype(np.int64)
+
+    return Table({
+        "patient_id": np.arange(n_patients, dtype=np.int64) + 100000 * (day + 1),
+        "age": age,
+        "gender": gender.astype(np.int64),
+        "n_prior_admissions": n_prior.astype(np.int64),
+        "length_of_stay": los,
+        "diagnosis_code": diag,
+        "procedure_code": proc,
+        "lab_creatinine": creatinine,
+        "lab_hba1c": hba1c,
+        "charlson_index": charlson.astype(np.int64),
+        "readmitted_30d": label,
+    })

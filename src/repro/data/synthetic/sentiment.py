@@ -1,0 +1,76 @@
+"""Synthetic movie-review corpus for the SA pipeline (section VII-A).
+
+The sentiment-analysis pipeline's first three steps "process the external
+corpora and pre-trained word embeddings". With no network, we synthesize a
+corpus from two class-conditional unigram mixtures over a shared
+vocabulary: sentiment-bearing words are sampled preferentially by their
+class, neutral words by both. The embedding step (PPMI + SVD in
+:mod:`repro.ml.embeddings`) then has real co-occurrence structure to learn,
+and the classifier has a planted signal to find.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import Table
+
+
+def vocabulary(n_sentiment: int = 60, n_neutral: int = 240) -> list[str]:
+    """Deterministic synthetic vocabulary: pos_i, neg_i, w_i tokens."""
+    pos = [f"pos{i}" for i in range(n_sentiment)]
+    neg = [f"neg{i}" for i in range(n_sentiment)]
+    neutral = [f"w{i}" for i in range(n_neutral)]
+    return pos + neg + neutral
+
+
+def make_reviews(
+    n_docs: int = 400,
+    doc_len: int = 40,
+    n_sentiment: int = 60,
+    n_neutral: int = 240,
+    sentiment_strength: float = 0.35,
+    seed: int = 13,
+    day: int = 0,
+) -> Table:
+    """Generate labelled synthetic reviews.
+
+    Each document mixes neutral tokens with class-matched sentiment tokens
+    at rate ``sentiment_strength``; a small fraction of off-class sentiment
+    tokens keeps the task non-trivial.
+    """
+    if not 0.0 < sentiment_strength < 1.0:
+        raise ValueError("sentiment_strength must be in (0, 1)")
+    rng = np.random.default_rng(seed + 104729 * day)
+
+    pos_words = [f"pos{i}" for i in range(n_sentiment)]
+    neg_words = [f"neg{i}" for i in range(n_sentiment)]
+    neutral_words = [f"w{i}" for i in range(n_neutral)]
+
+    # Zipf-ish weights make co-occurrence statistics realistic.
+    neutral_weights = 1.0 / np.arange(1, n_neutral + 1)
+    neutral_weights /= neutral_weights.sum()
+    sent_weights = 1.0 / np.arange(1, n_sentiment + 1)
+    sent_weights /= sent_weights.sum()
+
+    labels = rng.integers(0, 2, n_docs)
+    docs: list[str] = []
+    for label in labels:
+        own = pos_words if label == 1 else neg_words
+        other = neg_words if label == 1 else pos_words
+        tokens: list[str] = []
+        for _ in range(doc_len):
+            roll = rng.random()
+            if roll < sentiment_strength:
+                tokens.append(own[rng.choice(n_sentiment, p=sent_weights)])
+            elif roll < sentiment_strength + 0.05:
+                tokens.append(other[rng.choice(n_sentiment, p=sent_weights)])
+            else:
+                tokens.append(neutral_words[rng.choice(n_neutral, p=neutral_weights)])
+        docs.append(" ".join(tokens))
+
+    return Table({
+        "doc_id": np.arange(n_docs, dtype=np.int64) + 10000 * (day + 1),
+        "text": np.array(docs, dtype=object),
+        "sentiment": labels.astype(np.int64),
+    })

@@ -1,0 +1,155 @@
+"""Columnar table: the relational payload flowing through pipelines.
+
+A :class:`Table` is an ordered mapping of column name to 1-D numpy array.
+It carries the paper's relational schema hash (section IV-B): standardized,
+sorted, concatenated column headers under SHA-256. Renaming, adding, or
+dropping a column changes the schema hash; editing values does not — which
+is exactly the compatibility signal the merge machinery needs.
+
+String columns use numpy object arrays with ``None`` for missing values;
+numeric columns use ``np.nan``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ComponentError
+from ..storage.hashing import relational_schema_hash
+
+
+def _as_column(values) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ComponentError(f"table columns must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in ("U", "S"):
+        arr = arr.astype(object)
+    return arr
+
+
+class Table:
+    """Immutable-by-convention columnar table."""
+
+    def __init__(self, columns: Mapping[str, Iterable]):
+        if not columns:
+            raise ComponentError("a table needs at least one column")
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name, values in columns.items():
+            col = _as_column(values)
+            if length is None:
+                length = col.shape[0]
+            elif col.shape[0] != length:
+                raise ComponentError(
+                    f"column {name!r} has {col.shape[0]} rows, expected {length}"
+                )
+            self._columns[str(name)] = col
+        self._length = int(length or 0)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def n_rows(self) -> int:
+        return self._length
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def schema_hash(self) -> str:
+        """Relational schema hash per paper section IV-B."""
+        return relational_schema_hash(self._columns)
+
+    # -------------------------------------------------------------- access
+    def column(self, name: str) -> np.ndarray:
+        if name not in self._columns:
+            raise KeyError(f"no column {name!r}; have {self.column_names}")
+        return self._columns[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def items(self):
+        return self._columns.items()
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        return dict(self._columns)
+
+    # ------------------------------------------------------------ transforms
+    def select(self, names: Sequence[str]) -> "Table":
+        """New table with only ``names``, in the given order."""
+        return Table({name: self.column(name) for name in names})
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        dropped = set(names)
+        kept = {n: c for n, c in self._columns.items() if n not in dropped}
+        return Table(kept)
+
+    def with_column(self, name: str, values) -> "Table":
+        """New table with ``name`` added or replaced."""
+        cols = dict(self._columns)
+        cols[name] = _as_column(values)
+        return Table(cols)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        cols = {mapping.get(n, n): c for n, c in self._columns.items()}
+        return Table(cols)
+
+    def take(self, indices) -> "Table":
+        """Row subset by integer indices or boolean mask."""
+        idx = np.asarray(indices)
+        return Table({n: c[idx] for n, c in self._columns.items()})
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self._length)))
+
+    def numeric_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Stack numeric columns into an ``(n_rows, n_cols)`` float matrix."""
+        selected = names if names is not None else [
+            n for n, c in self._columns.items() if c.dtype.kind in "fiub"
+        ]
+        if not selected:
+            raise ComponentError("no numeric columns to stack")
+        return np.column_stack([
+            self.column(n).astype(np.float64) for n in selected
+        ])
+
+    # ------------------------------------------------------------- equality
+    def equals(self, other: "Table") -> bool:
+        if self.column_names != other.column_names or self.n_rows != other.n_rows:
+            return False
+        for name in self.column_names:
+            a, b = self.column(name), other.column(name)
+            if a.dtype.kind == "f" and b.dtype.kind == "f":
+                if not np.allclose(a, b, equal_nan=True):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.column_names[:6])
+        suffix = ", ..." if self.n_columns > 6 else ""
+        return f"Table({self.n_rows} rows x {self.n_columns} cols: {cols}{suffix})"
+
+
+def concat_rows(tables: Sequence[Table]) -> Table:
+    """Vertically concatenate tables with identical column names."""
+    if not tables:
+        raise ComponentError("need at least one table to concatenate")
+    names = tables[0].column_names
+    for t in tables[1:]:
+        if t.column_names != names:
+            raise ComponentError("cannot concatenate tables with different schemas")
+    return Table({
+        n: np.concatenate([t.column(n) for t in tables]) for n in names
+    })

@@ -1,0 +1,106 @@
+"""Exception hierarchy for the MLCask reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`MLCaskError` so that
+callers can catch the library's failures with a single ``except`` clause while
+still distinguishing the finer-grained categories below.
+"""
+
+from __future__ import annotations
+
+
+class MLCaskError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(MLCaskError):
+    """A storage-engine operation failed (missing chunk, bad recipe, ...)."""
+
+
+class ChunkNotFoundError(StorageError):
+    """A content hash was requested that the chunk store does not hold."""
+
+    def __init__(self, digest: str):
+        super().__init__(f"chunk not found: {digest}")
+        self.digest = digest
+
+
+class ObjectNotFoundError(StorageError):
+    """A logical object (blob/commit/value) is absent from the store."""
+
+    def __init__(self, key: str):
+        super().__init__(f"object not found: {key}")
+        self.key = key
+
+
+class VersionError(MLCaskError):
+    """Semantic-version parsing or bumping failed."""
+
+
+class ComponentError(MLCaskError):
+    """A pipeline component is malformed or misused."""
+
+
+class PipelineError(MLCaskError):
+    """A pipeline definition is invalid (cycle, dangling edge, ...)."""
+
+
+class IncompatibleComponentsError(PipelineError):
+    """Two adjacent components have mismatched input/output schemas.
+
+    This is the failure mode the compatibility LUT (paper section VI-A)
+    exists to prevent: raised when a component is asked to consume an output
+    whose schema tag it does not understand.
+    """
+
+    def __init__(self, producer: str, consumer: str):
+        super().__init__(
+            f"component {consumer!r} cannot consume the output of {producer!r}: "
+            "output/input schema mismatch"
+        )
+        self.producer = producer
+        self.consumer = consumer
+
+
+class RepositoryError(MLCaskError):
+    """Repository-level failure (unknown branch, duplicate commit, ...)."""
+
+
+class BranchNotFoundError(RepositoryError):
+    def __init__(self, branch: str):
+        super().__init__(f"branch not found: {branch}")
+        self.branch = branch
+
+
+class CommitNotFoundError(RepositoryError):
+    def __init__(self, commit_id: str):
+        super().__init__(f"commit not found: {commit_id}")
+        self.commit_id = commit_id
+
+
+class MergeError(MLCaskError):
+    """The merge operation could not produce a result."""
+
+
+class NoCandidateError(MergeError):
+    """Every pre-merge pipeline candidate was pruned or failed to execute."""
+
+
+class SearchBudgetExhausted(MergeError):
+    """A prioritized search ran out of its time/evaluation budget.
+
+    Carries the best pipeline found so far, so callers can still use the
+    suboptimal result (paper section VII-E: trade-off between time complexity
+    and solution quality).
+    """
+
+    def __init__(self, best=None):
+        super().__init__("search budget exhausted before covering all candidates")
+        self.best = best
+
+
+class NotFittedError(MLCaskError):
+    """An estimator was used before ``fit`` (mirrors sklearn semantics)."""
+
+    def __init__(self, estimator: str):
+        super().__init__(f"{estimator} must be fitted before use")
+        self.estimator = estimator

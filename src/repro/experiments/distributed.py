@@ -1,0 +1,113 @@
+"""Distributed-training experiment: regenerates Fig. 11 (section VII-F).
+
+Fig. 11(a): training-loss-vs-time curves for 1/2/4/8 workers of
+synchronous data-parallel SGD (simulated clock, real gradient math; the
+paper used ResNet18 on physical GPUs — see DESIGN.md for the
+substitution).
+
+Fig. 11(b): the analytic pipeline-time speedup ``1/((1-p)+p/k)`` over a
+grid of training-time fractions ``p`` and training speedups ``k``; the
+paper highlights that p>0.9 with k=8 cuts pipeline time below a quarter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.synthetic.readmission import make_readmission
+from ..ml.distributed import DistributedTrainer, TrainingTrace, pipeline_speedup
+from ..ml.mlp import MLPClassifier
+from ..ml.preprocess import StandardScaler
+from .report import format_series, format_table
+
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8)
+DEFAULT_P_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9, 0.95)
+DEFAULT_K_VALUES = (1, 2, 4, 8)
+
+
+@dataclass
+class DistributedExperimentResult:
+    traces: dict = field(default_factory=dict)  # n_workers -> TrainingTrace
+    speedup_grid: dict = field(default_factory=dict)  # (p, k) -> speedup
+    time_grid: list = field(default_factory=list)
+
+    def render_fig11a(self) -> str:
+        series = {}
+        for n_workers, trace in self.traces.items():
+            series[f"{n_workers}gpu"] = [
+                trace.loss_at_time(t) for t in self.time_grid
+            ]
+        return format_series(
+            series,
+            x_values=[round(t, 3) for t in self.time_grid],
+            title="Fig 11a: training loss vs simulated time (s)",
+            x_label="time_s",
+            precision=4,
+        )
+
+    def render_fig11b(self) -> str:
+        rows = []
+        for p in DEFAULT_P_VALUES:
+            row = [p]
+            for k in DEFAULT_K_VALUES:
+                row.append(round(self.speedup_grid[(p, k)], 3))
+            rows.append(row)
+        return format_table(
+            ["p \\ k", *[str(k) for k in DEFAULT_K_VALUES]],
+            rows,
+            title="Fig 11b: pipeline speedup = 1/((1-p)+p/k)",
+        )
+
+
+def run_distributed_experiment(
+    worker_counts=DEFAULT_WORKER_COUNTS,
+    n_steps: int = 150,
+    n_samples: int = 800,
+    seed: int = 0,
+) -> DistributedExperimentResult:
+    """Train the same seeded model under each worker count."""
+    table = make_readmission(n_patients=n_samples, seed=seed)
+    X = StandardScaler().fit_transform(
+        table.numeric_matrix([
+            "age", "gender", "n_prior_admissions", "length_of_stay",
+            "lab_creatinine", "lab_hba1c", "charlson_index",
+        ])
+    )
+    y = table["readmitted_30d"].astype(np.int64)
+
+    result = DistributedExperimentResult()
+    # Calibrate a shared per-batch compute time so every worker count sees
+    # the same workload cost (only parallelism differs).
+    probe_model = MLPClassifier(hidden_sizes=(64, 32), seed=seed)
+    probe = DistributedTrainer(probe_model, n_workers=1, seed=seed)
+    probe_trace = probe.train(X, y, n_steps=3, global_batch=64)
+    per_batch = probe_trace.times[0]
+
+    max_time = 0.0
+    for n_workers in worker_counts:
+        model = MLPClassifier(hidden_sizes=(64, 32), seed=seed)
+        trainer = DistributedTrainer(model, n_workers=n_workers, seed=seed)
+        trace = trainer.train(
+            X, y, n_steps=n_steps, global_batch=64, compute_time_per_batch=per_batch
+        )
+        result.traces[n_workers] = trace
+        max_time = max(max_time, trace.times[-1])
+
+    result.time_grid = list(np.linspace(max_time / 20, max_time, 20))
+    for p in DEFAULT_P_VALUES:
+        for k in DEFAULT_K_VALUES:
+            result.speedup_grid[(p, k)] = pipeline_speedup(p, k)
+    return result
+
+
+def loss_decay_ordering(result: DistributedExperimentResult) -> list[int]:
+    """Worker counts ordered by loss at the earliest shared grid time —
+    used by tests to assert 'more GPUs, faster decay'."""
+    t = result.time_grid[max(2, len(result.time_grid) // 4)]
+    return sorted(
+        result.traces,
+        key=lambda n: result.traces[n].loss_at_time(t),
+        reverse=True,
+    )

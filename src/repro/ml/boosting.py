@@ -1,0 +1,140 @@
+"""Decision stumps and AdaBoost (SAMME) for the Autolearn pipeline.
+
+The Autolearn pipeline's final step builds "an AdaBoost classifier ... for
+the image classification task" (paper section VII-A). SAMME generalizes
+the classic two-class AdaBoost to the 10-class digit problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, as_2d, encode_labels
+
+
+class DecisionStump:
+    """Depth-1 decision tree: threshold on one feature, weighted classes.
+
+    ``fit`` minimizes weighted misclassification over a quantile grid of
+    candidate thresholds per feature, predicting the weighted-majority
+    class on each side of the split.
+    """
+
+    def __init__(self, n_thresholds: int = 12):
+        if n_thresholds < 1:
+            raise ValueError(f"n_thresholds must be >= 1, got {n_thresholds}")
+        self.n_thresholds = n_thresholds
+        self.feature_: int = -1
+        self.threshold_: float = 0.0
+        self.left_class_: int = 0
+        self.right_class_: int = 0
+
+    def fit(self, X: np.ndarray, y_idx: np.ndarray, weights: np.ndarray, n_classes: int):
+        X = as_2d(X)
+        best_err = np.inf
+        quantiles = np.linspace(0.05, 0.95, self.n_thresholds)
+        # Per-class weight rows (C, n): lets every threshold's side scores
+        # be computed with one matrix product per feature.
+        class_weights = np.zeros((n_classes, X.shape[0]))
+        class_weights[y_idx, np.arange(X.shape[0])] = weights
+        total_per_class = class_weights.sum(axis=1)  # (C,)
+        total_weight = weights.sum()
+
+        for feature in range(X.shape[1]):
+            column = X[:, feature]
+            thresholds = np.unique(np.quantile(column, quantiles))
+            left_mask = column[:, None] <= thresholds[None, :]  # (n, t)
+            n_left = left_mask.sum(axis=0)
+            valid = (n_left > 0) & (n_left < X.shape[0])
+            if not valid.any():
+                continue
+            left_scores = class_weights @ left_mask  # (C, t)
+            right_scores = total_per_class[:, None] - left_scores
+            err = (
+                total_weight
+                - left_scores.max(axis=0)
+                - right_scores.max(axis=0)
+            )
+            err[~valid] = np.inf
+            pick = int(np.argmin(err))
+            if err[pick] < best_err:
+                best_err = float(err[pick])
+                self.feature_ = feature
+                self.threshold_ = float(thresholds[pick])
+                self.left_class_ = int(left_scores[:, pick].argmax())
+                self.right_class_ = int(right_scores[:, pick].argmax())
+        return self
+
+    def predict_idx(self, X: np.ndarray) -> np.ndarray:
+        X = as_2d(X)
+        left = X[:, self.feature_] <= self.threshold_
+        return np.where(left, self.left_class_, self.right_class_)
+
+
+class AdaBoostClassifier(Classifier):
+    """SAMME multi-class AdaBoost over decision stumps."""
+
+    def __init__(self, n_estimators: int = 40, n_thresholds: int = 12):
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.n_thresholds = n_thresholds
+        self.stumps_: list[DecisionStump] = []
+        self.alphas_: list[float] = []
+
+    def fit(self, X, y) -> "AdaBoostClassifier":
+        X = as_2d(X)
+        self.classes_, y_idx = encode_labels(y)
+        n_classes = self.classes_.size
+        n = X.shape[0]
+        weights = np.full(n, 1.0 / n)
+        self.stumps_, self.alphas_ = [], []
+
+        for _ in range(self.n_estimators):
+            stump = DecisionStump(self.n_thresholds).fit(X, y_idx, weights, n_classes)
+            pred = stump.predict_idx(X)
+            wrong = pred != y_idx
+            err = float(weights[wrong].sum())
+            if err >= 1.0 - 1.0 / n_classes:
+                break  # weaker than chance: stop boosting
+            err = max(err, 1e-12)
+            alpha = np.log((1.0 - err) / err) + np.log(n_classes - 1.0)
+            self.stumps_.append(stump)
+            self.alphas_.append(float(alpha))
+            weights = weights * np.exp(alpha * wrong)
+            weights /= weights.sum()
+            if err < 1e-10:
+                break  # perfect stump, nothing left to reweight
+        if not self.stumps_:
+            # Degenerate input: keep the first stump anyway so predict works.
+            stump = DecisionStump(self.n_thresholds).fit(X, y_idx, weights, n_classes)
+            self.stumps_ = [stump]
+            self.alphas_ = [1.0]
+        self._mark_fitted()
+        return self
+
+    def _votes(self, X) -> np.ndarray:
+        X = as_2d(X)
+        n_classes = self.classes_.size
+        votes = np.zeros((X.shape[0], n_classes))
+        for stump, alpha in zip(self.stumps_, self.alphas_):
+            pred = stump.predict_idx(X)
+            votes[np.arange(X.shape[0]), pred] += alpha
+        return votes
+
+    def predict_proba(self, X) -> np.ndarray:
+        self.check_fitted()
+        votes = self._votes(X)
+        total = votes.sum(axis=1, keepdims=True)
+        total[total == 0] = 1.0
+        return votes / total
+
+    def get_params(self) -> dict:
+        self.check_fitted()
+        return {
+            "features": np.array([s.feature_ for s in self.stumps_], dtype=np.int64),
+            "thresholds": np.array([s.threshold_ for s in self.stumps_]),
+            "left_classes": np.array([s.left_class_ for s in self.stumps_], dtype=np.int64),
+            "right_classes": np.array([s.right_class_ for s in self.stumps_], dtype=np.int64),
+            "alphas": np.array(self.alphas_),
+        }

@@ -1,0 +1,190 @@
+"""Small convolutional network (im2col convolution, max-pool, dense head).
+
+The Readmission pipeline's running example trains "a convolutional neural
+network (CNN) model" (paper Fig. 1-4 label the model stage ``CNN``). This
+numpy CNN is the faithful stand-in: one conv layer, 2x2 max-pool, one dense
+hidden layer, softmax output, trained with mini-batch SGD. It accepts
+either image batches ``(n, h, w)`` or flat feature rows (reshaped to a
+square-ish 2-D grid) so the same model component can sit behind tabular
+feature extractors, matching how the paper's CNN consumes extracted EHR
+features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, encode_labels, one_hot
+from .utils import minibatches, relu, resolve_rng, softmax, xavier_init
+
+
+def _to_grid(X: np.ndarray) -> np.ndarray:
+    """Coerce input to (n, h, w): pad flat rows into a near-square grid."""
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 3:
+        return arr
+    if arr.ndim != 2:
+        raise ValueError(f"expected 2-D or 3-D input, got shape {arr.shape}")
+    n, d = arr.shape
+    side = int(np.ceil(np.sqrt(d)))
+    padded = np.zeros((n, side * side), dtype=np.float64)
+    padded[:, :d] = arr
+    return padded.reshape(n, side, side)
+
+
+def im2col(images: np.ndarray, kernel: int) -> np.ndarray:
+    """Unfold (n, h, w) into (n, out_h*out_w, kernel*kernel) patches."""
+    n, h, w = images.shape
+    out_h, out_w = h - kernel + 1, w - kernel + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(f"kernel {kernel} too large for images {h}x{w}")
+    strides = images.strides
+    windows = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(n, out_h, out_w, kernel, kernel),
+        strides=(strides[0], strides[1], strides[2], strides[1], strides[2]),
+        writeable=False,
+    )
+    return windows.reshape(n, out_h * out_w, kernel * kernel)
+
+
+class SimpleCNN(Classifier):
+    """Conv(k filters) -> ReLU -> max-pool 2x2 -> dense -> softmax."""
+
+    def __init__(
+        self,
+        n_filters: int = 6,
+        kernel_size: int = 3,
+        hidden_size: int = 32,
+        learning_rate: float = 0.05,
+        n_epochs: int = 12,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        if kernel_size < 2:
+            raise ValueError(f"kernel_size must be >= 2, got {kernel_size}")
+        self.n_filters = n_filters
+        self.kernel_size = kernel_size
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self.loss_history_: list[float] = []
+
+    # ------------------------------------------------------------- internals
+    def _pool_shape(self, h: int, w: int) -> tuple[int, int, int, int]:
+        conv_h, conv_w = h - self.kernel_size + 1, w - self.kernel_size + 1
+        return conv_h, conv_w, conv_h // 2, conv_w // 2
+
+    def _forward(self, images: np.ndarray):
+        n, h, w = images.shape
+        conv_h, conv_w, pool_h, pool_w = self._pool_shape(h, w)
+        cols = im2col(images, self.kernel_size)  # (n, conv_h*conv_w, k*k)
+        conv = cols @ self.filters_.T + self.conv_bias_  # (n, positions, filters)
+        conv = conv.reshape(n, conv_h, conv_w, self.n_filters)
+        activated = relu(conv)
+        # 2x2 max-pool (truncate odd edges).
+        trimmed = activated[:, : pool_h * 2, : pool_w * 2, :]
+        blocks = trimmed.reshape(n, pool_h, 2, pool_w, 2, self.n_filters)
+        pooled = blocks.max(axis=(2, 4))
+        flat = pooled.reshape(n, -1)
+        hidden = relu(flat @ self.W1_ + self.b1_)
+        logits = hidden @ self.W2_ + self.b2_
+        cache = (cols, conv, activated, blocks, pooled, flat, hidden)
+        return logits, cache
+
+    def fit(self, X, y) -> "SimpleCNN":
+        images = _to_grid(X)
+        n, h, w = images.shape
+        self.input_shape_ = (h, w)
+        self.classes_, indices = encode_labels(y)
+        n_classes = self.classes_.size
+        targets_full = one_hot(indices, n_classes)
+        rng = resolve_rng(self.seed)
+
+        k2 = self.kernel_size * self.kernel_size
+        conv_h, conv_w, pool_h, pool_w = self._pool_shape(h, w)
+        flat_size = pool_h * pool_w * self.n_filters
+        self.filters_ = rng.standard_normal((self.n_filters, k2)) * np.sqrt(2.0 / k2)
+        self.conv_bias_ = np.zeros(self.n_filters)
+        self.W1_ = xavier_init(rng, flat_size, self.hidden_size)
+        self.b1_ = np.zeros(self.hidden_size)
+        self.W2_ = xavier_init(rng, self.hidden_size, n_classes)
+        self.b2_ = np.zeros(n_classes)
+        self.loss_history_ = []
+
+        for _ in range(self.n_epochs):
+            epoch_loss, n_batches = 0.0, 0
+            for batch in minibatches(n, self.batch_size, rng):
+                logits, cache = self._forward(images[batch])
+                proba = softmax(logits)
+                batch_targets = targets_full[batch]
+                epoch_loss += -np.mean(
+                    np.sum(batch_targets * np.log(np.clip(proba, 1e-12, 1.0)), axis=1)
+                )
+                n_batches += 1
+                self._backward(images[batch], proba, batch_targets, cache)
+            self.loss_history_.append(epoch_loss / max(n_batches, 1))
+        self._mark_fitted()
+        return self
+
+    def _backward(self, images, proba, targets, cache) -> None:
+        cols, conv, activated, blocks, pooled, flat, hidden = cache
+        n = images.shape[0]
+        lr = self.learning_rate
+        grad_logits = (proba - targets) / n
+
+        grad_W2 = hidden.T @ grad_logits + self.l2 * self.W2_
+        grad_b2 = grad_logits.sum(axis=0)
+        grad_hidden = (grad_logits @ self.W2_.T) * (hidden > 0)
+        grad_W1 = flat.T @ grad_hidden + self.l2 * self.W1_
+        grad_b1 = grad_hidden.sum(axis=0)
+        grad_flat = grad_hidden @ self.W1_.T
+
+        grad_pooled = grad_flat.reshape(pooled.shape)
+        # Route pool gradients to the max positions. blocks has axes
+        # (n, ph, 2, pw, 2, f); bring the two window axes together first.
+        n_, pool_h, _, pool_w, _, f = blocks.shape
+        rearranged = blocks.transpose(0, 1, 3, 2, 4, 5)  # (n, ph, pw, 2, 2, f)
+        flat_blocks = rearranged.reshape(n_, pool_h, pool_w, 4, f)
+        argmax = flat_blocks.argmax(axis=3)  # (n, ph, pw, f)
+        grad_flat_blocks = np.zeros_like(flat_blocks)
+        idx_n, idx_ph, idx_pw, idx_f = np.indices(argmax.shape)
+        grad_flat_blocks[idx_n, idx_ph, idx_pw, argmax, idx_f] = grad_pooled
+        grad_windows = grad_flat_blocks.reshape(n_, pool_h, pool_w, 2, 2, f)
+        grad_act = np.zeros_like(activated)
+        grad_act[:, : pool_h * 2, : pool_w * 2, :] = (
+            grad_windows.transpose(0, 1, 3, 2, 4, 5)  # back to (n, ph, 2, pw, 2, f)
+            .reshape(n_, pool_h * 2, pool_w * 2, f)
+        )
+        grad_conv = grad_act * (conv > 0)
+        grad_conv_flat = grad_conv.reshape(n, -1, self.n_filters)  # (n, pos, f)
+        grad_filters = np.einsum("npk,npf->fk", cols, grad_conv_flat) + self.l2 * self.filters_
+        grad_conv_bias = grad_conv_flat.sum(axis=(0, 1))
+
+        self.W2_ -= lr * grad_W2
+        self.b2_ -= lr * grad_b2
+        self.W1_ -= lr * grad_W1
+        self.b1_ -= lr * grad_b1
+        self.filters_ -= lr * grad_filters
+        self.conv_bias_ -= lr * grad_conv_bias
+
+    def predict_proba(self, X) -> np.ndarray:
+        self.check_fitted()
+        images = _to_grid(X)
+        logits, _ = self._forward(images)
+        return softmax(logits)
+
+    def get_params(self) -> dict:
+        self.check_fitted()
+        return {
+            "filters": self.filters_,
+            "conv_bias": self.conv_bias_,
+            "W1": self.W1_,
+            "b1": self.b1_,
+            "W2": self.W2_,
+            "b2": self.b2_,
+        }

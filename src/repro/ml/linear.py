@@ -1,0 +1,159 @@
+"""Linear models: logistic regression and ridge regression.
+
+Logistic regression is the cheap model-component variant several workload
+version families use (early versions of a pipeline's model stage), trained
+with full-batch gradient descent plus L2 regularization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, Estimator, as_2d, encode_labels, one_hot
+from .utils import resolve_rng, sigmoid, softmax
+
+
+class LogisticRegression(Classifier):
+    """Multinomial logistic regression trained by gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_iterations: int = 200,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.bias_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X = as_2d(X)
+        self.classes_, indices = encode_labels(y)
+        n_classes = self.classes_.size
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        rng = resolve_rng(self.seed)
+        n, d = X.shape
+        targets = one_hot(indices, n_classes)
+        W = rng.standard_normal((d, n_classes)) * 0.01
+        b = np.zeros(n_classes)
+        for _ in range(self.n_iterations):
+            proba = softmax(X @ W + b)
+            grad_logits = (proba - targets) / n
+            W -= self.learning_rate * (X.T @ grad_logits + self.l2 * W)
+            b -= self.learning_rate * grad_logits.sum(axis=0)
+        self.weights_, self.bias_ = W, b
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self.check_fitted()
+        return softmax(as_2d(X) @ self.weights_ + self.bias_)
+
+    def decision_function(self, X) -> np.ndarray:
+        """Binary margin (positive-class logit difference)."""
+        self.check_fitted()
+        logits = as_2d(X) @ self.weights_ + self.bias_
+        if self.classes_.size == 2:
+            return logits[:, 1] - logits[:, 0]
+        return logits
+
+    def get_params(self) -> dict:
+        self.check_fitted()
+        return {
+            "weights": self.weights_,
+            "bias": self.bias_,
+            "classes": self.classes_.astype(np.int64)
+            if self.classes_.dtype.kind in "iu"
+            else self.classes_.astype(str).astype(object),
+        }
+
+
+class BinaryLogisticRegression(Classifier):
+    """Dedicated two-class variant with a single weight vector.
+
+    Kept alongside the multinomial version because some workload component
+    versions intentionally differ in parameterization (different learned
+    bytes for the storage-dedup experiments) while solving the same task.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_iterations: int = 300,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ):
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    def fit(self, X, y) -> "BinaryLogisticRegression":
+        X = as_2d(X)
+        self.classes_, indices = encode_labels(y)
+        if self.classes_.size != 2:
+            raise ValueError(f"expected 2 classes, got {self.classes_.size}")
+        target = indices.astype(np.float64)
+        rng = resolve_rng(self.seed)
+        n, d = X.shape
+        w = rng.standard_normal(d) * 0.01
+        b = 0.0
+        for _ in range(self.n_iterations):
+            p = sigmoid(X @ w + b)
+            grad = (p - target) / n
+            w -= self.learning_rate * (X.T @ grad + self.l2 * w)
+            b -= self.learning_rate * grad.sum()
+        self.weights_, self.bias_ = w, float(b)
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self.check_fitted()
+        p1 = sigmoid(as_2d(X) @ self.weights_ + self.bias_)
+        return np.column_stack([1.0 - p1, p1])
+
+    def get_params(self) -> dict:
+        self.check_fitted()
+        return {"weights": self.weights_, "bias": self.bias_}
+
+
+class RidgeRegression(Estimator):
+    """Closed-form L2-regularized least squares."""
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X = as_2d(X)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        gram = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        self.weights_ = np.linalg.solve(gram, Xc.T @ (y - y_mean))
+        self.bias_ = float(y_mean - x_mean @ self.weights_)
+        self._mark_fitted()
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self.check_fitted()
+        return as_2d(X) @ self.weights_ + self.bias_
+
+    def get_params(self) -> dict:
+        self.check_fitted()
+        return {"weights": self.weights_, "bias": self.bias_}

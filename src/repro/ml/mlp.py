@@ -1,0 +1,134 @@
+"""Multi-layer perceptron classifier (backprop, mini-batch SGD + momentum).
+
+This is the "DL model" stage of the Readmission and DPM pipelines. The
+paper trains deep models on Apache SINGA; here a seeded numpy MLP plays the
+same role: an expensive trainable component whose accuracy depends on which
+upstream feature-extraction version feeds it — the coupling that makes the
+metric-driven merge non-trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, as_2d, encode_labels, one_hot
+from .utils import minibatches, relu, resolve_rng, softmax, xavier_init
+
+
+class MLPClassifier(Classifier):
+    """Fully-connected ReLU network with a softmax head."""
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (32,),
+        learning_rate: float = 0.05,
+        n_epochs: int = 30,
+        batch_size: int = 32,
+        momentum: float = 0.9,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        if not hidden_sizes:
+            raise ValueError("need at least one hidden layer")
+        if any(h < 1 for h in hidden_sizes):
+            raise ValueError(f"hidden sizes must be positive, got {hidden_sizes}")
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.momentum = momentum
+        self.l2 = l2
+        self.seed = seed
+        self.weights_: list[np.ndarray] = []
+        self.biases_: list[np.ndarray] = []
+        self.loss_history_: list[float] = []
+
+    # ------------------------------------------------------------- internals
+    def _init_params(self, n_features: int, n_classes: int, rng) -> None:
+        sizes = [n_features, *self.hidden_sizes, n_classes]
+        self.weights_ = [
+            xavier_init(rng, sizes[i], sizes[i + 1]) for i in range(len(sizes) - 1)
+        ]
+        self.biases_ = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        activations = [X]
+        h = X
+        for W, b in zip(self.weights_[:-1], self.biases_[:-1]):
+            h = relu(h @ W + b)
+            activations.append(h)
+        logits = h @ self.weights_[-1] + self.biases_[-1]
+        return activations, logits
+
+    def _backward(
+        self,
+        activations: list[np.ndarray],
+        proba: np.ndarray,
+        targets: np.ndarray,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        n = targets.shape[0]
+        grad_logits = (proba - targets) / n
+        grads_w: list[np.ndarray] = [None] * len(self.weights_)  # type: ignore[list-item]
+        grads_b: list[np.ndarray] = [None] * len(self.biases_)  # type: ignore[list-item]
+        delta = grad_logits
+        for layer in range(len(self.weights_) - 1, -1, -1):
+            grads_w[layer] = activations[layer].T @ delta + self.l2 * self.weights_[layer]
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self.weights_[layer].T) * (activations[layer] > 0)
+        return grads_w, grads_b
+
+    # ------------------------------------------------------------ public API
+    def fit(self, X, y) -> "MLPClassifier":
+        X = as_2d(X)
+        self.classes_, indices = encode_labels(y)
+        n_classes = self.classes_.size
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        targets_full = one_hot(indices, n_classes)
+        rng = resolve_rng(self.seed)
+        self._init_params(X.shape[1], n_classes, rng)
+        velocity_w = [np.zeros_like(W) for W in self.weights_]
+        velocity_b = [np.zeros_like(b) for b in self.biases_]
+        self.loss_history_ = []
+
+        for _ in range(self.n_epochs):
+            epoch_loss = 0.0
+            n_batches = 0
+            for batch in minibatches(X.shape[0], self.batch_size, rng):
+                activations, logits = self._forward(X[batch])
+                proba = softmax(logits)
+                batch_targets = targets_full[batch]
+                loss = -np.mean(
+                    np.sum(batch_targets * np.log(np.clip(proba, 1e-12, 1.0)), axis=1)
+                )
+                epoch_loss += loss
+                n_batches += 1
+                grads_w, grads_b = self._backward(activations, proba, batch_targets)
+                for layer in range(len(self.weights_)):
+                    velocity_w[layer] = (
+                        self.momentum * velocity_w[layer]
+                        - self.learning_rate * grads_w[layer]
+                    )
+                    velocity_b[layer] = (
+                        self.momentum * velocity_b[layer]
+                        - self.learning_rate * grads_b[layer]
+                    )
+                    self.weights_[layer] += velocity_w[layer]
+                    self.biases_[layer] += velocity_b[layer]
+            self.loss_history_.append(epoch_loss / max(n_batches, 1))
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self.check_fitted()
+        _, logits = self._forward(as_2d(X))
+        return softmax(logits)
+
+    def get_params(self) -> dict:
+        self.check_fitted()
+        params: dict = {"n_layers": len(self.weights_)}
+        for i, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            params[f"W{i}"] = W
+            params[f"b{i}"] = b
+        return params

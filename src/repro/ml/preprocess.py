@@ -1,0 +1,164 @@
+"""Feature pre-processing transformers (imputation, scaling, encoding).
+
+These are the "data cleansing" style library components of the evaluated
+pipelines: the Readmission pipeline's first step "cleans the dataset by
+filling in the missing diagnosis codes", then extracts numeric medical
+features that need scaling and one-hot encoding before hitting a model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Transformer, as_2d
+
+
+class MeanImputer(Transformer):
+    """Replace NaNs with per-column training means."""
+
+    def __init__(self) -> None:
+        self.means_: np.ndarray | None = None
+
+    def fit(self, X) -> "MeanImputer":
+        X = as_2d(X)
+        with np.errstate(invalid="ignore"):
+            means = np.nanmean(X, axis=0)
+        self.means_ = np.where(np.isnan(means), 0.0, means)
+        self._mark_fitted()
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self.check_fitted()
+        X = as_2d(X).copy()
+        mask = np.isnan(X)
+        if mask.any():
+            X[mask] = np.broadcast_to(self.means_, X.shape)[mask]
+        return X
+
+    def get_params(self) -> dict:
+        self.check_fitted()
+        return {"means": self.means_}
+
+
+class ModeImputer:
+    """Fill missing categorical values (None) with the training mode.
+
+    Operates on object arrays, not float matrices, so it does not inherit
+    from :class:`Transformer` (whose contract is numeric).
+    """
+
+    def __init__(self) -> None:
+        self.mode_: str | None = None
+        self._fitted = False
+
+    def fit(self, values: np.ndarray) -> "ModeImputer":
+        present = [v for v in values if v is not None]
+        if not present:
+            self.mode_ = "unknown"
+        else:
+            uniques, counts = np.unique(np.array(present, dtype=object), return_counts=True)
+            self.mode_ = str(uniques[np.argmax(counts)])
+        self._fitted = True
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            from ..errors import NotFittedError
+
+            raise NotFittedError("ModeImputer")
+        out = np.array(values, dtype=object)
+        out[np.array([v is None for v in out], dtype=bool)] = self.mode_
+        return out
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def get_params(self) -> dict:
+        return {"mode": self.mode_}
+
+
+class StandardScaler(Transformer):
+    """Zero-mean unit-variance scaling; constant columns pass through."""
+
+    def __init__(self) -> None:
+        self.means_: np.ndarray | None = None
+        self.stds_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = as_2d(X)
+        self.means_ = X.mean(axis=0)
+        stds = X.std(axis=0)
+        self.stds_ = np.where(stds < 1e-12, 1.0, stds)
+        self._mark_fitted()
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self.check_fitted()
+        return (as_2d(X) - self.means_) / self.stds_
+
+    def get_params(self) -> dict:
+        self.check_fitted()
+        return {"means": self.means_, "stds": self.stds_}
+
+
+class MinMaxScaler(Transformer):
+    """Scale each column into [0, 1] based on the training range."""
+
+    def __init__(self) -> None:
+        self.mins_: np.ndarray | None = None
+        self.ranges_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = as_2d(X)
+        self.mins_ = X.min(axis=0)
+        ranges = X.max(axis=0) - self.mins_
+        self.ranges_ = np.where(ranges < 1e-12, 1.0, ranges)
+        self._mark_fitted()
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self.check_fitted()
+        return (as_2d(X) - self.mins_) / self.ranges_
+
+    def get_params(self) -> dict:
+        self.check_fitted()
+        return {"mins": self.mins_, "ranges": self.ranges_}
+
+
+class OneHotEncoder:
+    """Encode a categorical column into indicator columns.
+
+    Unseen categories at transform time map to the all-zeros row, which
+    keeps downstream matrix widths stable — a property the schema-hash
+    compatibility rule depends on.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[str] | None = None
+        self._fitted = False
+
+    def fit(self, values: np.ndarray) -> "OneHotEncoder":
+        cleaned = ["<none>" if v is None else str(v) for v in values]
+        self.categories_ = sorted(set(cleaned))
+        self._fitted = True
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            from ..errors import NotFittedError
+
+            raise NotFittedError("OneHotEncoder")
+        index = {c: i for i, c in enumerate(self.categories_)}
+        out = np.zeros((len(values), len(self.categories_)), dtype=np.float64)
+        for row, value in enumerate(values):
+            key = "<none>" if value is None else str(value)
+            col = index.get(key)
+            if col is not None:
+                out[row, col] = 1.0
+        return out
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def get_params(self) -> dict:
+        return {"categories": list(self.categories_ or [])}

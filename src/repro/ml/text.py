@@ -1,0 +1,80 @@
+"""Tokenization and vocabulary for the sentiment-analysis pipeline."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case whitespace tokenizer with punctuation stripping."""
+    tokens = []
+    for raw in text.lower().split():
+        token = raw.strip(".,!?;:\"'()[]")
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+class Vocabulary:
+    """Token <-> id mapping built from a corpus, ordered by frequency.
+
+    The vocabulary size doubles as the *schema* of text payloads (paper
+    section IV-B: "vocabulary size for text datasets"), so changing
+    ``max_size`` or ``min_count`` is a schema-changing update in the SA
+    workload's component version family.
+    """
+
+    UNK = "<unk>"
+
+    def __init__(self, max_size: int | None = None, min_count: int = 1):
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        self.max_size = max_size
+        self.min_count = min_count
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+
+    @classmethod
+    def from_tokens(cls, tokens: list[str]) -> "Vocabulary":
+        """Rebuild a vocabulary from a previously-fitted token list
+        (index order is the id assignment)."""
+        vocab = cls(max_size=len(tokens))
+        vocab._id_to_token = list(tokens)
+        vocab._token_to_id = {t: i for i, t in enumerate(vocab._id_to_token)}
+        return vocab
+
+    def fit(self, documents: Iterable[list[str]]) -> "Vocabulary":
+        counts = Counter()
+        for doc in documents:
+            counts.update(doc)
+        # stable order: frequency desc, then lexicographic
+        eligible = [
+            (token, count) for token, count in counts.items() if count >= self.min_count
+        ]
+        eligible.sort(key=lambda item: (-item[1], item[0]))
+        if self.max_size is not None:
+            eligible = eligible[: max(self.max_size - 1, 0)]
+        self._id_to_token = [self.UNK] + [token for token, _ in eligible]
+        self._token_to_id = {t: i for i, t in enumerate(self._id_to_token)}
+        return self
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def encode(self, tokens: list[str]) -> np.ndarray:
+        unk = 0
+        return np.array(
+            [self._token_to_id.get(t, unk) for t in tokens], dtype=np.int64
+        )
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        return [self._id_to_token[int(i)] for i in ids]
+
+    def tokens(self) -> list[str]:
+        return list(self._id_to_token)

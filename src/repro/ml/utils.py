@@ -1,0 +1,77 @@
+"""Shared ML utilities: splits, batching, seeded randomness."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+
+def resolve_rng(seed_or_rng) -> np.random.Generator:
+    """Accept a seed, a Generator, or None; return a Generator."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int | np.random.Generator = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into (X_train, X_test, y_train, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    rng = resolve_rng(seed)
+    order = rng.permutation(X.shape[0])
+    n_test = max(1, int(round(X.shape[0] * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def minibatches(
+    n_samples: int,
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering [0, n_samples) in batches."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = rng.permutation(n_samples) if shuffle else np.arange(n_samples)
+    for start in range(0, n_samples, batch_size):
+        yield order[start : start + batch_size]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def xavier_init(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot-uniform weight initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))

@@ -1,0 +1,98 @@
+"""Zernike moment features for image classification.
+
+The Autolearn pipeline "is built for image classification of digits using
+Zernike moments as features" (paper section VII-A). Zernike moments project
+an image onto an orthogonal polynomial basis over the unit disk; the
+*magnitudes* |Z_nm| are rotation-invariant, which is what makes them good
+shape descriptors.
+
+Implementation notes: the radial polynomial R_nm uses the standard
+factorial formula, evaluated with log-gamma for stability; pixels outside
+the unit disk are ignored; moments are computed for all (n, m) with
+n <= max_order, n - |m| even, m >= 0 (negative m duplicates magnitude).
+"""
+
+from __future__ import annotations
+
+from math import lgamma
+
+import numpy as np
+
+
+def _radial_coefficients(n: int, m: int) -> list[tuple[float, int]]:
+    """Coefficients (c_s, power) of R_nm(rho) = sum c_s * rho^(n-2s)."""
+    coeffs = []
+    for s in range((n - m) // 2 + 1):
+        log_num = lgamma(n - s + 1)
+        log_den = (
+            lgamma(s + 1)
+            + lgamma((n + m) // 2 - s + 1)
+            + lgamma((n - m) // 2 - s + 1)
+        )
+        value = (-1.0) ** s * np.exp(log_num - log_den)
+        coeffs.append((value, n - 2 * s))
+    return coeffs
+
+
+def zernike_basis_indices(max_order: int) -> list[tuple[int, int]]:
+    """All (n, m) with 0 <= m <= n <= max_order and n - m even."""
+    return [
+        (n, m)
+        for n in range(max_order + 1)
+        for m in range(n + 1)
+        if (n - m) % 2 == 0
+    ]
+
+
+class ZernikeExtractor:
+    """Compute |Z_nm| magnitudes for batches of square grayscale images."""
+
+    def __init__(self, max_order: int = 8):
+        if max_order < 1:
+            raise ValueError(f"max_order must be >= 1, got {max_order}")
+        self.max_order = max_order
+        self.indices = zernike_basis_indices(max_order)
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def n_features(self) -> int:
+        return len(self.indices)
+
+    def _grid(self, size: int) -> tuple[np.ndarray, np.ndarray]:
+        """(rho, theta) polar coordinates of in-disk pixels, cached by size."""
+        if size not in self._cache:
+            coords = (np.arange(size) + 0.5) / size * 2.0 - 1.0
+            xx, yy = np.meshgrid(coords, coords)
+            rho = np.sqrt(xx**2 + yy**2)
+            theta = np.arctan2(yy, xx)
+            self._cache[size] = (rho, theta)
+        return self._cache[size]
+
+    def _basis(self, size: int) -> np.ndarray:
+        """Complex conjugate basis stack (n_moments, size, size), 0 off-disk."""
+        rho, theta = self._grid(size)
+        inside = rho <= 1.0
+        stack = np.zeros((len(self.indices), size, size), dtype=np.complex128)
+        for k, (n, m) in enumerate(self.indices):
+            radial = np.zeros_like(rho)
+            for coeff, power in _radial_coefficients(n, m):
+                radial += coeff * np.power(rho, power, where=inside, out=np.zeros_like(rho))
+            phase = np.exp(-1j * m * theta)
+            stack[k] = np.where(inside, radial * phase, 0.0)
+            stack[k] *= (n + 1) / np.pi
+        return stack
+
+    def transform(self, images: np.ndarray) -> np.ndarray:
+        """Return (n_images, n_moments) magnitude features."""
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim == 2:
+            images = images[None, :, :]
+        if images.ndim != 3 or images.shape[1] != images.shape[2]:
+            raise ValueError(f"expected (n, s, s) images, got shape {images.shape}")
+        size = images.shape[1]
+        basis = self._basis(size)
+        # moment = sum over pixels of image * conj basis, normalized by area
+        flat_images = images.reshape(images.shape[0], -1)
+        flat_basis = basis.reshape(basis.shape[0], -1)
+        moments = flat_images @ flat_basis.T * (4.0 / (size * size))
+        return np.abs(moments)

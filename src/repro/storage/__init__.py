@@ -1,0 +1,57 @@
+"""ForkBase-like storage substrate: chunking, content addressing, versioned KV.
+
+Public surface:
+
+* :class:`ContentDefinedChunker` / :class:`FixedSizeChunker` — blob splitting
+* :class:`MemoryChunkStore` / :class:`FileChunkStore` — chunk persistence
+* :class:`ObjectStore` — whole-blob storage via chunk recipes
+* :class:`VersionedKV` — branchable versioned key-value layer
+* :class:`FolderStore` — the baselines' full-copy archival store
+* schema-hash helpers from :mod:`repro.storage.hashing`
+"""
+
+from .accounting import StorageStats
+from .chunk_store import ChunkStore, FileChunkStore, MemoryChunkStore
+from .chunking import ChunkerConfig, ContentDefinedChunker, FixedSizeChunker, rolling_hashes
+from .folder_store import FolderStore
+from .gc import GCReport, collect_garbage, live_digests_of_repo
+from .hashing import (
+    array_schema_hash,
+    fingerprint_many,
+    image_schema_hash,
+    meta_schema_hash,
+    relational_schema_hash,
+    sha256_hex,
+    short_digest,
+    standardize_header,
+    text_schema_hash,
+)
+from .kv import DEFAULT_BRANCH, VersionedKV, VersionNode
+from .object_store import ObjectStore, Recipe
+
+__all__ = [
+    "StorageStats",
+    "ChunkStore",
+    "FileChunkStore",
+    "MemoryChunkStore",
+    "ChunkerConfig",
+    "ContentDefinedChunker",
+    "FixedSizeChunker",
+    "rolling_hashes",
+    "FolderStore",
+    "GCReport", "collect_garbage", "live_digests_of_repo",
+    "array_schema_hash",
+    "fingerprint_many",
+    "image_schema_hash",
+    "meta_schema_hash",
+    "relational_schema_hash",
+    "sha256_hex",
+    "short_digest",
+    "standardize_header",
+    "text_schema_hash",
+    "DEFAULT_BRANCH",
+    "VersionedKV",
+    "VersionNode",
+    "ObjectStore",
+    "Recipe",
+]

@@ -1,0 +1,103 @@
+"""Storage accounting: the numbers behind CSS and CST in the evaluation.
+
+The paper's evaluation metrics (section VII-B) include cumulative storage
+size (CSS) and cumulative storage time (CST). Both MLCask's chunked store
+and the baselines' folder stores report through this module so experiments
+can read consistent counters:
+
+* ``logical_bytes``  — bytes callers asked to persist (every version counted
+  in full, like the baselines' disk folders would hold);
+* ``physical_bytes`` — bytes actually held after content dedup;
+* ``write_seconds`` / ``read_seconds`` — wall-clock spent inside the store,
+  the "storage time" component of pipeline time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StorageStats:
+    """Mutable counter block attached to every store."""
+
+    logical_bytes: int = 0
+    physical_bytes: int = 0
+    dedup_hit_bytes: int = 0
+    read_bytes: int = 0
+    write_seconds: float = 0.0
+    read_seconds: float = 0.0
+    writes: int = 0
+    reads: int = 0
+    _extra: dict[str, float] = field(default_factory=dict)
+
+    def record_logical(self, n: int) -> None:
+        self.logical_bytes += n
+        self.writes += 1
+
+    def record_physical(self, n: int) -> None:
+        self.physical_bytes += n
+
+    def record_dedup_hit(self, n: int) -> None:
+        self.dedup_hit_bytes += n
+
+    def record_read(self, n: int) -> None:
+        self.read_bytes += n
+        self.reads += 1
+
+    @contextmanager
+    def timed_write(self):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.write_seconds += time.perf_counter() - start
+
+    @contextmanager
+    def timed_read(self):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.read_seconds += time.perf_counter() - start
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical over physical bytes; 1.0 means no savings."""
+        if self.physical_bytes == 0:
+            return 1.0
+        return self.logical_bytes / self.physical_bytes
+
+    @property
+    def storage_seconds(self) -> float:
+        """Total time spent in the store (write + read)."""
+        return self.write_seconds + self.read_seconds
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict copy for experiment logs."""
+        return {
+            "logical_bytes": self.logical_bytes,
+            "physical_bytes": self.physical_bytes,
+            "dedup_hit_bytes": self.dedup_hit_bytes,
+            "read_bytes": self.read_bytes,
+            "write_seconds": self.write_seconds,
+            "read_seconds": self.read_seconds,
+            "writes": self.writes,
+            "reads": self.reads,
+        }
+
+    def merged_with(self, other: "StorageStats") -> "StorageStats":
+        """Combine counters from two stores (for whole-system totals)."""
+        merged = StorageStats(
+            logical_bytes=self.logical_bytes + other.logical_bytes,
+            physical_bytes=self.physical_bytes + other.physical_bytes,
+            dedup_hit_bytes=self.dedup_hit_bytes + other.dedup_hit_bytes,
+            read_bytes=self.read_bytes + other.read_bytes,
+            write_seconds=self.write_seconds + other.write_seconds,
+            read_seconds=self.read_seconds + other.read_seconds,
+            writes=self.writes + other.writes,
+            reads=self.reads + other.reads,
+        )
+        return merged

@@ -1,0 +1,129 @@
+"""Content-addressed chunk stores (memory- and file-backed).
+
+The chunk store is the bottom layer of the ForkBase-like engine: it maps
+SHA-256 digests to immutable byte chunks. Writing the same content twice
+stores it once — the counters distinguish *logical* bytes (what callers
+asked to store) from *physical* bytes (what the store actually holds), which
+is exactly the gap Fig. 7 of the paper plots between MLCask and the
+folder-archival baselines.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+
+from ..errors import ChunkNotFoundError
+from .accounting import StorageStats
+from .hashing import sha256_hex
+
+
+class ChunkStore(ABC):
+    """Interface shared by the memory and file backends."""
+
+    def __init__(self) -> None:
+        self.stats = StorageStats()
+
+    @abstractmethod
+    def _contains(self, digest: str) -> bool: ...
+
+    @abstractmethod
+    def _write(self, digest: str, data: bytes) -> None: ...
+
+    @abstractmethod
+    def _read(self, digest: str) -> bytes: ...
+
+    @abstractmethod
+    def digests(self) -> list[str]:
+        """All digests currently held (for audits and garbage accounting)."""
+
+    def put(self, data: bytes) -> str:
+        """Store ``data``; return its digest. Duplicate content is free."""
+        digest = sha256_hex(data)
+        with self.stats.timed_write():
+            self.stats.record_logical(len(data))
+            if not self._contains(digest):
+                self._write(digest, data)
+                self.stats.record_physical(len(data))
+            else:
+                self.stats.record_dedup_hit(len(data))
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        """Fetch the chunk for ``digest`` or raise :class:`ChunkNotFoundError`."""
+        if not self._contains(digest):
+            raise ChunkNotFoundError(digest)
+        with self.stats.timed_read():
+            data = self._read(digest)
+        self.stats.record_read(len(data))
+        return data
+
+    def contains(self, digest: str) -> bool:
+        return self._contains(digest)
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+
+class MemoryChunkStore(ChunkStore):
+    """Dict-backed store; the default for tests and experiments."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._chunks: dict[str, bytes] = {}
+
+    def _contains(self, digest: str) -> bool:
+        return digest in self._chunks
+
+    def _write(self, digest: str, data: bytes) -> None:
+        self._chunks[digest] = data
+
+    def _read(self, digest: str) -> bytes:
+        return self._chunks[digest]
+
+    def digests(self) -> list[str]:
+        return list(self._chunks)
+
+
+class FileChunkStore(ChunkStore):
+    """Filesystem-backed store laid out like git's object directory.
+
+    A chunk with digest ``abcdef...`` is written to ``<root>/ab/cdef...``;
+    the two-character fan-out keeps directory sizes reasonable. Writes are
+    atomic (write to a temp name, then rename) so a crashed writer can never
+    leave a truncated chunk under its content address.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]):
+        super().__init__()
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest[2:])
+
+    def _contains(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest))
+
+    def _write(self, digest: str, data: bytes) -> None:
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+
+    def _read(self, digest: str) -> bytes:
+        with open(self._path(digest), "rb") as fh:
+            return fh.read()
+
+    def digests(self) -> list[str]:
+        found = []
+        for fanout in os.listdir(self.root):
+            subdir = os.path.join(self.root, fanout)
+            if not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if not name.endswith(".tmp"):
+                    found.append(fanout + name)
+        return found

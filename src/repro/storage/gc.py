@@ -1,0 +1,82 @@
+"""Garbage collection for the content-addressed store.
+
+Immutable engines never overwrite, so abandoned experiments leave chunks
+behind. GC is mark-and-sweep: callers name the *live roots* (blob digests
+still referenced by checkpoint records, KV heads, or commits), the
+collector walks their recipes to the chunk level and drops everything
+else. Content addressing makes this safe: a chunk is either reachable
+from a live recipe or provably garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .chunk_store import MemoryChunkStore
+from .object_store import ObjectStore
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What a sweep did."""
+
+    live_blobs: int
+    live_chunks: int
+    swept_chunks: int
+    swept_bytes: int
+
+
+def collect_garbage(store: ObjectStore, live_blob_digests: set[str]) -> GCReport:
+    """Drop chunks unreachable from ``live_blob_digests``.
+
+    Only memory-backed chunk stores support in-place sweeping (file-backed
+    stores would need directory surgery; they raise to avoid silently
+    doing nothing).
+    """
+    chunks = store.chunks
+    if not isinstance(chunks, MemoryChunkStore):
+        raise NotImplementedError(
+            "garbage collection currently supports MemoryChunkStore only"
+        )
+
+    live_chunks: set[str] = set()
+    live_blobs = 0
+    for digest in live_blob_digests:
+        if not store.contains(digest):
+            continue
+        live_blobs += 1
+        live_chunks.update(store.recipe(digest).chunk_digests)
+
+    swept_chunks = 0
+    swept_bytes = 0
+    for digest in list(chunks.digests()):
+        if digest not in live_chunks:
+            swept_bytes += len(chunks._chunks[digest])
+            del chunks._chunks[digest]
+            swept_chunks += 1
+    chunks.stats.physical_bytes -= swept_bytes
+
+    # Drop dead recipes so future GC runs stay linear in live data.
+    dead_recipes = [
+        digest for digest in store._recipes if digest not in live_blob_digests
+    ]
+    for digest in dead_recipes:
+        del store._recipes[digest]
+
+    return GCReport(
+        live_blobs=live_blobs,
+        live_chunks=len(live_chunks),
+        swept_chunks=swept_chunks,
+        swept_bytes=swept_bytes,
+    )
+
+
+def live_digests_of_repo(repo) -> set[str]:
+    """Live blob roots of an MLCask repository: every checkpointed output
+    referenced by a commit, plus every checkpoint record (merge candidates
+    not committed anywhere are *not* roots — they are what GC reclaims
+    after pruning history)."""
+    live: set[str] = set()
+    for commit in repo.graph.all_commits():
+        live.update(commit.stage_outputs.values())
+    return live

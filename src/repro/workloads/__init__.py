@@ -1,0 +1,57 @@
+"""The paper's four evaluated pipelines plus scripted evolution histories."""
+
+from .autolearn import AutolearnWorkload
+from .base import Workload, library_code_blob
+from .dpm import DPMWorkload
+from .evolution import (
+    LinearStep,
+    NonlinearScript,
+    apply_nonlinear_history,
+    linear_script,
+    nonlinear_script,
+)
+from .readmission import ReadmissionWorkload
+from .sentiment import SentimentWorkload
+
+
+def readmission_workload(scale: float = 1.0, seed: int = 0) -> ReadmissionWorkload:
+    return ReadmissionWorkload(scale=scale, seed=seed)
+
+
+def dpm_workload(scale: float = 1.0, seed: int = 0) -> DPMWorkload:
+    return DPMWorkload(scale=scale, seed=seed)
+
+
+def sentiment_workload(scale: float = 1.0, seed: int = 0) -> SentimentWorkload:
+    return SentimentWorkload(scale=scale, seed=seed)
+
+
+def autolearn_workload(scale: float = 1.0, seed: int = 0) -> AutolearnWorkload:
+    return AutolearnWorkload(scale=scale, seed=seed)
+
+
+ALL_WORKLOADS = {
+    "readmission": readmission_workload,
+    "dpm": dpm_workload,
+    "sa": sentiment_workload,
+    "autolearn": autolearn_workload,
+}
+
+__all__ = [
+    "AutolearnWorkload",
+    "Workload",
+    "library_code_blob",
+    "DPMWorkload",
+    "LinearStep",
+    "NonlinearScript",
+    "apply_nonlinear_history",
+    "linear_script",
+    "nonlinear_script",
+    "ReadmissionWorkload",
+    "SentimentWorkload",
+    "readmission_workload",
+    "dpm_workload",
+    "sentiment_workload",
+    "autolearn_workload",
+    "ALL_WORKLOADS",
+]

@@ -1,0 +1,168 @@
+"""Workload framework: the four evaluated pipelines as version families.
+
+A :class:`Workload` describes one of the paper's pipelines (section VII-A)
+as a chain of stages, each with an unbounded family of component versions:
+
+* ``stage_version(stage, idx, out_variant, in_variant)`` builds version
+  ``idx`` of a stage, reading the upstream schema variant ``in_variant``
+  and emitting schema variant ``out_variant``. Versions are numbered per
+  section IV-B: ``SemVer(branch, out_variant, idx)`` — the schema domain
+  tracks output-schema changes, the increment counts minor updates.
+* Schema tags are ``"{workload}/{stage}_v{variant}"``; a consumer accepts
+  its producer iff the tags match, which is the ground truth behind the
+  compatibility LUT.
+* Distinct ``idx`` values must produce behaviourally distinct components
+  (different outputs), so checkpoint reuse never conflates versions.
+
+Concrete workloads subclass and implement ``_build(stage, idx, out_variant,
+in_variant) -> (fn, params, is_model)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.component import DatasetComponent, LibraryComponent
+from ..core.pipeline import PipelineSpec
+from ..core.semver import SemVer
+
+
+def library_code_blob(name: str, version: SemVer, size: int = 30_000) -> bytes:
+    """Synthetic 'executable' bytes for a library version.
+
+    Successive versions of the same library share most of their bytes
+    (small deterministic mutations), so MLCask's chunk-level dedup saves
+    storage on library archives exactly as section VII-C describes, while
+    the folder-archival baselines pay full copies.
+    """
+    rng = np.random.default_rng(abs(hash_stable(name)) % (2**32))
+    base = rng.integers(0, 256, size, dtype=np.uint8)
+    mutated = base.copy()
+    edit_rng = np.random.default_rng(
+        (version.schema * 1009 + version.increment * 7919 + 13) % (2**32)
+    )
+    # A schema change rewrites more of the "code" than an increment.
+    n_edits = 40 if version.schema else 8
+    n_edits += 6 * version.increment
+    positions = edit_rng.integers(0, size, n_edits)
+    mutated[positions] = edit_rng.integers(0, 256, n_edits, dtype=np.uint8)
+    return mutated.tobytes()
+
+
+def hash_stable(text: str) -> int:
+    """Process-stable string hash (``hash()`` is salted per process)."""
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) % (2**61 - 1)
+    return value
+
+
+class Workload(ABC):
+    """One evaluated pipeline: spec, datasets, and component families."""
+
+    #: Stage names in chain order; the last stage must be the model.
+    stage_names: tuple[str, ...] = ()
+    #: Stage whose schema-bumped update creates the designed incompatibility
+    #: (defaults to the stage right before the model).
+    schema_stage_name: str | None = None
+    #: Early, cheap stage updated on the base branch in non-linear scripts.
+    clean_stage_name: str | None = None
+    metric: str = "accuracy"
+
+    def __init__(self, scale: float = 1.0, seed: int = 0):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.seed = seed
+        self._cache: dict[tuple, LibraryComponent] = {}
+
+    # ------------------------------------------------------------ identity
+    @property
+    @abstractmethod
+    def name(self) -> str: ...
+
+    @property
+    def spec(self) -> PipelineSpec:
+        return PipelineSpec.chain(self.name, ["dataset", *self.stage_names])
+
+    @property
+    def model_stage(self) -> str:
+        return self.stage_names[-1]
+
+    @property
+    def schema_stage(self) -> str:
+        return self.schema_stage_name or self.stage_names[-2]
+
+    @property
+    def clean_stage(self) -> str:
+        return self.clean_stage_name or self.stage_names[0]
+
+    @property
+    def preprocessing_stages(self) -> list[str]:
+        return list(self.stage_names[:-1])
+
+    # -------------------------------------------------------------- schemas
+    def schema_tag(self, stage: str, variant: int) -> str:
+        if stage == "dataset":
+            return f"{self.name}/raw_v{variant}"
+        return f"{self.name}/{stage}_v{variant}"
+
+    def upstream_stage(self, stage: str) -> str:
+        stages = ["dataset", *self.stage_names]
+        return stages[stages.index(stage) - 1]
+
+    # ------------------------------------------------------------ factories
+    @abstractmethod
+    def make_dataset(self, day: int = 0) -> DatasetComponent: ...
+
+    @abstractmethod
+    def _build(
+        self, stage: str, idx: int, out_variant: int, in_variant: int
+    ) -> tuple:
+        """Return ``(fn, params, is_model)`` for a component version."""
+
+    def stage_version(
+        self,
+        stage: str,
+        idx: int,
+        out_variant: int = 0,
+        in_variant: int = 0,
+        branch: str = "master",
+    ) -> LibraryComponent:
+        """Build (and cache) one component version of ``stage``."""
+        if stage not in self.stage_names:
+            raise ValueError(f"unknown stage {stage!r} for workload {self.name}")
+        key = (stage, idx, out_variant, in_variant, branch)
+        if key in self._cache:
+            return self._cache[key]
+        fn, params, is_model = self._build(stage, idx, out_variant, in_variant)
+        component = LibraryComponent(
+            name=f"{self.name}.{stage}",
+            version=SemVer(branch, out_variant, idx),
+            fn=fn,
+            params=params,
+            input_schema=self.schema_tag(self.upstream_stage(stage), in_variant),
+            output_schema=self.schema_tag(stage, out_variant)
+            if not is_model
+            else f"{self.name}/model",
+            is_model=is_model,
+        )
+        self._cache[key] = component
+        return component
+
+    # ----------------------------------------------------------- shortcuts
+    def initial_components(self) -> dict[str, object]:
+        """Version 0.0 of everything: the ``master.0.0`` binding."""
+        components: dict[str, object] = {"dataset": self.make_dataset(day=0)}
+        for stage in self.stage_names:
+            components[stage] = self.stage_version(stage, 0)
+        return components
+
+    def model_version(self, idx: int, in_variant: int = 0) -> LibraryComponent:
+        return self.stage_version(self.model_stage, idx, 0, in_variant)
+
+    def scaled(self, n: int) -> int:
+        """Apply the workload scale factor to a size parameter."""
+        return max(4, int(round(n * self.scale)))

@@ -1,0 +1,169 @@
+"""Scripted component-evolution histories for the experiments.
+
+Linear versioning (paper section VII-B): "we perform a series of pipeline
+component updates and pipeline retraining operations ... In every
+iteration, we update the pre-processing component at a probability of 0.4
+and update the model component at a probability of 0.6. At the last
+iteration, the pipeline is designed to have an incompatibility problem
+between the last two components."
+
+Non-linear versioning: "we first generate two branches, then update
+components on both branches and merge the two updated branches" — shaped
+after the Fig. 3 history (the dev branch updates the model, bumps the
+schema of the feature stage and adapts the model twice; the base branch
+updates the cleaning stage and the model concurrently).
+
+Both scripts are *deterministic descriptions* (lists of per-iteration
+update dicts), so the same evolution can be replayed against MLCask and
+both baselines for a like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.component import Component
+from .base import Workload
+
+
+@dataclass
+class LinearStep:
+    """One iteration of the linear-versioning experiment."""
+
+    iteration: int
+    updates: dict = field(default_factory=dict)  # stage -> Component
+    expect_incompatible: bool = False
+    description: str = ""
+
+
+def linear_script(
+    workload: Workload,
+    n_iterations: int = 10,
+    p_preprocess: float = 0.4,
+    seed: int = 0,
+) -> list[LinearStep]:
+    """Generate the 10-iteration update schedule.
+
+    Iteration 1 is the initial build (no updates). Iterations 2..n-1 update
+    the pre-processing component w.p. ``p_preprocess`` (cycling through the
+    pre-processing stages) and the model otherwise. The final iteration
+    bumps the schema of the stage feeding the model *without* adapting the
+    model — the designed incompatibility between the last two components.
+    """
+    if n_iterations < 3:
+        raise ValueError(f"need at least 3 iterations, got {n_iterations}")
+    rng = np.random.default_rng(seed)
+    steps = [LinearStep(iteration=1, description="initial pipeline")]
+
+    next_idx = {stage: 1 for stage in workload.stage_names}
+    preproc_cycle = list(workload.preprocessing_stages)
+    cycle_pos = 0
+
+    for iteration in range(2, n_iterations):
+        if rng.random() < p_preprocess:
+            stage = preproc_cycle[cycle_pos % len(preproc_cycle)]
+            cycle_pos += 1
+            component = workload.stage_version(stage, next_idx[stage])
+            description = f"update pre-processing stage {stage!r}"
+        else:
+            stage = workload.model_stage
+            component = workload.stage_version(stage, next_idx[stage])
+            description = "update model"
+        next_idx[stage] += 1
+        steps.append(
+            LinearStep(
+                iteration=iteration,
+                updates={stage: component},
+                description=description,
+            )
+        )
+
+    schema_stage = workload.schema_stage
+    incompatible = workload.stage_version(
+        schema_stage, next_idx[schema_stage], out_variant=1
+    )
+    steps.append(
+        LinearStep(
+            iteration=n_iterations,
+            updates={schema_stage: incompatible},
+            expect_incompatible=True,
+            description=f"schema bump on {schema_stage!r} without model adaptation",
+        )
+    )
+    return steps
+
+
+@dataclass
+class NonlinearScript:
+    """The two-branch history plus the branches to merge."""
+
+    workload: Workload
+    head_branch: str = "master"
+    merge_head_branch: str = "dev"
+    #: update dicts committed on the dev branch, in order
+    dev_commits: list = field(default_factory=list)
+    #: update dicts committed on the base branch after the fork, in order
+    head_commits: list = field(default_factory=list)
+
+
+def nonlinear_script(workload: Workload) -> NonlinearScript:
+    """Shape the Fig. 3 history onto any workload.
+
+    dev branch (MERGE_HEAD side, like Frank-dev):
+      1. model update (old schema)                       -> dev.0.0
+      2. schema-stage bump + model adapted to new schema -> dev.0.1
+      3. model adapted again                             -> dev.0.2
+    base branch (HEAD side, like master after Jane's merge):
+      1. clean-stage update + model update (old schema)  -> master.0.1
+
+    Resulting search spaces mirror Fig. 4: clean {0.0, 0.1}, schema stage
+    {0.0, 1.0}, model {0.0 .. 0.4}, dataset {0.0}.
+    """
+    schema_stage = workload.schema_stage
+    clean_stage = workload.clean_stage
+    model_stage = workload.model_stage
+
+    dev_commits = [
+        {model_stage: workload.stage_version(model_stage, 1, 0, 0)},
+        {
+            schema_stage: workload.stage_version(schema_stage, 1, out_variant=1),
+            model_stage: workload.stage_version(model_stage, 2, 0, 1),
+        },
+        {model_stage: workload.stage_version(model_stage, 3, 0, 1)},
+    ]
+    head_commits = [
+        {
+            clean_stage: workload.stage_version(clean_stage, 1),
+            model_stage: workload.stage_version(model_stage, 4, 0, 0),
+        },
+    ]
+    return NonlinearScript(
+        workload=workload,
+        dev_commits=dev_commits,
+        head_commits=head_commits,
+    )
+
+
+def apply_nonlinear_history(repo, script: NonlinearScript) -> None:
+    """Create the pipeline, fork the branches, and commit both sides."""
+    workload = script.workload
+    repo.create_pipeline(
+        workload.spec, workload.initial_components(), message="common ancestor"
+    )
+    repo.branch(workload.name, script.merge_head_branch, script.head_branch)
+    for updates in script.dev_commits:
+        repo.commit(
+            workload.name,
+            updates,
+            branch=script.merge_head_branch,
+            message="dev-side update",
+        )
+    for updates in script.head_commits:
+        repo.commit(
+            workload.name,
+            updates,
+            branch=script.head_branch,
+            message="head-side update",
+        )

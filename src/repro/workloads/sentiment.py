@@ -1,0 +1,173 @@
+"""Sentiment Analysis pipeline (paper section VII-A).
+
+Stages: ``dataset -> corpus -> embed -> prep -> model``.
+
+"The first three steps are designed to process the external corpora and
+pre-trained word embeddings. In the last step, a DL model is trained for
+the sentiment analysis task."
+
+1. *corpus* — tokenize documents and build a vocabulary. Per section
+   IV-B, vocabulary size is the schema of text data: schema variant 1
+   grows the vocabulary cap;
+2. *embed* — train PPMI+SVD word embeddings and mean-pool per document;
+   this is the expensive stage (the paper points at "word embedding" as
+   the pre-processing step that makes SA's iterations steep). Embedding
+   dimensionality is the output schema (feature width);
+3. *prep* — feature scaling (cheap increments);
+4. *model* — sentiment classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.component import DatasetComponent
+from ..core.semver import SemVer
+from ..data.synthetic.sentiment import make_reviews
+from ..data.table import Table
+from ..ml.embeddings import WordEmbedder
+from ..ml.metrics import accuracy, roc_auc
+from ..ml.mlp import MLPClassifier
+from ..ml.preprocess import MinMaxScaler, StandardScaler
+from ..ml.text import Vocabulary, tokenize
+from ..ml.utils import train_test_split
+from .base import Workload
+
+_VOCAB_SIZES = (300, 340)  # schema variant -> vocabulary cap
+_EMBED_DIMS = (24, 32)  # schema variant -> embedding width
+
+
+def _corpus_fn(table: Table, params: dict, rng) -> dict:
+    drop_top_k = int(params["drop_top_k"])
+    docs = [tokenize(str(text)) for text in table["text"]]
+    if drop_top_k > 0:
+        # Stopword removal: drop the k most frequent tokens in the corpus.
+        counts: dict[str, int] = {}
+        for doc in docs:
+            for token in doc:
+                counts[token] = counts.get(token, 0) + 1
+        stopwords = {
+            t for t, _ in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:drop_top_k]
+        }
+        docs = [[t for t in doc if t not in stopwords] for doc in docs]
+    vocab = Vocabulary(max_size=int(params["vocab_size"])).fit(docs)
+    encoded = [vocab.encode(doc) for doc in docs]
+    return {
+        "encoded_docs": encoded,
+        "labels": table["sentiment"].astype(np.int64),
+        "vocab_tokens": vocab.tokens(),
+    }
+
+
+def _embed_fn(payload: dict, params: dict, rng) -> dict:
+    vocab = Vocabulary.from_tokens(list(payload["vocab_tokens"]))
+    embedder = WordEmbedder(
+        dimensions=int(params["dimensions"]),
+        window=int(params["window"]),
+        seed=int(params["embed_seed"]),
+    ).fit(payload["encoded_docs"], vocab)
+    X = embedder.embed_documents(payload["encoded_docs"])
+    return {"X": X, "y": payload["labels"]}
+
+
+def _prep_fn(payload: dict, params: dict, rng) -> dict:
+    scaler = StandardScaler() if params["scaler"] == "standard" else MinMaxScaler()
+    X = scaler.fit_transform(payload["X"]) * float(params.get("rescale", 1.0))
+    if params["quadratic_features"]:
+        # Schema-variant 1 doubles the width with squared features — an
+        # output-schema change the downstream model must adapt to.
+        X = np.hstack([X, X**2])
+    return {"X": X, "y": payload["y"]}
+
+
+def _model_fn(payload: dict, params: dict, rng) -> dict:
+    X, y = payload["X"], payload["y"]
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_fraction=0.3, seed=int(params["split_seed"])
+    )
+    model = MLPClassifier(
+        hidden_sizes=tuple(params["hidden_sizes"]),
+        n_epochs=int(params["n_epochs"]),
+        seed=int(params["model_seed"]),
+    ).fit(X_train, y_train)
+    predictions = model.predict(X_test)
+    proba = model.predict_proba(X_test)[:, 1]
+    return {
+        "metrics": {
+            "accuracy": accuracy(y_test, predictions),
+            "auc": roc_auc(y_test, proba),
+        },
+        "params": model.get_params(),
+    }
+
+
+class SentimentWorkload(Workload):
+    """Embedding-dominated movie-review sentiment pipeline."""
+
+    stage_names = ("corpus", "embed", "prep", "model")
+    schema_stage_name = "prep"
+    clean_stage_name = "corpus"
+    metric = "accuracy"
+
+    @property
+    def name(self) -> str:
+        return "sa"
+
+    def make_dataset(self, day: int = 0) -> DatasetComponent:
+        n = self.scaled(400)
+        seed = self.seed
+
+        def loader(rng, _n=n, _seed=seed, _day=day):
+            return make_reviews(n_docs=_n, doc_len=40, seed=_seed, day=_day)
+
+        return DatasetComponent(
+            name=f"{self.name}.dataset",
+            version=SemVer("master", 0, day),
+            loader=loader,
+            output_schema=self.schema_tag("dataset", 0),
+            content_key=f"day{day}",
+            description="synthetic labelled movie reviews",
+        )
+
+    def _build(self, stage, idx, out_variant, in_variant):
+        # Version quality trends upward: more stopword hygiene, wider
+        # co-occurrence windows, more training epochs.
+        if stage == "corpus":
+            params = {
+                "idx": idx,
+                "vocab_size": _VOCAB_SIZES[min(out_variant, len(_VOCAB_SIZES) - 1)],
+                "drop_top_k": 2 * idx,
+            }
+            return _corpus_fn, params, False
+        if stage == "embed":
+            params = {
+                "idx": idx,
+                "dimensions": _EMBED_DIMS[min(out_variant, len(_EMBED_DIMS) - 1)],
+                "window": 3 + min(idx, 3),
+                # per-version SVD restart: keeps post-saturation versions
+                # from byte-aliasing while quality stays window-driven
+                "embed_seed": self.seed + idx,
+            }
+            return _embed_fn, params, False
+        if stage == "prep":
+            params = {
+                "idx": idx,
+                "scaler": "standard" if idx % 2 == 0 else "minmax",
+                "quadratic_features": out_variant >= 1,
+                "rescale": 1.0 + 1e-9 * idx,  # distinct bytes per version
+            }
+            return _prep_fn, params, False
+        if stage == "model":
+            # Quality ladder peaking at idx 3 (see readmission.py).
+            hidden_ladder = [[16], [24], [32], [48], [40]]
+            epoch_ladder = [12, 16, 20, 28, 24]
+            step = min(idx, 4)
+            params = {
+                "idx": idx,
+                "hidden_sizes": hidden_ladder[step],
+                "n_epochs": epoch_ladder[step] + 2 * max(idx - 4, 0),
+                "split_seed": 13,
+                "model_seed": self.seed,
+            }
+            return _model_fn, params, True
+        raise ValueError(f"unknown stage {stage!r}")

@@ -1,0 +1,134 @@
+"""Baseline tracking-system tests: the policy differences of section VII-B."""
+
+import pytest
+
+from repro.baselines import ALL_SYSTEMS, MLCaskLinear, MLflowSim, ModelDBSim
+from repro.workloads import ALL_WORKLOADS, linear_script
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ALL_WORKLOADS["readmission"](scale=0.3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def steps(workload):
+    return linear_script(workload, n_iterations=8, seed=0)
+
+
+def run_system(cls, workload, steps):
+    system = cls(workload, seed=1)
+    for step in steps:
+        system.run_iteration(step.iteration, step.updates)
+    return system
+
+
+class TestModelDB:
+    def test_reruns_everything_each_iteration(self, workload, steps):
+        system = run_system(ModelDBSim, workload, steps)
+        n_stages = workload.spec.n_stages
+        for record in system.records[:-1]:  # last one fails mid-pipeline
+            assert record.n_executed == n_stages
+            assert record.n_reused == 0
+
+    def test_final_iteration_fails_at_runtime(self, workload, steps):
+        system = run_system(ModelDBSim, workload, steps)
+        final = system.records[-1]
+        assert final.failed
+        assert not final.skipped_incompatible
+        assert final.total_seconds > 0  # wasted work before the failure
+
+    def test_storage_equals_logical(self, workload, steps):
+        system = run_system(ModelDBSim, workload, steps)
+        assert (
+            system.output_store.stats.physical_bytes
+            == system.output_store.stats.logical_bytes
+        )
+
+
+class TestMLflow:
+    def test_reuses_unchanged_components(self, workload, steps):
+        system = run_system(MLflowSim, workload, steps)
+        reused = sum(r.n_reused for r in system.records[1:])
+        assert reused > 0
+
+    def test_model_only_update_reruns_one_stage(self, workload):
+        system = MLflowSim(workload, seed=1)
+        system.run_iteration(1, {})
+        record = system.run_iteration(
+            2, {workload.model_stage: workload.model_version(1)}
+        )
+        assert record.n_executed == 1
+        assert record.n_reused == workload.spec.n_stages - 1
+
+    def test_fails_at_runtime_like_modeldb(self, workload, steps):
+        system = run_system(MLflowSim, workload, steps)
+        assert system.records[-1].failed
+
+
+class TestMLCaskLinear:
+    def test_skips_incompatible_statically(self, workload, steps):
+        system = run_system(MLCaskLinear, workload, steps)
+        final = system.records[-1]
+        assert final.skipped_incompatible
+        assert not final.failed
+        # no pipeline component ran: only the (tiny) library archive cost
+        assert final.preprocessing_seconds == 0.0
+        assert final.training_seconds == 0.0
+
+    def test_library_dedup(self, workload, steps):
+        mlcask = run_system(MLCaskLinear, workload, steps)
+        mlflow = run_system(MLflowSim, workload, steps)
+        assert (
+            mlcask.library_objects.stats.physical_bytes
+            < mlflow.library_store.stats.physical_bytes
+        )
+
+
+class TestCrossSystemShapes:
+    """The Fig. 5 / Fig. 7 orderings, asserted as invariants."""
+
+    @pytest.fixture(scope="class")
+    def systems(self, workload, steps):
+        return {
+            name: run_system(cls, workload, steps)
+            for name, cls in ALL_SYSTEMS.items()
+        }
+
+    def test_modeldb_executes_most(self, systems):
+        """Deterministic form of the Fig. 5 ordering: ModelDB executes
+        strictly more components than the reuse-enabled systems (wall
+        clock at this tiny scale is too noisy to compare directly)."""
+        executed = {
+            n: sum(r.n_executed for r in s.records) for n, s in systems.items()
+        }
+        assert executed["modeldb"] > executed["mlflow"]
+        assert executed["modeldb"] > executed["mlcask"]
+
+    def test_modeldb_compute_time_highest(self, systems):
+        compute = {
+            n: sum(r.preprocessing_seconds + r.training_seconds for r in s.records)
+            for n, s in systems.items()
+        }
+        assert compute["modeldb"] > 0.9 * compute["mlflow"]
+        assert compute["modeldb"] > 0.9 * compute["mlcask"]
+
+    def test_modeldb_most_storage(self, systems):
+        storage = {n: s.cumulative_bytes[-1] for n, s in systems.items()}
+        assert storage["modeldb"] > storage["mlflow"] > storage["mlcask"]
+
+    def test_cumulative_series_monotone(self, systems):
+        for system in systems.values():
+            seconds = system.cumulative_seconds
+            assert all(b >= a for a, b in zip(seconds, seconds[1:]))
+            sizes = system.cumulative_bytes
+            assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_same_scores_where_runs_succeed(self, systems):
+        """All systems run the same components on the same data, so the
+        measured model quality must agree iteration by iteration."""
+        modeldb = systems["modeldb"].records
+        mlflow = systems["mlflow"].records
+        for a, b in zip(modeldb, mlflow):
+            if not a.failed and not b.failed:
+                assert a.score == b.score

@@ -1,0 +1,7 @@
+"""Shared pytest configuration."""
+
+import os
+import sys
+
+# Make tests/helpers.py importable as `helpers` from any test module.
+sys.path.insert(0, os.path.dirname(__file__))

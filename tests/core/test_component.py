@@ -1,0 +1,150 @@
+"""Component and metafile tests (Definitions 3-4, section III)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DatasetComponent, LibraryComponent, SemVer
+from repro.core.component import ANY_SCHEMA
+from repro.core.metafile import DatasetMetafile, LibraryMetafile, PipelineMetafile
+from repro.errors import ComponentError
+
+from helpers import toy_clean, toy_dataset, toy_extract, toy_model
+
+
+class TestDatasetComponent:
+    def test_materialize(self):
+        ds = toy_dataset()
+        table = ds.materialize(np.random.default_rng(0))
+        assert table.n_rows == 40
+
+    def test_requires_loader(self):
+        with pytest.raises(ComponentError):
+            DatasetComponent(
+                name="d", version=SemVer(), loader=None, output_schema="x"
+            )
+
+    def test_requires_schema(self):
+        with pytest.raises(ComponentError):
+            DatasetComponent(
+                name="d", version=SemVer(), loader=lambda rng: None, output_schema=""
+            )
+
+    def test_fingerprint_depends_on_content_key(self):
+        assert toy_dataset(day=0).fingerprint != toy_dataset(day=1).fingerprint
+
+    def test_identifier_format(self):
+        assert toy_dataset().identifier == "toy.dataset@master@0.0"
+
+    def test_display_paper_notation(self):
+        assert toy_model(1, 0.5).display == "<toy.model, 0.1>"
+
+    def test_metafile(self):
+        meta = toy_dataset().metafile()
+        assert isinstance(meta, DatasetMetafile)
+        assert meta.schema_hash == "toy/raw_v0"
+
+
+class TestLibraryComponent:
+    def test_accepts_matching_schema(self):
+        model = toy_model(0, 0.5, in_variant=0)
+        assert model.accepts("toy/feat_v0")
+        assert not model.accepts("toy/feat_v1")
+
+    def test_wildcard_accepts_anything(self):
+        lib = LibraryComponent(
+            name="any", version=SemVer(), fn=lambda p, params, rng: p,
+            input_schema=ANY_SCHEMA, output_schema="out",
+        )
+        assert lib.accepts("whatever")
+
+    def test_model_must_return_metrics(self):
+        bad = LibraryComponent(
+            name="bad", version=SemVer(), fn=lambda p, params, rng: {"oops": 1},
+            output_schema="m", is_model=True,
+        )
+        with pytest.raises(ComponentError):
+            bad.run(None, np.random.default_rng(0))
+
+    def test_non_model_any_payload(self):
+        lib = toy_clean(0)
+        table = toy_dataset().materialize(np.random.default_rng(0))
+        out = lib.run(table, np.random.default_rng(0))
+        assert out.n_rows == table.n_rows
+
+    def test_fingerprint_differs_by_params(self):
+        assert toy_clean(0).fingerprint != toy_clean(1).fingerprint
+
+    def test_fingerprint_differs_by_version(self):
+        a = toy_model(0, 0.5)
+        b = LibraryComponent(
+            name=a.name, version=SemVer("master", 0, 9), fn=a.fn,
+            params=a.params, input_schema=a.input_schema,
+            output_schema=a.output_schema, is_model=True,
+        )
+        assert a.fingerprint != b.fingerprint
+
+    def test_fingerprint_stable(self):
+        assert toy_model(0, 0.5).fingerprint == toy_model(0, 0.5).fingerprint
+
+    def test_requires_fn_and_schema(self):
+        with pytest.raises(ComponentError):
+            LibraryComponent(name="x", version=SemVer(), fn=None, output_schema="y")
+        with pytest.raises(ComponentError):
+            LibraryComponent(
+                name="x", version=SemVer(), fn=lambda p, params, rng: p, output_schema=""
+            )
+
+
+class TestEvolved:
+    def test_increment_bump_default(self):
+        base = toy_clean(0)
+        nxt = base.evolved(params={"idx": 1, "shift": 0.5})
+        assert nxt.version == SemVer("master", 0, 1)
+        assert nxt.params["shift"] == 0.5
+
+    def test_schema_change_bumps_schema(self):
+        base = toy_extract(0)
+        nxt = base.evolved(schema_changed=True, output_schema="toy/feat_v1")
+        assert nxt.version == SemVer("master", 1, 0)
+        assert nxt.output_schema == "toy/feat_v1"
+
+    def test_branch_transfer(self):
+        nxt = toy_clean(0).evolved(branch="dev")
+        assert nxt.version.branch == "dev"
+
+    def test_explicit_version_wins(self):
+        nxt = toy_clean(0).evolved(version=SemVer("dev", 2, 7))
+        assert nxt.version == SemVer("dev", 2, 7)
+
+
+class TestMetafiles:
+    def test_library_metafile_roundtrip(self):
+        meta = LibraryMetafile(
+            name="lib", entry_point="run", input_schema="a", output_schema="b",
+            hyperparameters={"lr": "0.1"},
+        )
+        assert LibraryMetafile.from_bytes(meta.to_bytes()) == meta
+
+    def test_dataset_metafile_roundtrip(self):
+        meta = DatasetMetafile(name="ds", schema_hash="abc", n_rows=10)
+        assert DatasetMetafile.from_bytes(meta.to_bytes()) == meta
+
+    def test_pipeline_metafile_roundtrip(self):
+        meta = PipelineMetafile(
+            name="p", entry_point="dataset", stage_order=("dataset", "model"),
+            components={"dataset": "d@master@0.0"}, outputs={"dataset": "ref"},
+        )
+        restored = PipelineMetafile.from_bytes(meta.to_bytes())
+        assert restored.stage_order == meta.stage_order
+        assert restored.components == meta.components
+
+    def test_metafile_bytes_deterministic(self):
+        meta = LibraryMetafile(
+            name="lib", entry_point="run", input_schema="a", output_schema="b"
+        )
+        assert meta.to_bytes() == meta.to_bytes()
+
+    def test_library_metafile_from_component(self):
+        meta = toy_model(2, 0.7, in_variant=1).metafile()
+        assert meta.input_schema == "toy/feat_v1"
+        assert meta.hyperparameters["quality"] == "0.7"

@@ -1,0 +1,127 @@
+"""Diff/log/retrospection tests."""
+
+import pytest
+
+from repro.core.diff import (
+    ComponentDelta,
+    attribute_improvement,
+    diff_commits,
+    render_diff,
+    render_log,
+)
+from repro.errors import RepositoryError
+
+from helpers import build_fig3_history, fresh_toy_repo, toy_clean, toy_model
+
+
+class TestDiffCommits:
+    def test_unchanged_detected(self):
+        repo = fresh_toy_repo()
+        head = repo.head_commit("toy")
+        deltas = diff_commits(head, head)
+        assert all(d.kind == "unchanged" for d in deltas)
+
+    def test_single_update(self):
+        repo = fresh_toy_repo()
+        old = repo.head_commit("toy")
+        new, _ = repo.commit("toy", {"model": toy_model(1, 0.6)})
+        deltas = {d.stage: d for d in diff_commits(old, new)}
+        assert deltas["model"].kind == "updated"
+        assert deltas["model"].old.endswith("0.0")
+        assert deltas["model"].new.endswith("0.1")
+        assert deltas["clean"].kind == "unchanged"
+
+    def test_schema_change_flagged(self):
+        repo = build_fig3_history()
+        ancestor = repo.graph.get(
+            repo.graph.common_ancestor(
+                repo.head_commit("toy", "master").commit_id,
+                repo.head_commit("toy", "dev").commit_id,
+            ).commit_id
+        )
+        dev_tip = repo.head_commit("toy", "dev")
+        deltas = {d.stage: d for d in diff_commits(ancestor, dev_tip)}
+        assert deltas["extract"].schema_changed  # 0.0 -> 1.0
+        assert not deltas["model"].schema_changed  # 0.0 -> 0.3 increments
+
+    def test_render_markers(self):
+        delta = ComponentDelta(stage="s", kind="updated", old="a", new="b")
+        assert delta.render().startswith("~")
+        assert ComponentDelta(stage="s", kind="added", new="b").render().startswith("+")
+        assert ComponentDelta(stage="s", kind="removed", old="a").render().startswith("-")
+
+
+class TestRepoDiffAndLog:
+    def test_diff_by_branch_names(self):
+        repo = build_fig3_history()
+        text = repo.diff("toy", "master", "dev")
+        assert "extract" in text
+        assert "score" in text
+
+    def test_diff_by_commit_prefix(self):
+        repo = fresh_toy_repo()
+        old = repo.head_commit("toy")
+        repo.commit("toy", {"model": toy_model(1, 0.9)})
+        text = repo.diff("toy", old.commit_id[:10], "master")
+        assert "0.0 ->" not in text or "model" in text
+
+    def test_diff_by_label(self):
+        repo = build_fig3_history()
+        text = repo.diff("toy", "master.0.0", "dev.0.2")
+        assert "dev.0.2" in text.splitlines()[0] or "diff" in text
+
+    def test_unresolvable_ref(self):
+        repo = fresh_toy_repo()
+        with pytest.raises(RepositoryError):
+            repo.diff("toy", "nope", "master")
+
+    def test_log_newest_first(self):
+        repo = build_fig3_history()
+        lines = repo.log("toy", "dev").splitlines()
+        assert lines[0].startswith("dev.0.2")
+        assert "master.0.0" in lines[-2] + lines[-1]
+
+    def test_log_marks_merges(self):
+        repo = build_fig3_history()
+        repo.merge("toy", "master", "dev")
+        assert "(merge)" in repo.log("toy", "master")
+
+
+class TestRetrospection:
+    def test_best_commit_on_branch(self):
+        repo = build_fig3_history()
+        best = repo.best_commit("toy", "dev")
+        assert best.label == "dev.0.2"  # quality 0.8
+
+    def test_best_commit_across_branches(self):
+        repo = build_fig3_history()
+        best = repo.best_commit("toy")
+        assert best.score == 0.8
+
+    def test_best_commit_no_scores(self):
+        from repro.core import MLCask
+        from helpers import TOY_SPEC, toy_initial_components
+
+        repo = MLCask()
+        repo.create_pipeline(TOY_SPEC, toy_initial_components(), run=False)
+        with pytest.raises(RepositoryError):
+            repo.best_commit("toy")
+
+    def test_attribute_improvement(self):
+        repo = fresh_toy_repo(model_quality=0.5)
+        repo.commit("toy", {"model": toy_model(1, 0.7)})  # +0.2 to model
+        repo.commit("toy", {"clean": toy_clean(1)})  # clean: same quality
+        contributions = repo.improvement_by_stage("toy")
+        assert contributions["model"] == pytest.approx(0.2)
+        assert contributions.get("clean", 0.0) == pytest.approx(0.0)
+
+    def test_attribute_skips_multi_stage_commits(self):
+        commits = build_fig3_history().history("toy", "dev")
+        contributions = attribute_improvement(commits)
+        # dev.0.1 changed two stages at once -> not attributed
+        assert "extract" not in contributions
+
+    def test_render_log_standalone(self):
+        repo = build_fig3_history()
+        text = render_log(repo.history("toy", "dev"))
+        assert "dev.0.1" in text

@@ -1,0 +1,115 @@
+"""Cross-pipeline sharing: one repo, many pipelines, shared components.
+
+Paper section III: "Considering that a single dataset or library may be
+used by multiple pipelines, we design a dataset repository and a library
+repository to store different versions of datasets and libraries
+respectively, which are shared by all the pipelines in order to reduce
+storage costs."
+"""
+
+import pytest
+
+from repro.core import MLCask, PipelineSpec
+
+from helpers import toy_clean, toy_dataset, toy_extract, toy_model
+
+
+def two_pipeline_repo():
+    """Two pipelines sharing the dataset and cleaning components."""
+    repo = MLCask(metric="accuracy", seed=0)
+    shared_dataset = toy_dataset()
+    shared_clean = toy_clean(0)
+
+    spec_a = PipelineSpec.chain("task-a", ["dataset", "clean", "extract", "model"])
+    repo.create_pipeline(spec_a, {
+        "dataset": shared_dataset,
+        "clean": shared_clean,
+        "extract": toy_extract(0),
+        "model": toy_model(0, 0.6),
+    })
+
+    spec_b = PipelineSpec.chain("task-b", ["dataset", "clean", "extract", "model"])
+    repo.create_pipeline(spec_b, {
+        "dataset": shared_dataset,
+        "clean": shared_clean,
+        "extract": toy_extract(1),  # different feature extraction
+        "model": toy_model(1, 0.7),
+    })
+    return repo
+
+
+class TestSharedComponents:
+    def test_second_pipeline_reuses_shared_prefix(self):
+        """task-b's dataset and clean stages are checkpoint hits from
+        task-a's run — cross-pipeline reuse via content addressing."""
+        repo = MLCask(metric="accuracy", seed=0)
+        shared_dataset = toy_dataset()
+        shared_clean = toy_clean(0)
+        spec_a = PipelineSpec.chain("task-a", ["dataset", "clean", "extract", "model"])
+        repo.create_pipeline(spec_a, {
+            "dataset": shared_dataset, "clean": shared_clean,
+            "extract": toy_extract(0), "model": toy_model(0, 0.6),
+        })
+        spec_b = PipelineSpec.chain("task-b", ["dataset", "clean", "extract", "model"])
+        _, report = repo.create_pipeline(spec_b, {
+            "dataset": shared_dataset, "clean": shared_clean,
+            "extract": toy_extract(1), "model": toy_model(1, 0.7),
+        })
+        assert report.stage("dataset").reused
+        assert report.stage("clean").reused
+        assert report.stage("extract").executed
+
+    def test_both_pipelines_tracked_independently(self):
+        repo = two_pipeline_repo()
+        assert repo.head_commit("task-a").pipeline == "task-a"
+        assert repo.head_commit("task-b").pipeline == "task-b"
+        assert repo.head_commit("task-a").score == 0.6
+        assert repo.head_commit("task-b").score == 0.7
+
+    def test_branches_are_per_pipeline(self):
+        repo = two_pipeline_repo()
+        repo.branch("task-a", "dev")
+        assert repo.branches.has_branch("task-a", "dev")
+        assert not repo.branches.has_branch("task-b", "dev")
+
+    def test_library_repo_shared(self):
+        """The shared clean library is stored once; both pipelines'
+        metafiles reference it."""
+        repo = two_pipeline_repo()
+        assert repo.library_repo.contains("toy.clean")
+        # both task metafiles exist in the shared pipeline repository
+        assert repo.pipeline_repo.contains("task-a")
+        assert repo.pipeline_repo.contains("task-b")
+
+    def test_commit_one_pipeline_leaves_other_untouched(self):
+        repo = two_pipeline_repo()
+        head_b = repo.head_commit("task-b").commit_id
+        repo.commit("task-a", {"model": toy_model(2, 0.8)})
+        assert repo.head_commit("task-b").commit_id == head_b
+        assert repo.head_commit("task-a").score == 0.8
+
+    def test_merge_scoped_to_one_pipeline(self):
+        repo = two_pipeline_repo()
+        repo.branch("task-a", "dev")
+        repo.commit("task-a", {"model": toy_model(2, 0.9)}, branch="dev")
+        outcome = repo.merge("task-a", "master", "dev")
+        assert outcome.commit.pipeline == "task-a"
+        assert outcome.commit.score == 0.9
+
+    def test_dataset_update_invalidates_both_pipelines_downstream(self):
+        """A new dataset day forces re-execution in both pipelines (new
+        content), while the old day's outputs stay archived."""
+        repo = two_pipeline_repo()
+        new_day = toy_dataset(day=1)
+        _, report_a = repo.commit("task-a", {"dataset": new_day})
+        assert report_a.n_executed == 4  # everything downstream re-ran
+        _, report_b = repo.commit("task-b", {"dataset": new_day})
+        # dataset + clean were just recomputed by task-a's run: reused here
+        assert report_b.stage("dataset").reused
+        assert report_b.stage("clean").reused
+
+    def test_history_graphs_disjoint(self):
+        repo = two_pipeline_repo()
+        a_commits = {c.commit_id for c in repo.history("task-a")}
+        b_commits = {c.commit_id for c in repo.history("task-b")}
+        assert a_commits.isdisjoint(b_commits)

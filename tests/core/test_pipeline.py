@@ -1,0 +1,115 @@
+"""PipelineSpec / PipelineInstance tests (Definitions 1-2)."""
+
+import pytest
+
+from repro.core import PipelineInstance, PipelineSpec
+from repro.errors import IncompatibleComponentsError, PipelineError
+
+from helpers import TOY_SPEC, toy_clean, toy_dataset, toy_extract, toy_initial_components, toy_model
+
+
+class TestSpec:
+    def test_chain_edges(self):
+        spec = PipelineSpec.chain("p", ["a", "b", "c"])
+        assert spec.edges == (("a", "b"), ("b", "c"))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(PipelineError):
+            PipelineSpec.chain("p", ["only"])
+
+    def test_rejects_duplicate_stages(self):
+        with pytest.raises(PipelineError):
+            PipelineSpec.chain("p", ["a", "a"])
+
+    def test_rejects_dangling_edges(self):
+        with pytest.raises(PipelineError):
+            PipelineSpec(name="p", stages=("a", "b"), edges=(("a", "zz"),))
+
+    def test_rejects_cycle(self):
+        with pytest.raises(PipelineError):
+            PipelineSpec(
+                name="p", stages=("a", "b"), edges=(("a", "b"), ("b", "a"))
+            )
+
+    def test_pre_suc_definitions(self):
+        spec = PipelineSpec.chain("p", ["a", "b", "c"])
+        assert spec.predecessors("b") == ["a"]
+        assert spec.successors("b") == ["c"]
+        assert spec.predecessors("a") == []
+        assert spec.successors("c") == []
+
+    def test_sources_sinks(self):
+        spec = PipelineSpec.chain("p", ["a", "b", "c"])
+        assert spec.sources() == ["a"]
+        assert spec.sinks() == ["c"]
+
+    def test_topological_order_chain(self):
+        assert TOY_SPEC.topological_order() == ["dataset", "clean", "extract", "model"]
+
+    def test_dag_with_fanin(self):
+        spec = PipelineSpec(
+            name="dag",
+            stages=("src", "left", "right", "join"),
+            edges=(("src", "left"), ("src", "right"), ("left", "join"), ("right", "join")),
+        )
+        order = spec.topological_order()
+        assert order.index("src") == 0
+        assert order.index("join") == 3
+
+    def test_n_stages(self):
+        assert TOY_SPEC.n_stages == 4
+
+
+class TestInstance:
+    def test_valid_instance(self):
+        inst = PipelineInstance(spec=TOY_SPEC, components=toy_initial_components())
+        inst.validate_compatibility()
+        assert inst.is_compatible()
+
+    def test_missing_stage_rejected(self):
+        components = toy_initial_components()
+        del components["model"]
+        with pytest.raises(PipelineError):
+            PipelineInstance(spec=TOY_SPEC, components=components)
+
+    def test_extra_stage_rejected(self):
+        components = toy_initial_components()
+        components["ghost"] = toy_clean(0)
+        with pytest.raises(PipelineError):
+            PipelineInstance(spec=TOY_SPEC, components=components)
+
+    def test_source_must_be_dataset(self):
+        components = toy_initial_components()
+        components["dataset"] = toy_clean(0)
+        with pytest.raises(PipelineError):
+            PipelineInstance(spec=TOY_SPEC, components=components)
+
+    def test_nonsource_must_be_library(self):
+        components = toy_initial_components()
+        components["clean"] = toy_dataset()
+        with pytest.raises(PipelineError):
+            PipelineInstance(spec=TOY_SPEC, components=components)
+
+    def test_incompatible_detected(self):
+        components = toy_initial_components()
+        # extract 1.0 emits feat_v1; model 0.0 expects feat_v0
+        components["extract"] = toy_extract(0, variant=1)
+        inst = PipelineInstance(spec=TOY_SPEC, components=components)
+        assert not inst.is_compatible()
+        with pytest.raises(IncompatibleComponentsError):
+            inst.validate_compatibility()
+
+    def test_with_updates_immutable(self):
+        inst = PipelineInstance(spec=TOY_SPEC, components=toy_initial_components())
+        updated = inst.with_updates({"model": toy_model(1, 0.9)})
+        assert inst.component("model").version.increment == 0
+        assert updated.component("model").version.increment == 1
+
+    def test_signature_changes_with_any_component(self):
+        inst = PipelineInstance(spec=TOY_SPEC, components=toy_initial_components())
+        updated = inst.with_updates({"clean": toy_clean(1)})
+        assert inst.signature() != updated.signature()
+
+    def test_describe_contains_paper_notation(self):
+        inst = PipelineInstance(spec=TOY_SPEC, components=toy_initial_components())
+        assert "<toy.model, 0.0>" in inst.describe()

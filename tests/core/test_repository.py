@@ -1,0 +1,185 @@
+"""MLCask repository tests: commits, branching, fast-forward merge."""
+
+import pytest
+
+from repro.core import MLCask, SemVer
+from repro.errors import (
+    BranchNotFoundError,
+    IncompatibleComponentsError,
+    RepositoryError,
+)
+
+from helpers import (
+    TOY_SPEC,
+    build_fig3_history,
+    fresh_toy_repo,
+    toy_clean,
+    toy_extract,
+    toy_initial_components,
+    toy_model,
+)
+
+
+class TestCreatePipeline:
+    def test_initial_commit_is_master_0_0(self):
+        repo = fresh_toy_repo()
+        head = repo.head_commit("toy")
+        assert head.label == "master.0.0"
+        assert head.parents == ()
+        assert head.score == 0.5
+
+    def test_duplicate_pipeline_rejected(self):
+        repo = fresh_toy_repo()
+        with pytest.raises(RepositoryError):
+            repo.create_pipeline(TOY_SPEC, toy_initial_components())
+
+    def test_incompatible_initial_rejected(self):
+        repo = MLCask()
+        components = toy_initial_components()
+        components["extract"] = toy_extract(0, variant=1)
+        with pytest.raises(IncompatibleComponentsError):
+            repo.create_pipeline(TOY_SPEC, components)
+
+    def test_components_registered(self):
+        repo = fresh_toy_repo()
+        assert "toy.model@master@0.0" in repo.registry
+        assert len(repo.registry.versions_of("toy.model")) == 1
+
+    def test_metafiles_written(self):
+        repo = fresh_toy_repo()
+        assert repo.library_repo.contains("toy.model")
+        assert repo.dataset_repo.contains("toy.dataset")
+        assert repo.pipeline_repo.contains("toy")
+
+
+class TestCommit:
+    def test_version_increments_on_branch(self):
+        repo = fresh_toy_repo()
+        c1, _ = repo.commit("toy", {"model": toy_model(1, 0.6)})
+        c2, _ = repo.commit("toy", {"model": toy_model(2, 0.7)})
+        assert c1.label == "master.0.1"
+        assert c2.label == "master.0.2"
+
+    def test_parent_linkage(self):
+        repo = fresh_toy_repo()
+        root = repo.head_commit("toy")
+        c1, _ = repo.commit("toy", {"model": toy_model(1, 0.6)})
+        assert c1.parents == (root.commit_id,)
+
+    def test_run_reuses_checkpoints(self):
+        repo = fresh_toy_repo()
+        _, report = repo.commit("toy", {"model": toy_model(1, 0.9)})
+        assert report.n_reused == 3
+        assert report.n_executed == 1
+
+    def test_incompatible_commit_rejected_statically(self):
+        """MLCask validates before running (the flat final iteration in
+        Fig. 5)."""
+        repo = fresh_toy_repo()
+        with pytest.raises(IncompatibleComponentsError):
+            repo.commit("toy", {"extract": toy_extract(1, variant=1)})
+
+    def test_validate_false_allows_failing_run(self):
+        repo = fresh_toy_repo()
+        commit, report = repo.commit(
+            "toy", {"extract": toy_extract(1, variant=1)}, validate=False
+        )
+        assert report.failed
+
+    def test_unknown_pipeline(self):
+        repo = MLCask()
+        with pytest.raises(RepositoryError):
+            repo.commit("ghost", {})
+
+    def test_score_recorded(self):
+        repo = fresh_toy_repo()
+        commit, _ = repo.commit("toy", {"model": toy_model(1, 0.81)})
+        assert commit.score == 0.81
+        assert commit.metrics["accuracy"] == 0.81
+
+
+class TestBranching:
+    def test_branch_points_at_source_head(self):
+        repo = fresh_toy_repo()
+        base = repo.branch("toy", "dev")
+        assert base.commit_id == repo.head_commit("toy", "master").commit_id
+        assert repo.head_commit("toy", "dev").commit_id == base.commit_id
+
+    def test_branch_numbering_restarts(self):
+        """First commit on a new branch is <branch>.0.0 (Fig. 3)."""
+        repo = fresh_toy_repo()
+        repo.branch("toy", "Frank-dev")
+        c, _ = repo.commit("toy", {"model": toy_model(1, 0.6)}, branch="Frank-dev")
+        assert c.label == "Frank-dev.0.0"
+
+    def test_branches_isolated(self):
+        repo = fresh_toy_repo()
+        repo.branch("toy", "dev")
+        repo.commit("toy", {"model": toy_model(1, 0.6)}, branch="dev")
+        assert repo.head_commit("toy", "master").label == "master.0.0"
+        assert repo.head_commit("toy", "dev").label == "dev.0.0"
+
+    def test_duplicate_branch_rejected(self):
+        repo = fresh_toy_repo()
+        repo.branch("toy", "dev")
+        with pytest.raises(RepositoryError):
+            repo.branch("toy", "dev")
+
+    def test_missing_branch(self):
+        repo = fresh_toy_repo()
+        with pytest.raises(BranchNotFoundError):
+            repo.head_commit("toy", "ghost")
+
+    def test_history_ordering(self):
+        repo = build_fig3_history()
+        labels = [c.label for c in repo.history("toy", "dev")]
+        assert labels == ["master.0.0", "dev.0.0", "dev.0.1", "dev.0.2"]
+
+
+class TestFastForwardMerge:
+    def test_fig2_fast_forward(self):
+        """Fig. 2: no commits on master after the fork -> fast-forward:
+        duplicate the MERGE_HEAD tip, new commit on HEAD, both parents."""
+        repo = fresh_toy_repo()
+        repo.branch("toy", "dev")
+        repo.commit("toy", {"model": toy_model(1, 0.6)}, branch="dev")
+        repo.commit(
+            "toy",
+            {"extract": toy_extract(0, variant=1), "model": toy_model(2, 0.7, in_variant=1)},
+            branch="dev",
+        )
+        dev_tip = repo.head_commit("toy", "dev")
+        master_tip = repo.head_commit("toy", "master")
+
+        outcome = repo.merge("toy", "master", "dev")
+        assert outcome.fast_forward
+        merged = outcome.commit
+        assert merged.label == "master.0.1"
+        assert merged.branch == "master"
+        assert set(merged.parents) == {dev_tip.commit_id, master_tip.commit_id}
+        assert merged.component_versions == dev_tip.component_versions
+        assert merged.score == dev_tip.score
+        assert repo.head_commit("toy", "master").commit_id == merged.commit_id
+
+    def test_fast_forward_costs_no_execution(self):
+        repo = fresh_toy_repo()
+        repo.branch("toy", "dev")
+        repo.commit("toy", {"model": toy_model(1, 0.6)}, branch="dev")
+        checkpoints_before = len(repo.checkpoints)
+        outcome = repo.merge("toy", "master", "dev")
+        assert outcome.fast_forward
+        assert len(repo.checkpoints) == checkpoints_before
+
+    def test_instance_for_roundtrip(self):
+        repo = build_fig3_history()
+        head = repo.head_commit("toy", "dev")
+        instance = repo.instance_for(head)
+        assert instance.component("model").identifier == head.component_at("model")
+
+
+class TestStorageStats:
+    def test_combined_counters(self):
+        repo = fresh_toy_repo()
+        stats = repo.storage_stats()
+        assert stats.logical_bytes > 0
+        assert stats.physical_bytes > 0

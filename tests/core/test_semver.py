@@ -1,0 +1,119 @@
+"""Semantic-version tests (paper section IV-B grammar and bump rules)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import SemVer
+from repro.core.semver import INITIAL_VERSION, MASTER
+from repro.errors import VersionError
+
+
+class TestConstruction:
+    def test_defaults_are_initial_library_version(self):
+        # "The initial version of a committed library is set to 0.0"
+        v = SemVer()
+        assert v.branch == MASTER
+        assert (v.schema, v.increment) == (0, 0)
+        assert v == INITIAL_VERSION
+
+    def test_rejects_negative_numbers(self):
+        with pytest.raises(VersionError):
+            SemVer("master", -1, 0)
+        with pytest.raises(VersionError):
+            SemVer("master", 0, -2)
+
+    def test_rejects_empty_branch(self):
+        with pytest.raises(VersionError):
+            SemVer("", 0, 0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SemVer().schema = 3  # type: ignore[misc]
+
+
+class TestRendering:
+    def test_master_shorthand(self):
+        # paper: components on master are simplified to <name, 0.1>
+        assert str(SemVer("master", 0, 1)) == "0.1"
+
+    def test_branch_explicit(self):
+        assert str(SemVer("dev", 1, 2)) == "dev@1.2"
+
+    def test_full_always_includes_branch(self):
+        assert SemVer("master", 0, 1).full == "master@0.1"
+
+    def test_dotted_pipeline_rendering(self):
+        # paper figures: master.0.2, Frank-dev.0.1
+        assert SemVer("master", 0, 2).dotted == "master.0.2"
+        assert SemVer("Frank-dev", 0, 1).dotted == "Frank-dev.0.1"
+
+    def test_number(self):
+        assert SemVer("dev", 1, 3).number == "1.3"
+
+
+class TestParsing:
+    def test_parse_with_branch(self):
+        v = SemVer.parse("dev@1.2")
+        assert (v.branch, v.schema, v.increment) == ("dev", 1, 2)
+
+    def test_parse_bare_defaults_to_master(self):
+        v = SemVer.parse("0.1")
+        assert (v.branch, v.schema, v.increment) == ("master", 0, 1)
+
+    def test_parse_dotted(self):
+        v = SemVer.parse_dotted("Frank-dev.0.2")
+        assert (v.branch, v.schema, v.increment) == ("Frank-dev", 0, 2)
+
+    @pytest.mark.parametrize("bad", ["", "1", "a@b.c", "1.2.3.4", "x@@1.2"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(VersionError):
+            SemVer.parse(bad)
+
+    def test_parse_dotted_rejects_two_part(self):
+        with pytest.raises(VersionError):
+            SemVer.parse_dotted("1.2")
+
+    def test_parse_roundtrip(self):
+        for v in (SemVer(), SemVer("dev", 3, 4), SemVer("Frank-dev", 0, 2)):
+            assert SemVer.parse(v.full) == v
+            assert SemVer.parse_dotted(v.dotted) == v
+
+
+class TestBumps:
+    def test_increment_bump(self):
+        # "Subsequent commits only affect the increment domain if schema
+        # is not changed"
+        assert SemVer("dev", 1, 2).bump_increment() == SemVer("dev", 1, 3)
+
+    def test_schema_bump_resets_increment(self):
+        assert SemVer("dev", 1, 5).bump_schema() == SemVer("dev", 2, 0)
+
+    def test_on_branch_keeps_numbers(self):
+        v = SemVer("dev", 1, 2).on_branch("master")
+        assert (v.branch, v.schema, v.increment) == ("master", 1, 2)
+
+    def test_newer_than_ignores_branch(self):
+        assert SemVer("a", 1, 0).newer_than(SemVer("b", 0, 9))
+        assert not SemVer("a", 0, 1).newer_than(SemVer("b", 0, 1))
+
+    def test_same_schema(self):
+        assert SemVer("a", 1, 0).same_schema(SemVer("b", 1, 7))
+        assert not SemVer("a", 1, 0).same_schema(SemVer("a", 2, 0))
+
+
+branch_names = st.from_regex(r"[A-Za-z0-9_\-]{1,12}", fullmatch=True)
+
+
+@given(branch_names, st.integers(0, 50), st.integers(0, 50))
+def test_parse_render_roundtrip_property(branch, schema, increment):
+    v = SemVer(branch, schema, increment)
+    assert SemVer.parse(v.full) == v
+    assert SemVer.parse_dotted(v.dotted) == v
+
+
+@given(branch_names, st.integers(0, 20), st.integers(0, 20))
+def test_bump_ordering_property(branch, schema, increment):
+    v = SemVer(branch, schema, increment)
+    assert v.bump_increment().newer_than(v)
+    assert v.bump_schema().newer_than(v)
+    assert v.bump_schema().newer_than(v.bump_increment())

@@ -1,0 +1,156 @@
+"""Payload serialization tests: roundtrips, determinism, corruption."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Table, payload_from_bytes, payload_to_bytes
+from repro.errors import StorageError
+
+
+ROUNDTRIP_CASES = [
+    None,
+    True,
+    False,
+    0,
+    -12345678901234567890,  # bigger than 64-bit
+    3.14159,
+    float("inf"),
+    "",
+    "unicode ✓ λ",
+    b"raw bytes",
+    [],
+    [1, "two", None, 3.0],
+    {"a": 1, "b": [2, 3]},
+    {"nested": {"deep": {"x": [1.5]}}},
+]
+
+
+@pytest.mark.parametrize("value", ROUNDTRIP_CASES, ids=repr)
+def test_scalar_roundtrips(value):
+    assert payload_from_bytes(payload_to_bytes(value)) == value
+
+
+class TestArrays:
+    def test_float_array(self):
+        arr = np.linspace(0, 1, 100).reshape(10, 10)
+        out = payload_from_bytes(payload_to_bytes(arr))
+        assert np.array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+    def test_int_array_dtype_preserved(self):
+        arr = np.arange(5, dtype=np.int32)
+        out = payload_from_bytes(payload_to_bytes(arr))
+        assert out.dtype == np.int32
+
+    def test_3d_array(self):
+        arr = np.random.default_rng(0).standard_normal((4, 5, 6))
+        assert np.array_equal(payload_from_bytes(payload_to_bytes(arr)), arr)
+
+    def test_empty_array(self):
+        arr = np.zeros((0, 3))
+        out = payload_from_bytes(payload_to_bytes(arr))
+        assert out.shape == (0, 3)
+
+    def test_object_string_array_with_none(self):
+        arr = np.array(["a", None, "c"], dtype=object)
+        out = payload_from_bytes(payload_to_bytes(arr))
+        assert list(out) == ["a", None, "c"]
+
+    def test_list_of_arrays(self):
+        seqs = [np.ones((3, 2)), np.zeros((5, 2))]
+        out = payload_from_bytes(payload_to_bytes(seqs))
+        assert len(out) == 2
+        assert np.array_equal(out[0], seqs[0])
+
+    def test_nan_preserved(self):
+        arr = np.array([1.0, np.nan])
+        out = payload_from_bytes(payload_to_bytes(arr))
+        assert np.isnan(out[1])
+
+
+class TestTables:
+    def test_table_roundtrip(self):
+        t = Table({
+            "x": np.array([1.0, 2.0]),
+            "s": np.array(["a", None], dtype=object),
+            "i": np.array([1, 2], dtype=np.int64),
+        })
+        out = payload_from_bytes(payload_to_bytes(t))
+        assert isinstance(out, Table)
+        assert out.equals(t)
+
+    def test_table_column_order_preserved(self):
+        t = Table({"b": [1], "a": [2]})
+        out = payload_from_bytes(payload_to_bytes(t))
+        assert out.column_names == ["b", "a"]
+
+
+class TestDeterminism:
+    def test_same_value_same_bytes(self):
+        value = {"X": np.arange(100.0), "meta": {"k": 1}}
+        assert payload_to_bytes(value) == payload_to_bytes(value)
+
+    def test_dict_insertion_order_matters(self):
+        # parameter dicts are ordered on purpose: different order is a
+        # different payload (and thus a different content address)
+        a = payload_to_bytes({"x": 1, "y": 2})
+        b = payload_to_bytes({"y": 2, "x": 1})
+        assert a != b
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(StorageError):
+            payload_from_bytes(b"XXXX" + payload_to_bytes(1)[4:])
+
+    def test_truncated(self):
+        data = payload_to_bytes({"a": np.arange(100.0)})
+        with pytest.raises(StorageError):
+            payload_from_bytes(data[:-10])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(StorageError):
+            payload_from_bytes(payload_to_bytes(1) + b"extra")
+
+    def test_non_string_dict_keys(self):
+        with pytest.raises(StorageError):
+            payload_to_bytes({1: "x"})
+
+    def test_unsupported_type(self):
+        with pytest.raises(StorageError):
+            payload_to_bytes(object())
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**70), 2**70)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=60)
+@given(json_like)
+def test_json_like_roundtrip_property(value):
+    restored = payload_from_bytes(payload_to_bytes(value))
+    # tuples come back as lists by design; normalize before comparing
+    assert restored == value
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(0, 3).flatmap(
+        lambda ndim: st.tuples(*([st.integers(1, 5)] * ndim))
+    )
+)
+def test_array_shape_roundtrip_property(shape):
+    arr = np.random.default_rng(1).standard_normal(shape)
+    out = payload_from_bytes(payload_to_bytes(arr))
+    assert out.shape == arr.shape
+    assert np.allclose(out, arr)

@@ -1,0 +1,156 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    make_digits,
+    make_dpm,
+    make_readmission,
+    make_reviews,
+    true_transition_matrix,
+)
+
+
+class TestReadmission:
+    def test_shape_and_columns(self):
+        t = make_readmission(100)
+        assert t.n_rows == 100
+        assert "diagnosis_code" in t and "readmitted_30d" in t
+
+    def test_deterministic(self):
+        a = make_readmission(50, seed=1)
+        b = make_readmission(50, seed=1)
+        assert a.equals(b)
+
+    def test_seed_changes_data(self):
+        a = make_readmission(50, seed=1)
+        b = make_readmission(50, seed=2)
+        assert not a.equals(b)
+
+    def test_missing_rate_honored(self):
+        t = make_readmission(2000, missing_rate=0.2, seed=3)
+        missing = sum(1 for v in t["diagnosis_code"] if v is None)
+        assert 0.15 < missing / 2000 < 0.25
+
+    def test_zero_missing(self):
+        t = make_readmission(100, missing_rate=0.0)
+        assert all(v is not None for v in t["diagnosis_code"])
+
+    def test_invalid_missing_rate(self):
+        with pytest.raises(ValueError):
+            make_readmission(10, missing_rate=1.0)
+
+    def test_labels_binary_and_mixed(self):
+        t = make_readmission(500, seed=0)
+        labels = t["readmitted_30d"]
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_signal_is_learnable(self):
+        """The planted logistic signal must be recoverable above chance
+        (AUC is the right check: labels are moderately imbalanced)."""
+        from repro.ml import LogisticRegression, roc_auc
+        from repro.ml.preprocess import StandardScaler
+
+        t = make_readmission(1500, seed=5)
+        X = StandardScaler().fit_transform(
+            t.numeric_matrix([
+                "age", "n_prior_admissions", "length_of_stay",
+                "lab_creatinine", "charlson_index",
+            ])
+        )
+        y = t["readmitted_30d"].astype(int)
+        model = LogisticRegression(n_iterations=300).fit(X[:1000], y[:1000])
+        auc = roc_auc(y[1000:], model.predict_proba(X[1000:])[:, 1])
+        assert auc > 0.60
+
+    def test_day_shifts_cohort(self):
+        a = make_readmission(50, seed=1, day=0)
+        b = make_readmission(50, seed=1, day=1)
+        assert not np.array_equal(a["age"], b["age"])
+        assert a.schema_hash == b.schema_hash  # same schema across days
+
+
+class TestDPM:
+    def test_shape(self):
+        t = make_dpm(20, 8)
+        assert t.n_rows == 160
+        assert set(np.unique(t["visit_idx"])) == set(range(8))
+
+    def test_deterministic(self):
+        assert make_dpm(10, 5, seed=2).equals(make_dpm(10, 5, seed=2))
+
+    def test_stages_in_range(self):
+        t = make_dpm(30, 6)
+        stages = t["true_stage"]
+        assert stages.min() >= 0 and stages.max() <= 3
+
+    def test_progression_label_constant_per_patient(self):
+        t = make_dpm(25, 6, seed=4)
+        pid = t["patient_id"]
+        label = t["progressed"]
+        for p in np.unique(pid):
+            assert len(np.unique(label[pid == p])) == 1
+
+    def test_stage_emissions_ordered(self):
+        """Later stages must emit lower eGFR (kidney function declines)."""
+        t = make_dpm(200, 10, seed=6)
+        egfr = t["egfr"]
+        stage = t["true_stage"]
+        means = [egfr[stage == s].mean() for s in range(4)]
+        assert means == sorted(means, reverse=True)
+
+    def test_transition_matrix_stochastic(self):
+        m = true_transition_matrix()
+        assert np.allclose(m.sum(axis=1), 1.0)
+
+
+class TestReviews:
+    def test_shape(self):
+        t = make_reviews(60, doc_len=25)
+        assert t.n_rows == 60
+        assert all(len(str(x).split()) == 25 for x in t["text"])
+
+    def test_deterministic(self):
+        assert make_reviews(20, seed=9).equals(make_reviews(20, seed=9))
+
+    def test_sentiment_words_correlate_with_label(self):
+        t = make_reviews(300, seed=10, sentiment_strength=0.4)
+        pos_rate_in_pos = []
+        pos_rate_in_neg = []
+        for text, label in zip(t["text"], t["sentiment"]):
+            rate = sum(1 for tok in str(text).split() if tok.startswith("pos"))
+            (pos_rate_in_pos if label == 1 else pos_rate_in_neg).append(rate)
+        assert np.mean(pos_rate_in_pos) > 3 * np.mean(pos_rate_in_neg)
+
+    def test_invalid_strength(self):
+        with pytest.raises(ValueError):
+            make_reviews(10, sentiment_strength=0.0)
+
+
+class TestDigits:
+    def test_shape_and_range(self):
+        images, labels = make_digits(40, size=16)
+        assert images.shape == (40, 16, 16)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        assert labels.shape == (40,)
+
+    def test_all_ten_classes_visible(self):
+        _, labels = make_digits(300, seed=1)
+        assert set(np.unique(labels)) == set(range(10))
+
+    def test_deterministic(self):
+        a, la = make_digits(30, seed=2)
+        b, lb = make_digits(30, seed=2)
+        assert np.array_equal(a, b) and np.array_equal(la, lb)
+
+    def test_too_small_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_digits(10, size=8)
+
+    def test_glyphs_distinguishable(self):
+        """Average images of different digits must differ substantially."""
+        images, labels = make_digits(500, seed=3, noise=0.02)
+        mean_1 = images[labels == 1].mean(axis=0)
+        mean_8 = images[labels == 8].mean(axis=0)
+        assert np.abs(mean_1 - mean_8).mean() > 0.05

@@ -1,0 +1,155 @@
+"""Table tests: structure, transforms, and schema-hash behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table, concat_rows
+from repro.errors import ComponentError
+
+
+def sample_table() -> Table:
+    return Table({
+        "age": np.array([30.0, 40.0, 50.0]),
+        "name": np.array(["a", "b", None], dtype=object),
+        "label": np.array([0, 1, 0]),
+    })
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        t = sample_table()
+        assert t.n_rows == 3
+        assert t.n_columns == 3
+        assert t.column_names == ["age", "name", "label"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ComponentError):
+            Table({})
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(ComponentError):
+            Table({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_rejects_2d_columns(self):
+        with pytest.raises(ComponentError):
+            Table({"a": np.zeros((3, 2))})
+
+    def test_string_columns_become_object(self):
+        t = Table({"s": np.array(["x", "y"])})
+        assert t["s"].dtype == object
+
+
+class TestAccess:
+    def test_getitem_and_column(self):
+        t = sample_table()
+        assert np.array_equal(t["label"], t.column("label"))
+
+    def test_missing_column_keyerror(self):
+        with pytest.raises(KeyError):
+            sample_table().column("nope")
+
+    def test_contains(self):
+        t = sample_table()
+        assert "age" in t
+        assert "nope" not in t
+
+
+class TestTransforms:
+    def test_select_preserves_order(self):
+        t = sample_table().select(["label", "age"])
+        assert t.column_names == ["label", "age"]
+
+    def test_drop(self):
+        t = sample_table().drop(["name"])
+        assert t.column_names == ["age", "label"]
+
+    def test_with_column_adds(self):
+        t = sample_table().with_column("new", [1, 2, 3])
+        assert "new" in t
+        assert sample_table().n_columns == 3  # original untouched
+
+    def test_with_column_replaces(self):
+        t = sample_table().with_column("age", [0.0, 0.0, 0.0])
+        assert t["age"].sum() == 0.0
+
+    def test_rename(self):
+        t = sample_table().rename({"age": "years"})
+        assert "years" in t and "age" not in t
+
+    def test_take_by_indices(self):
+        t = sample_table().take([2, 0])
+        assert t.n_rows == 2
+        assert t["age"][0] == 50.0
+
+    def test_take_by_mask(self):
+        t = sample_table().take(np.array([True, False, True]))
+        assert t.n_rows == 2
+
+    def test_head(self):
+        assert sample_table().head(2).n_rows == 2
+        assert sample_table().head(99).n_rows == 3
+
+    def test_numeric_matrix_default_columns(self):
+        m = sample_table().numeric_matrix()
+        assert m.shape == (3, 2)  # age + label; object column excluded
+
+    def test_numeric_matrix_explicit(self):
+        m = sample_table().numeric_matrix(["age"])
+        assert m.shape == (3, 1)
+
+    def test_numeric_matrix_no_numeric_raises(self):
+        t = Table({"s": np.array(["a"], dtype=object)})
+        with pytest.raises(ComponentError):
+            t.numeric_matrix()
+
+
+class TestSchemaHash:
+    def test_stable_under_value_changes(self):
+        a = sample_table()
+        b = a.with_column("age", [1.0, 2.0, 3.0])
+        assert a.schema_hash == b.schema_hash
+
+    def test_changes_with_added_column(self):
+        a = sample_table()
+        assert a.schema_hash != a.with_column("x", [1, 2, 3]).schema_hash
+
+    def test_changes_with_rename(self):
+        a = sample_table()
+        assert a.schema_hash != a.rename({"age": "years"}).schema_hash
+
+    def test_column_order_irrelevant(self):
+        a = sample_table()
+        b = a.select(["label", "name", "age"])
+        assert a.schema_hash == b.schema_hash
+
+
+class TestEqualityAndConcat:
+    def test_equals_self(self):
+        t = sample_table()
+        assert t.equals(t)
+
+    def test_equals_handles_nan(self):
+        a = Table({"x": [1.0, np.nan]})
+        b = Table({"x": [1.0, np.nan]})
+        assert a.equals(b)
+
+    def test_not_equals_different_values(self):
+        a = sample_table()
+        assert not a.equals(a.with_column("age", [0.0, 0.0, 0.0]))
+
+    def test_concat_rows(self):
+        t = sample_table()
+        combined = concat_rows([t, t])
+        assert combined.n_rows == 6
+        assert combined.column_names == t.column_names
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(ComponentError):
+            concat_rows([sample_table(), sample_table().drop(["name"])])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ComponentError):
+            concat_rows([])
+
+    def test_repr_mentions_shape(self):
+        assert "3 rows" in repr(sample_table())

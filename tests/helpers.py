@@ -1,0 +1,158 @@
+"""Shared test fixtures: a controllable toy pipeline.
+
+The toy pipeline mirrors the paper's running example (dataset -> data
+cleansing -> feature extraction -> CNN) but with *scripted* component
+behaviour: every model version reports exactly the accuracy it is
+configured with, and pre-processing versions perturb their output
+deterministically so distinct versions never collide in the
+content-addressed checkpoint store. This makes merge-machinery tests
+exact: expected winners, candidate counts, and reuse counts are all
+computable by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    DatasetComponent,
+    LibraryComponent,
+    MLCask,
+    PipelineSpec,
+    SemVer,
+)
+from repro.data import Table
+
+CLEAN_SCHEMA = "toy/clean_v0"
+FEAT_SCHEMA = {0: "toy/feat_v0", 1: "toy/feat_v1"}
+RAW_SCHEMA = "toy/raw_v0"
+
+
+def toy_dataset(day: int = 0, n: int = 40) -> DatasetComponent:
+    def loader(rng, _day=day, _n=n):
+        base = np.arange(_n, dtype=np.float64)
+        return Table({
+            "f0": base + _day,
+            "f1": base * 0.5,
+            "f2": np.sin(base),
+            "f3": np.cos(base),
+            "label": (base % 2).astype(np.int64),
+        })
+
+    return DatasetComponent(
+        name="toy.dataset",
+        version=SemVer("master", 0, day),
+        loader=loader,
+        output_schema=RAW_SCHEMA,
+        content_key=f"day{day}",
+    )
+
+
+def _clean_fn(table, params, rng):
+    return table.with_column("f0", table["f0"] + params["shift"])
+
+
+def toy_clean(idx: int, branch: str = "master") -> LibraryComponent:
+    return LibraryComponent(
+        name="toy.clean",
+        version=SemVer(branch, 0, idx),
+        fn=_clean_fn,
+        params={"idx": idx, "shift": 0.001 * idx},
+        input_schema=RAW_SCHEMA,
+        output_schema=CLEAN_SCHEMA,
+    )
+
+
+def _extract_fn(table, params, rng):
+    names = ["f0", "f1", "f2", "f3"][: int(params["width"])]
+    return {
+        "X": table.numeric_matrix(names) + params["jitter"],
+        "y": table["label"],
+    }
+
+
+def toy_extract(idx: int, variant: int = 0, branch: str = "master") -> LibraryComponent:
+    return LibraryComponent(
+        name="toy.extract",
+        version=SemVer(branch, variant, idx),
+        fn=_extract_fn,
+        params={"idx": idx, "width": 2 + 2 * variant, "jitter": 0.001 * idx},
+        input_schema=CLEAN_SCHEMA,
+        output_schema=FEAT_SCHEMA[variant],
+    )
+
+
+def _model_fn(payload, params, rng):
+    return {
+        "metrics": {"accuracy": float(params["quality"])},
+        "params": {"weights": np.full(3, params["quality"])},
+    }
+
+
+def toy_model(
+    idx: int, quality: float, in_variant: int = 0, branch: str = "master"
+) -> LibraryComponent:
+    """A model whose reported accuracy is exactly ``quality``."""
+    return LibraryComponent(
+        name="toy.model",
+        version=SemVer(branch, 0, idx),
+        fn=_model_fn,
+        params={"idx": idx, "quality": quality},
+        input_schema=FEAT_SCHEMA[in_variant],
+        output_schema="toy/model",
+        is_model=True,
+    )
+
+
+TOY_SPEC = PipelineSpec.chain("toy", ["dataset", "clean", "extract", "model"])
+
+
+def toy_initial_components(model_quality: float = 0.5) -> dict:
+    return {
+        "dataset": toy_dataset(),
+        "clean": toy_clean(0),
+        "extract": toy_extract(0),
+        "model": toy_model(0, model_quality),
+    }
+
+
+def fresh_toy_repo(model_quality: float = 0.5, metric: str = "accuracy") -> MLCask:
+    repo = MLCask(metric=metric, seed=0)
+    repo.create_pipeline(TOY_SPEC, toy_initial_components(model_quality))
+    return repo
+
+
+def build_fig3_history(repo: MLCask | None = None, qualities: dict | None = None) -> MLCask:
+    """Reproduce the Fig. 3 history exactly.
+
+    Commits (component versions as in the figure):
+      master.0.0  clean 0.0, extract 0.0, model 0.0   (common ancestor)
+      dev.0.0     model 0.1
+      dev.0.1     extract 1.0 (schema bump), model 0.2
+      dev.0.2     model 0.3
+      master.0.1  clean 0.1, model 0.4
+
+    ``qualities`` maps model idx -> configured accuracy (defaults chosen
+    so the optimal merge result is extract 1.0 + model 0.3, matching the
+    paper's master.0.2).
+    """
+    q = {0: 0.50, 1: 0.55, 2: 0.60, 3: 0.80, 4: 0.70}
+    if qualities:
+        q.update(qualities)
+    if repo is None:
+        repo = MLCask(metric="accuracy", seed=0)
+    repo.create_pipeline(TOY_SPEC, toy_initial_components(q[0]))
+    repo.branch("toy", "dev", "master")
+    repo.commit("toy", {"model": toy_model(1, q[1])}, branch="dev")
+    repo.commit(
+        "toy",
+        {"extract": toy_extract(0, variant=1), "model": toy_model(2, q[2], in_variant=1)},
+        branch="dev",
+    )
+    repo.commit("toy", {"model": toy_model(3, q[3], in_variant=1)}, branch="dev")
+    repo.commit(
+        "toy",
+        {"clean": toy_clean(1), "model": toy_model(4, q[4])},
+        branch="master",
+    )
+    return repo

@@ -1,0 +1,189 @@
+"""The paper's worked example, end to end (Figs. 3-4, sections V-VI).
+
+History (Fig. 3):
+
+    master.0.0   clean 0.0, extract 0.0, model 0.0     (common ancestor)
+    dev.0.0      model 0.1
+    dev.0.1      extract 1.0 (schema bump), model 0.2
+    dev.0.2      model 0.3
+    master.0.1   clean 0.1, model 0.4
+
+Paper facts encoded below:
+
+* the model has "experienced 5 versions of updates based on their common
+  ancestor" -> S(model) has 5 elements;
+* the clean search space is {0.0, 0.1};
+* raw candidate upper bound = 1 * 2 * 2 * 5 = 20;
+* PC pruning "can be reduced to half of its original size" -> 10;
+* with PR marking, "only 6 components ... corresponding to 5 pipelines,
+  are needed to be executed";
+* the merge result is committed as master.0.2 with both tips as parents.
+"""
+
+import pytest
+
+from repro.core.merge import (
+    build_compatibility_lut,
+    build_merge_scope,
+    build_search_tree,
+    count_candidates,
+    count_feasible_components,
+    leaves,
+    mark_checkpointed_nodes,
+    prune_incompatible,
+)
+
+from helpers import build_fig3_history
+
+
+@pytest.fixture()
+def fig3():
+    repo = build_fig3_history()
+    head = repo.head_commit("toy", "master")
+    merge_head = repo.head_commit("toy", "dev")
+    scope = build_merge_scope(
+        repo.graph, repo.registry, repo.spec("toy"), head, merge_head
+    )
+    return repo, scope
+
+
+class TestSearchSpace:
+    def test_common_ancestor_is_master_0_0(self, fig3):
+        _, scope = fig3
+        assert scope.ancestor.label == "master.0.0"
+
+    def test_model_space_has_five_versions(self, fig3):
+        _, scope = fig3
+        versions = sorted(c.version.number for c in scope.space("model"))
+        assert versions == ["0.0", "0.1", "0.2", "0.3", "0.4"]
+
+    def test_clean_space(self, fig3):
+        _, scope = fig3
+        assert sorted(c.version.number for c in scope.space("clean")) == ["0.0", "0.1"]
+
+    def test_extract_space(self, fig3):
+        _, scope = fig3
+        assert sorted(c.version.number for c in scope.space("extract")) == ["0.0", "1.0"]
+
+    def test_dataset_space_single(self, fig3):
+        _, scope = fig3
+        assert len(scope.space("dataset")) == 1
+
+    def test_upper_bound_is_twenty(self, fig3):
+        _, scope = fig3
+        assert scope.upper_bound == 20
+
+    def test_in_scope_commits(self, fig3):
+        _, scope = fig3
+        labels = [c.label for c in scope.commits]
+        assert labels == ["master.0.0", "dev.0.0", "dev.0.1", "dev.0.2", "master.0.1"]
+
+
+class TestTreeAndPruning:
+    def test_tree_has_twenty_candidates(self, fig3):
+        _, scope = fig3
+        root = build_search_tree(scope)
+        assert count_candidates(root) == 20
+
+    def test_pc_pruning_halves_candidates(self, fig3):
+        _, scope = fig3
+        root = build_search_tree(scope)
+        lut = build_compatibility_lut(scope)
+        removed = prune_incompatible(root, lut)
+        assert removed == 10
+        assert count_candidates(root) == 10
+
+    def test_lut_partitions_model_versions(self, fig3):
+        """Fig. 4's split: models {0.0, 0.1, 0.4} follow extract 0.0;
+        models {0.2, 0.3} follow extract 1.0."""
+        _, scope = fig3
+        lut = build_compatibility_lut(scope)
+        extract_v0 = next(c for c in scope.space("extract") if c.version.number == "0.0")
+        extract_v1 = next(c for c in scope.space("extract") if c.version.number == "1.0")
+        following_v0 = sorted(
+            m.version.number for m in scope.space("model") if lut.compatible(extract_v0, m)
+        )
+        following_v1 = sorted(
+            m.version.number for m in scope.space("model") if lut.compatible(extract_v1, m)
+        )
+        assert following_v0 == ["0.0", "0.1", "0.4"]
+        assert following_v1 == ["0.2", "0.3"]
+
+    def test_pr_marking_leaves_six_components_five_pipelines(self, fig3):
+        """The paper's headline count: after PC pruning and checkpoint
+        marking, exactly 6 components across 5 pipelines still need
+        execution."""
+        _, scope = fig3
+        root = build_search_tree(scope)
+        prune_incompatible(root, build_compatibility_lut(scope))
+        mark_checkpointed_nodes(root, scope)
+        assert count_feasible_components(root) == 6
+        unexecuted_leaves = [
+            leaf for leaf in leaves(root) if not leaf.executed
+        ]
+        assert len(unexecuted_leaves) == 5
+
+    def test_history_leaf_scores_initialized(self, fig3):
+        _, scope = fig3
+        root = build_search_tree(scope)
+        prune_incompatible(root, build_compatibility_lut(scope))
+        mark_checkpointed_nodes(root, scope)
+        scored = [leaf for leaf in leaves(root) if leaf.score is not None]
+        assert len(scored) == 5  # the five trained pipelines
+
+
+class TestMetricDrivenMerge:
+    def test_winner_matches_paper_master_0_2(self, fig3):
+        """With model 0.3 configured as the best performer, the merge must
+        select extract 1.0 + model 0.3 — the paper's master.0.2 result."""
+        repo, _ = fig3
+        outcome = repo.merge("toy", "master", "dev", mode="pcpr")
+        commit = outcome.commit
+        assert commit.label == "master.0.2"
+        assert commit.component_at("extract").endswith("1.0")
+        assert commit.component_at("model").endswith("0.3")
+        assert commit.score == 0.8
+
+    def test_merge_commit_has_both_parents(self, fig3):
+        repo, _ = fig3
+        head = repo.head_commit("toy", "master")
+        merge_head = repo.head_commit("toy", "dev")
+        outcome = repo.merge("toy", "master", "dev")
+        assert set(outcome.commit.parents) == {head.commit_id, merge_head.commit_id}
+
+    def test_merge_advances_head_branch_only(self, fig3):
+        repo, _ = fig3
+        dev_tip = repo.head_commit("toy", "dev").commit_id
+        outcome = repo.merge("toy", "master", "dev")
+        assert repo.head_commit("toy", "master").commit_id == outcome.commit.commit_id
+        assert repo.head_commit("toy", "dev").commit_id == dev_tip
+
+    def test_accounting_matches_fig4(self, fig3):
+        repo, _ = fig3
+        outcome = repo.merge("toy", "master", "dev", mode="pcpr")
+        assert outcome.candidates_total == 20
+        assert outcome.candidates_pruned_incompatible == 10
+        assert outcome.candidates_evaluated == 10
+        assert outcome.components_executed == 6
+
+    def test_all_modes_agree_on_winner(self):
+        for mode in ("pcpr", "pc_only", "none"):
+            repo = build_fig3_history()
+            outcome = repo.merge("toy", "master", "dev", mode=mode)
+            assert outcome.commit.component_at("model").endswith("0.3"), mode
+            assert outcome.commit.score == 0.8
+
+    def test_ablation_execution_counts(self):
+        """pc_only re-runs all 10 surviving candidates from scratch (40
+        components); none runs all 20, failing mid-pipeline on the 10
+        incompatible ones (40 + 30 = 70 components)."""
+        repo = build_fig3_history()
+        out_pc = repo.merge("toy", "master", "dev", mode="pc_only")
+        assert out_pc.candidates_evaluated == 10
+        assert out_pc.components_executed == 40
+
+        repo = build_fig3_history()
+        out_none = repo.merge("toy", "master", "dev", mode="none")
+        assert out_none.candidates_evaluated == 20
+        assert out_none.components_executed == 70
+        assert out_none.candidates_pruned_incompatible == 0

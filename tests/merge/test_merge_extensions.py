@@ -1,0 +1,182 @@
+"""Merge extensions: time budgets, multi-metric winners, failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import LibraryComponent, MLCask, SemVer
+from repro.core.merge import winners_by_metric
+from repro.errors import NoCandidateError
+
+from helpers import (
+    TOY_SPEC,
+    build_fig3_history,
+    fresh_toy_repo,
+    toy_initial_components,
+    toy_model,
+)
+
+
+class TestTimeBudget:
+    def test_time_budget_stops_search_early(self):
+        repo = build_fig3_history()
+        outcome = repo.merge(
+            "toy", "master", "dev",
+            search="prioritized", time_budget_seconds=0.0,
+        )
+        # zero budget: at least one candidate evaluated, not all ten
+        assert 1 <= outcome.candidates_evaluated < 10
+        assert outcome.commit.score is not None
+
+    def test_generous_budget_covers_everything(self):
+        repo = build_fig3_history()
+        outcome = repo.merge(
+            "toy", "master", "dev",
+            search="prioritized", time_budget_seconds=60.0,
+        )
+        assert outcome.candidates_evaluated == 10
+        assert outcome.commit.score == 0.8
+
+    def test_negative_budget_rejected(self):
+        repo = build_fig3_history()
+        with pytest.raises(Exception):
+            repo.merge(
+                "toy", "master", "dev",
+                search="prioritized", time_budget_seconds=-1.0,
+            )
+
+
+def _two_metric_model(idx, accuracy, auc, in_variant=0):
+    def fn(payload, params, rng):
+        return {
+            "metrics": {"accuracy": params["acc"], "auc": params["auc"]},
+            "params": {},
+        }
+
+    return LibraryComponent(
+        name="toy.model",
+        version=SemVer("master", 0, idx),
+        fn=fn,
+        params={"idx": idx, "acc": accuracy, "auc": auc},
+        input_schema=f"toy/feat_v{in_variant}",
+        output_schema="toy/model",
+        is_model=True,
+    )
+
+
+class TestMultiMetricWinners:
+    def test_different_metrics_different_winners(self):
+        """Section V: different metrics can elect different pipelines."""
+        repo = MLCask(metric="accuracy", seed=0)
+        components = toy_initial_components()
+        components["model"] = _two_metric_model(0, accuracy=0.6, auc=0.9)
+        repo.create_pipeline(TOY_SPEC, components)
+        repo.branch("toy", "dev")
+        repo.commit(
+            "toy", {"model": _two_metric_model(1, accuracy=0.9, auc=0.6)},
+            branch="dev",
+        )
+        repo.commit(
+            "toy", {"model": _two_metric_model(2, accuracy=0.7, auc=0.7)},
+            branch="master",
+        )
+        outcome = repo.merge("toy", "master", "dev")
+        # committed winner follows the repo's primary metric (accuracy)
+        assert outcome.commit.metrics["accuracy"] == 0.9
+        # but the AUC-optimal pipeline is a different candidate
+        auc_winner = outcome.winner_for("auc")
+        assert auc_winner is not None
+        evaluation, score = auc_winner
+        assert score == 0.9
+        assert evaluation.report.metrics["accuracy"] == 0.6
+
+    def test_winners_by_metric_skips_failed(self):
+        repo = build_fig3_history()
+        outcome = repo.merge("toy", "master", "dev", mode="none")
+        winners = winners_by_metric(outcome.evaluations, ["accuracy"])
+        evaluation, score = winners["accuracy"]
+        assert score == 0.8
+
+    def test_unknown_metric_returns_none(self):
+        repo = build_fig3_history()
+        outcome = repo.merge("toy", "master", "dev")
+        assert outcome.winner_for("f1") is None
+
+    def test_summary_mentions_counts(self):
+        repo = build_fig3_history()
+        outcome = repo.merge("toy", "master", "dev")
+        text = outcome.summary()
+        assert "20 raw candidates" in text
+        assert "10 pruned" in text
+
+
+def _crashing_model(idx, in_variant=0):
+    def fn(payload, params, rng):
+        raise RuntimeError("synthetic crash")
+
+    return LibraryComponent(
+        name="toy.model",
+        version=SemVer("master", 0, idx),
+        fn=fn,
+        params={"idx": idx},
+        input_schema=f"toy/feat_v{in_variant}",
+        output_schema="toy/model",
+        is_model=True,
+    )
+
+
+class TestFailureInjection:
+    def test_crashing_component_fails_run_not_caller(self):
+        from repro.core import ChunkedCheckpointStore, Executor, PipelineInstance
+
+        components = toy_initial_components()
+        components["model"] = _crashing_model(0)
+        instance = PipelineInstance(spec=TOY_SPEC, components=components)
+        report = Executor(ChunkedCheckpointStore()).run(instance)
+        assert report.failed
+        assert report.failure_stage == "model"
+        assert "RuntimeError" in report.failure_reason
+
+    def test_merge_survives_crashing_candidate(self):
+        """A broken model version on one branch must not abort the merge;
+        the search records the failure and picks among the survivors."""
+        repo = fresh_toy_repo(model_quality=0.5)
+        repo.branch("toy", "dev")
+        repo.commit("toy", {"model": toy_model(1, 0.7)}, branch="dev")
+        # head gets a model that crashes at fit time; commit without
+        # validation/run so the broken version enters the history
+        repo.commit(
+            "toy", {"model": _crashing_model(2)}, branch="master",
+            validate=False, run=False,
+        )
+        outcome = repo.merge("toy", "master", "dev", mode="pcpr")
+        assert outcome.commit.score == 0.7
+        failed = [e for e in outcome.evaluations if e.score is None]
+        assert failed  # the crashing candidates were attempted and recorded
+
+    def test_all_candidates_failing_raises(self):
+        repo = MLCask(metric="accuracy", seed=0)
+        components = toy_initial_components()
+        components["model"] = _crashing_model(0)
+        repo.create_pipeline(TOY_SPEC, components, run=False)
+        repo.branch("toy", "dev")
+        repo.commit(
+            "toy", {"model": _crashing_model(1)}, branch="dev",
+            validate=False, run=False,
+        )
+        repo.commit(
+            "toy", {"model": _crashing_model(2)}, branch="master",
+            validate=False, run=False,
+        )
+        with pytest.raises(NoCandidateError):
+            repo.merge("toy", "master", "dev", mode="pcpr")
+
+    def test_failure_charged_time(self):
+        from repro.core import ChunkedCheckpointStore, Executor, PipelineInstance
+
+        components = toy_initial_components()
+        components["model"] = _crashing_model(0)
+        instance = PipelineInstance(spec=TOY_SPEC, components=components)
+        report = Executor(ChunkedCheckpointStore()).run(instance)
+        # prefix stages executed and were archived; their cost is real
+        assert report.n_executed == 3
+        assert report.execution_seconds > 0

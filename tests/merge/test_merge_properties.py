@@ -1,0 +1,123 @@
+"""Property-based tests of the merge machinery's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DatasetComponent, LibraryComponent, SemVer
+from repro.core.merge import (
+    build_compatibility_lut,
+    build_search_tree,
+    count_candidates,
+    leaves,
+    prune_incompatible,
+)
+from repro.core.merge.search_space import MergeScope
+from repro.core.pipeline import PipelineSpec
+from repro.core.merge.traversal import path_key_of
+
+from helpers import toy_dataset
+
+
+def _library(stage: str, idx: int, in_tag: str, out_tag: str) -> LibraryComponent:
+    return LibraryComponent(
+        name=f"prop.{stage}",
+        version=SemVer("master", 0, idx),
+        fn=lambda payload, params, rng: payload,
+        params={"idx": idx},
+        input_schema=in_tag,
+        output_schema=out_tag,
+    )
+
+
+# Strategy: per stage, a list of (input_variant, output_variant) pairs.
+stage_versions = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=3
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(stage_versions, min_size=1, max_size=3))
+def test_pc_pruning_counts_match_chain_dp(stage_specs):
+    """After PC pruning, the number of candidates equals the number of
+    schema-compatible chains, computed independently by dynamic
+    programming over the schema tags."""
+    stages = ["dataset"] + [f"s{i}" for i in range(len(stage_specs))]
+    spec = PipelineSpec.chain("prop", stages)
+    spaces: dict[str, list] = {"dataset": [toy_dataset()]}
+    previous_tag = "toy/raw_v0"
+    tags = {"dataset": ["toy/raw_v0"]}
+    for i, versions in enumerate(stage_specs):
+        stage = f"s{i}"
+        spaces[stage] = []
+        tags[stage] = []
+        upstream = stages[i]  # previous stage name
+        for j, (in_variant, out_variant) in enumerate(versions):
+            in_tag = f"{upstream}/v{in_variant}" if i > 0 else "toy/raw_v0"
+            out_tag = f"{stage}/v{out_variant}"
+            spaces[stage].append(_library(stage, j, in_tag, out_tag))
+            tags[stage].append((in_tag, out_tag))
+    scope = MergeScope(
+        spec=spec, ancestor=None, head=None, merge_head=None, spaces=spaces
+    )
+
+    root = build_search_tree(scope)
+    assert count_candidates(root) == scope.upper_bound
+    lut = build_compatibility_lut(scope)
+    prune_incompatible(root, lut)
+
+    # DP over compatible chains
+    counts = {("dataset", "toy/raw_v0"): 1}
+    level = {"toy/raw_v0": 1}
+    for i, versions in enumerate(stage_specs):
+        stage = f"s{i}"
+        next_level: dict[str, int] = {}
+        for in_tag, out_tag in tags[stage]:
+            feeding = level.get(in_tag, 0)
+            if feeding:
+                next_level[out_tag] = next_level.get(out_tag, 0) + feeding
+        level = next_level
+    expected = sum(level.values())
+    assert count_candidates(root) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(1, 3), min_size=1, max_size=3))
+def test_every_leaf_path_unique_and_complete(sizes):
+    stages = ["dataset"] + [f"s{i}" for i in range(len(sizes))]
+    spec = PipelineSpec.chain("prop", stages)
+    spaces: dict[str, list] = {"dataset": [toy_dataset()]}
+    for i, n in enumerate(sizes):
+        stage = f"s{i}"
+        spaces[stage] = [
+            _library(stage, j, "*", f"{stage}/v0") for j in range(n)
+        ]
+    scope = MergeScope(
+        spec=spec, ancestor=None, head=None, merge_head=None, spaces=spaces
+    )
+    root = build_search_tree(scope)
+    keys = [path_key_of(leaf) for leaf in leaves(root)]
+    assert len(keys) == len(set(keys))  # no duplicate candidates
+    for leaf in leaves(root):
+        assert len(leaf.path_from_root()) == len(stages)  # complete paths
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_executor_reuse_idempotence(seed):
+    """Running the same instance twice executes nothing the second time,
+    regardless of component parameter values."""
+    from repro.core import ChunkedCheckpointStore, Executor, ExecutionContext, PipelineInstance
+    from helpers import TOY_SPEC, toy_initial_components, toy_model
+
+    components = toy_initial_components()
+    components["model"] = toy_model(0, quality=(seed % 100) / 100.0 or 0.5)
+    instance = PipelineInstance(spec=TOY_SPEC, components=components)
+    executor = Executor(ChunkedCheckpointStore())
+    context = ExecutionContext(seed=seed)
+    first = executor.run(instance, context)
+    second = executor.run(instance, context)
+    assert first.n_executed == 4
+    assert second.n_executed == 0
+    assert second.n_reused == 4
+    assert second.metrics == first.metrics

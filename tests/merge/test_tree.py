@@ -1,0 +1,101 @@
+"""Search-tree construction tests (Algorithm 1) and structural invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.merge import (
+    build_merge_scope,
+    build_search_tree,
+    candidate_components,
+    count_candidates,
+    iter_nodes,
+    leaves,
+    nodes_at_level,
+)
+from repro.core.merge.search_space import MergeScope
+from repro.core.pipeline import PipelineSpec
+
+from helpers import build_fig3_history, toy_clean, toy_dataset, toy_extract, toy_model
+
+
+def scope_from(repo):
+    head = repo.head_commit("toy", "master")
+    merge_head = repo.head_commit("toy", "dev")
+    return build_merge_scope(repo.graph, repo.registry, repo.spec("toy"), head, merge_head)
+
+
+def synthetic_scope(space_sizes: list[int]) -> MergeScope:
+    """A MergeScope with arbitrary per-stage version counts."""
+    stages = [f"s{i}" for i in range(len(space_sizes))]
+    spec = PipelineSpec.chain("synth", stages)
+    spaces = {}
+    for stage, n in zip(stages, space_sizes):
+        if stage == "s0":
+            spaces[stage] = [toy_dataset(day=d) for d in range(n)]
+        else:
+            spaces[stage] = [toy_clean(i) for i in range(n)]
+    return MergeScope(
+        spec=spec, ancestor=None, head=None, merge_head=None, spaces=spaces
+    )
+
+
+class TestAlgorithm1:
+    def test_root_is_virtual_and_executed(self):
+        root = build_search_tree(scope_from(build_fig3_history()))
+        assert root.is_root
+        assert root.executed
+        assert root.component is None
+
+    def test_level_populations(self):
+        """Level i must hold prod of space sizes up to i (Algorithm 1
+        attaches every version of S(f_i) under every level-(i-1) node)."""
+        root = build_search_tree(scope_from(build_fig3_history()))
+        assert len(nodes_at_level(root, 1)) == 1  # dataset
+        assert len(nodes_at_level(root, 2)) == 2  # clean
+        assert len(nodes_at_level(root, 3)) == 4  # extract under each clean
+        assert len(nodes_at_level(root, 4)) == 20  # model everywhere
+
+    def test_every_node_one_parent(self):
+        root = build_search_tree(scope_from(build_fig3_history()))
+        for node in iter_nodes(root):
+            for child in node.children:
+                assert child.parent is node
+
+    def test_leaves_are_model_level(self):
+        root = build_search_tree(scope_from(build_fig3_history()))
+        for leaf in leaves(root):
+            assert leaf.stage == "model"
+
+    def test_path_from_root_order(self):
+        root = build_search_tree(scope_from(build_fig3_history()))
+        leaf = leaves(root)[0]
+        stages = [n.stage for n in leaf.path_from_root()]
+        assert stages == ["dataset", "clean", "extract", "model"]
+
+    def test_candidate_components_binding(self):
+        root = build_search_tree(scope_from(build_fig3_history()))
+        components = candidate_components(leaves(root)[0])
+        assert set(components) == {"dataset", "clean", "extract", "model"}
+
+
+class TestUpperBound:
+    @pytest.mark.parametrize(
+        "sizes", [[1, 1], [1, 3], [2, 2, 2], [1, 2, 3, 4]]
+    )
+    def test_candidates_equal_product(self, sizes):
+        scope = synthetic_scope(sizes)
+        root = build_search_tree(scope)
+        expected = 1
+        for n in sizes:
+            expected *= n
+        assert count_candidates(root) == expected == scope.upper_bound
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(1, 4), min_size=2, max_size=4))
+def test_upper_bound_property(sizes):
+    """∏ N(S(f_i)) bounds (and for the unpruned tree equals) the number
+    of pre-merge pipeline candidates — section VI."""
+    scope = synthetic_scope(sizes)
+    root = build_search_tree(scope)
+    assert count_candidates(root) == scope.upper_bound

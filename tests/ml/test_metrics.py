@@ -1,0 +1,124 @@
+"""Metric tests, including the paper's score() convention."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mse,
+    roc_auc,
+    score_from_metric,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([1, 0], [1, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 0], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestMSE:
+    def test_zero_for_identical(self):
+        assert mse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mse([0.0, 0.0], [1.0, 3.0]) == 5.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse([1.0], [1.0, 2.0])
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        assert log_loss([1, 0], [0.99, 0.01]) < 0.05
+
+    def test_confident_wrong_is_large(self):
+        assert log_loss([1, 0], [0.01, 0.99]) > 2.0
+
+    def test_multiclass_proba_matrix(self):
+        proba = np.array([[0.8, 0.1, 0.1], [0.1, 0.8, 0.1]])
+        assert log_loss([0, 1], proba) < 0.3
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert abs(roc_auc(y, scores) - 0.5) < 0.05
+
+    def test_ties_averaged(self):
+        # all scores equal -> AUC exactly 0.5
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc([1, 1], [0.5, 0.6])
+
+    def test_matches_sklearn_formula_small_case(self):
+        # hand-computed: pos scores {0.9, 0.4}, neg {0.5, 0.1}
+        # pairs: (0.9>0.5),(0.9>0.1),(0.4<0.5),(0.4>0.1) -> 3/4
+        assert roc_auc([1, 1, 0, 0], [0.9, 0.4, 0.5, 0.1]) == 0.75
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_no_positives_predicted(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_known_value(self):
+        # tp=1, fp=1, fn=1 -> precision=0.5, recall=0.5 -> f1=0.5
+        assert f1_score([1, 0, 1], [1, 1, 0]) == 0.5
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        m = confusion_matrix([0, 1, 2], [0, 1, 2])
+        assert np.array_equal(m, np.eye(3, dtype=int))
+
+    def test_counts(self):
+        m = confusion_matrix([0, 0, 1], [0, 1, 1])
+        assert m[0, 0] == 1 and m[0, 1] == 1 and m[1, 1] == 1
+
+
+class TestScoreFromMetric:
+    def test_higher_is_better_passthrough(self):
+        assert score_from_metric("accuracy", 0.9) == 0.9
+        assert score_from_metric("auc", 0.7) == 0.7
+
+    def test_mse_inverted_per_paper(self):
+        # paper: "we can use score = 1/MSE as a score function"
+        assert score_from_metric("mse", 0.5) == 2.0
+
+    def test_mse_zero_guarded(self):
+        assert score_from_metric("mse", 0.0) > 1e10
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            score_from_metric("bleu", 0.5)
+
+    def test_score_ordering_preserved_for_mse(self):
+        # lower MSE must map to higher score
+        assert score_from_metric("mse", 0.1) > score_from_metric("mse", 0.2)

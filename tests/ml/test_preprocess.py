@@ -1,0 +1,142 @@
+"""Preprocessing transformer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import NotFittedError
+from repro.ml.preprocess import (
+    MeanImputer,
+    MinMaxScaler,
+    ModeImputer,
+    OneHotEncoder,
+    StandardScaler,
+)
+
+
+class TestMeanImputer:
+    def test_fills_nans_with_column_mean(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0]])
+        out = MeanImputer().fit(X).transform(X)
+        assert out[0, 1] == 4.0
+        assert not np.isnan(out).any()
+
+    def test_all_nan_column_filled_with_zero(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = MeanImputer().fit_transform(X)
+        assert np.array_equal(out, np.zeros((2, 1)))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MeanImputer().transform(np.ones((2, 2)))
+
+    def test_does_not_mutate_input(self):
+        X = np.array([[np.nan, 1.0]])
+        imputer = MeanImputer().fit(X)
+        imputer.transform(X)
+        assert np.isnan(X[0, 0])
+
+    def test_params_exposed(self):
+        imputer = MeanImputer().fit(np.array([[2.0], [4.0]]))
+        assert imputer.get_params()["means"][0] == 3.0
+
+
+class TestModeImputer:
+    def test_fills_with_mode(self):
+        values = np.array(["a", "b", "a", None], dtype=object)
+        out = ModeImputer().fit_transform(values)
+        assert list(out) == ["a", "b", "a", "a"]
+
+    def test_all_none(self):
+        out = ModeImputer().fit_transform(np.array([None, None], dtype=object))
+        assert list(out) == ["unknown", "unknown"]
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            ModeImputer().transform(np.array(["a"], dtype=object))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        X = np.random.default_rng(0).standard_normal((200, 3)) * 5 + 2
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_passthrough(self):
+        X = np.ones((10, 1))
+        out = StandardScaler().fit_transform(X)
+        assert not np.isnan(out).any()
+
+    def test_train_test_consistency(self):
+        rng = np.random.default_rng(1)
+        train, test = rng.standard_normal((50, 2)), rng.standard_normal((10, 2))
+        scaler = StandardScaler().fit(train)
+        expected = (test - train.mean(axis=0)) / train.std(axis=0)
+        assert np.allclose(scaler.transform(test), expected)
+
+
+class TestMinMaxScaler:
+    def test_range(self):
+        X = np.random.default_rng(2).uniform(-10, 10, (100, 4))
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert np.allclose(out.min(axis=0), 0.0)
+        assert np.allclose(out.max(axis=0), 1.0)
+
+    def test_constant_column(self):
+        out = MinMaxScaler().fit_transform(np.full((5, 1), 7.0))
+        assert not np.isnan(out).any()
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        values = np.array(["b", "a", "b"], dtype=object)
+        encoder = OneHotEncoder().fit(values)
+        out = encoder.transform(values)
+        assert out.shape == (3, 2)
+        assert np.array_equal(out.sum(axis=1), np.ones(3))
+
+    def test_categories_sorted(self):
+        encoder = OneHotEncoder().fit(np.array(["z", "a"], dtype=object))
+        assert encoder.categories_ == ["a", "z"]
+
+    def test_none_becomes_category(self):
+        encoder = OneHotEncoder().fit(np.array(["a", None], dtype=object))
+        assert "<none>" in encoder.categories_
+
+    def test_unseen_category_all_zeros(self):
+        encoder = OneHotEncoder().fit(np.array(["a", "b"], dtype=object))
+        out = encoder.transform(np.array(["c"], dtype=object))
+        assert out.sum() == 0.0
+        assert out.shape == (1, 2)  # width stays stable
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            OneHotEncoder().transform(np.array(["a"], dtype=object))
+
+
+@settings(max_examples=30)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=20),
+        elements=st.floats(-1e6, 1e6),
+    )
+)
+def test_standard_scaler_idempotent_property(X):
+    """Scaling an already-scaled matrix is a no-op (up to fp error).
+
+    Columns that are constant up to floating-point noise are excluded:
+    their post-scaling values are pure cancellation error, and rescaling
+    noise is not a meaningful operation.
+    """
+    from hypothesis import assume
+
+    stds = X.std(axis=0)
+    scale = np.abs(X).max(axis=0) + 1.0
+    assume(bool(np.all((stds == 0.0) | (stds > 1e-6 * scale))))
+    once = StandardScaler().fit_transform(X)
+    twice = StandardScaler().fit_transform(once)
+    assert np.allclose(once, twice, atol=1e-6)

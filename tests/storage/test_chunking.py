@@ -1,0 +1,180 @@
+"""Content-defined chunking tests, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.chunking import (
+    ChunkerConfig,
+    ContentDefinedChunker,
+    FixedSizeChunker,
+    rolling_hashes,
+)
+
+
+def random_bytes(n: int, seed: int = 0) -> bytes:
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8).tobytes()
+
+
+class TestRollingHashes:
+    def test_empty_input(self):
+        assert rolling_hashes(b"", 16).size == 0
+
+    def test_length_matches_input(self):
+        data = random_bytes(1000)
+        assert rolling_hashes(data, 16).shape == (1000,)
+
+    def test_deterministic(self):
+        data = random_bytes(500)
+        assert np.array_equal(rolling_hashes(data, 16), rolling_hashes(data, 16))
+
+    def test_window_locality(self):
+        """Hash at position i depends only on the last `window` bytes."""
+        w = 16
+        a = random_bytes(400, seed=1)
+        b = random_bytes(400, seed=2)
+        combined_a = a + b
+        combined_c = random_bytes(400, seed=3) + b
+        ha = rolling_hashes(combined_a, w)
+        hc = rolling_hashes(combined_c, w)
+        # positions >= 400 + w only see bytes of b
+        assert np.array_equal(ha[400 + w :], hc[400 + w :])
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            rolling_hashes(b"abc", 0)
+
+
+class TestChunkerConfig:
+    def test_rejects_min_below_window(self):
+        with pytest.raises(ValueError):
+            ChunkerConfig(min_size=4, window=16)
+
+    def test_rejects_max_below_min(self):
+        with pytest.raises(ValueError):
+            ChunkerConfig(min_size=2048, max_size=1024)
+
+    def test_rejects_extreme_target(self):
+        with pytest.raises(ValueError):
+            ChunkerConfig(target_bits=0)
+
+    def test_mask_has_target_bits(self):
+        assert ChunkerConfig(target_bits=12).mask == 0xFFF
+
+
+class TestContentDefinedChunker:
+    def test_empty(self):
+        assert ContentDefinedChunker().split(b"") == []
+
+    def test_roundtrip(self):
+        data = random_bytes(100_000)
+        chunks = ContentDefinedChunker().split(data)
+        assert b"".join(chunks) == data
+
+    def test_small_blob_single_chunk(self):
+        ck = ContentDefinedChunker()
+        data = random_bytes(ck.config.min_size)
+        assert ck.split(data) == [data]
+
+    def test_chunk_size_bounds(self):
+        ck = ContentDefinedChunker()
+        data = random_bytes(300_000)
+        chunks = ck.split(data)
+        for chunk in chunks[:-1]:
+            assert ck.config.min_size <= len(chunk) <= ck.config.max_size
+        assert len(chunks[-1]) <= ck.config.max_size
+
+    def test_edit_locality_same_length(self):
+        """A same-length point edit must leave most chunks identical (the
+        dedup property Fig. 7 relies on; numpy payload diffs are almost
+        always value edits, which preserve length)."""
+        ck = ContentDefinedChunker()
+        data = random_bytes(200_000)
+        edited = data[:100_000] + b"EDIT" + data[100_004:]
+        original = set(ck.split(data))
+        new = ck.split(edited)
+        shared = sum(len(c) for c in new if c in original)
+        assert shared > 0.9 * len(data)
+
+    def test_append_locality(self):
+        """Appending bytes leaves every prefix chunk identical."""
+        ck = ContentDefinedChunker()
+        data = random_bytes(150_000)
+        extended = data + random_bytes(10_000, seed=42)
+        original = set(ck.split(data))
+        new = ck.split(extended)
+        shared = sum(len(c) for c in new if c in original)
+        assert shared > 0.9 * len(data)
+
+    def test_insert_locality_byte_mode(self):
+        """Byte-granularity buzhash mode survives arbitrary-length
+        insertions (the general CDC property; word mode trades this for
+        an order of magnitude more throughput)."""
+        ck = ContentDefinedChunker(ChunkerConfig(boundary="byte"))
+        data = random_bytes(200_000)
+        edited = data[:100_000] + b"EDIT" + data[100_000:]
+        original = set(ck.split(data))
+        new = ck.split(edited)
+        shared = sum(len(c) for c in new if c in original)
+        assert shared > 0.9 * len(data)
+
+    def test_unknown_boundary_mode(self):
+        with pytest.raises(ValueError):
+            ChunkerConfig(boundary="magic")
+
+    def test_deterministic_cuts(self):
+        ck = ContentDefinedChunker()
+        data = random_bytes(50_000)
+        assert ck.cut_points(data) == ck.cut_points(data)
+
+    def test_cut_points_cover_input(self):
+        ck = ContentDefinedChunker()
+        data = random_bytes(64_000, seed=9)
+        cuts = ck.cut_points(data)
+        assert cuts[-1] == len(data)
+        assert all(b > a for a, b in zip(cuts, cuts[1:]))
+
+
+class TestFixedSizeChunker:
+    def test_roundtrip(self):
+        data = random_bytes(10_000)
+        assert b"".join(FixedSizeChunker(4096).split(data)) == data
+
+    def test_exact_sizes(self):
+        chunks = FixedSizeChunker(100).split(random_bytes(350))
+        assert [len(c) for c in chunks] == [100, 100, 100, 50]
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            FixedSizeChunker(0)
+
+    def test_insertion_destroys_alignment(self):
+        """Fixed-size chunking shares almost nothing after an insertion —
+        the weakness the content-defined chunker fixes (ablation bench)."""
+        ck = FixedSizeChunker(1024)
+        data = random_bytes(100_000)
+        edited = b"X" + data
+        shared = set(ck.split(data)) & set(ck.split(edited))
+        shared_bytes = sum(len(c) for c in shared)
+        assert shared_bytes < 0.1 * len(data)
+
+
+@settings(max_examples=25)
+@given(st.binary(min_size=0, max_size=50_000))
+def test_roundtrip_property(data):
+    ck = ContentDefinedChunker()
+    assert b"".join(ck.split(data)) == data
+
+
+@settings(max_examples=25)
+@given(st.binary(min_size=3000, max_size=30_000), st.integers(0, 2999))
+def test_common_suffix_shares_chunks(data, split_at):
+    """Two blobs sharing a long suffix share their tail chunks."""
+    ck = ContentDefinedChunker()
+    variant = bytes(reversed(data[:split_at])) + data[split_at:]
+    chunks_a = ck.split(data)
+    chunks_b = ck.split(variant)
+    # The final chunk is only guaranteed shared when the suffix is long
+    # enough to contain a whole chunk; just assert determinism + roundtrip.
+    assert b"".join(chunks_b) == variant
+    assert chunks_a == ck.split(data)

@@ -1,0 +1,116 @@
+"""Schema-hash function tests (paper section IV-B)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.hashing import (
+    fingerprint_many,
+    image_schema_hash,
+    meta_schema_hash,
+    relational_schema_hash,
+    sha256_hex,
+    short_digest,
+    standardize_header,
+    text_schema_hash,
+)
+
+
+class TestStandardizeHeader:
+    def test_lowercases(self):
+        assert standardize_header("PatientID") == "patientid"
+
+    def test_strips_whitespace(self):
+        assert standardize_header("  age ") == "age"
+
+    def test_collapses_internal_whitespace_to_underscore(self):
+        assert standardize_header("Patient  ID") == "patient_id"
+
+    def test_already_standard_is_fixed_point(self):
+        assert standardize_header("patient_id") == "patient_id"
+
+
+class TestRelationalSchemaHash:
+    def test_order_insensitive(self):
+        a = relational_schema_hash(["age", "gender", "label"])
+        b = relational_schema_hash(["label", "age", "gender"])
+        assert a == b
+
+    def test_cosmetic_differences_ignored(self):
+        a = relational_schema_hash(["Patient ID", "Age"])
+        b = relational_schema_hash(["patient_id", "age"])
+        assert a == b
+
+    def test_extra_column_changes_hash(self):
+        a = relational_schema_hash(["age", "gender"])
+        b = relational_schema_hash(["age", "gender", "new_col"])
+        assert a != b
+
+    def test_renamed_column_changes_hash(self):
+        a = relational_schema_hash(["age", "gender"])
+        b = relational_schema_hash(["age", "sex"])
+        assert a != b
+
+    def test_is_hex_sha256(self):
+        digest = relational_schema_hash(["a"])
+        assert len(digest) == 64
+        int(digest, 16)  # must parse as hex
+
+    def test_no_concatenation_ambiguity(self):
+        # "ab"+"c" must not equal "a"+"bc"
+        assert relational_schema_hash(["ab", "c"]) != relational_schema_hash(["a", "bc"])
+
+
+class TestNonRelationalSchemaHashes:
+    def test_image_hash_keyed_by_shape(self):
+        assert image_schema_hash([16, 16]) == image_schema_hash((16, 16))
+        assert image_schema_hash([16, 16]) != image_schema_hash([28, 28])
+
+    def test_text_hash_keyed_by_vocab_size(self):
+        assert text_schema_hash(300) == text_schema_hash(300)
+        assert text_schema_hash(300) != text_schema_hash(340)
+
+    def test_image_and_text_never_collide(self):
+        # even with numerically similar parameters
+        assert image_schema_hash([300]) != text_schema_hash(300)
+
+    def test_meta_hash_sorted_keys(self):
+        assert meta_schema_hash({"a": 1, "b": 2}) == meta_schema_hash({"b": 2, "a": 1})
+        assert meta_schema_hash({"a": 1}) != meta_schema_hash({"a": 2})
+
+
+class TestFingerprints:
+    def test_mixed_str_and_bytes(self):
+        assert fingerprint_many(["a", b"b"]) == fingerprint_many(["a", "b"])
+
+    def test_length_prefix_prevents_ambiguity(self):
+        assert fingerprint_many(["ab", "c"]) != fingerprint_many(["a", "bc"])
+
+    def test_order_sensitive(self):
+        assert fingerprint_many(["a", "b"]) != fingerprint_many(["b", "a"])
+
+    def test_sha256_hex_known_value(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_short_digest(self):
+        digest = sha256_hex(b"x")
+        assert short_digest(digest) == digest[:12]
+        assert short_digest(digest, 8) == digest[:8]
+
+
+@given(st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=10))
+def test_relational_hash_permutation_invariant(headers):
+    import random
+
+    shuffled = list(headers)
+    random.Random(0).shuffle(shuffled)
+    assert relational_schema_hash(headers) == relational_schema_hash(shuffled)
+
+
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_sha256_injective_in_practice(a, b):
+    if a != b:
+        assert sha256_hex(a) != sha256_hex(b)
+    else:
+        assert sha256_hex(a) == sha256_hex(b)

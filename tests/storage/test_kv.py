@@ -1,0 +1,106 @@
+"""Versioned KV (ForkBase-like) tests."""
+
+import pytest
+
+from repro.errors import BranchNotFoundError, ObjectNotFoundError
+from repro.storage import VersionedKV
+
+
+class TestPutGet:
+    def test_basic_roundtrip(self):
+        kv = VersionedKV()
+        kv.put("config", b"v1")
+        assert kv.get("config") == b"v1"
+
+    def test_head_advances(self):
+        kv = VersionedKV()
+        kv.put("k", b"one")
+        kv.put("k", b"two")
+        assert kv.get("k") == b"two"
+
+    def test_old_versions_retrievable(self):
+        kv = VersionedKV()
+        first = kv.put("k", b"one")
+        kv.put("k", b"two")
+        assert kv.get_version(first.version_id) == b"one"
+
+    def test_missing_branch(self):
+        kv = VersionedKV()
+        with pytest.raises(BranchNotFoundError):
+            kv.get("nothing")
+
+    def test_missing_version(self):
+        with pytest.raises(ObjectNotFoundError):
+            VersionedKV().get_version("deadbeef")
+
+    def test_meta_attached(self):
+        kv = VersionedKV()
+        node = kv.put("k", b"v", meta={"author": "alice"})
+        assert kv.node(node.version_id).meta["author"] == "alice"
+
+
+class TestBranching:
+    def test_fork_points_at_source_head(self):
+        kv = VersionedKV()
+        head = kv.put("k", b"base")
+        forked = kv.fork("k", "master", "dev")
+        assert forked.version_id == head.version_id
+        assert kv.get("k", "dev") == b"base"
+
+    def test_branches_isolated(self):
+        kv = VersionedKV()
+        kv.put("k", b"base")
+        kv.fork("k", "master", "dev")
+        kv.put("k", b"dev change", branch="dev")
+        assert kv.get("k", "master") == b"base"
+        assert kv.get("k", "dev") == b"dev change"
+
+    def test_branch_listing(self):
+        kv = VersionedKV()
+        kv.put("k", b"x")
+        kv.fork("k", "master", "dev")
+        assert kv.branches("k") == ["dev", "master"]
+
+    def test_keys_listing(self):
+        kv = VersionedKV()
+        kv.put("b", b"1")
+        kv.put("a", b"2")
+        assert kv.keys() == ["a", "b"]
+
+
+class TestHistory:
+    def test_chain_order_head_first(self):
+        kv = VersionedKV()
+        kv.put("k", b"1")
+        kv.put("k", b"2")
+        kv.put("k", b"3")
+        chain = kv.history("k")
+        assert len(chain) == 3
+        assert kv.objects.get(chain[0].blob_digest) == b"3"
+        assert kv.objects.get(chain[-1].blob_digest) == b"1"
+
+    def test_fork_shares_history(self):
+        kv = VersionedKV()
+        kv.put("k", b"1")
+        kv.fork("k", "master", "dev")
+        kv.put("k", b"2", branch="dev")
+        assert len(kv.history("k", "dev")) == 2
+        assert len(kv.history("k", "master")) == 1
+
+    def test_parent_links(self):
+        kv = VersionedKV()
+        first = kv.put("k", b"1")
+        second = kv.put("k", b"2")
+        assert second.parents == (first.version_id,)
+        assert first.parents == ()
+
+
+class TestDedupThroughKV:
+    def test_similar_values_share_chunks(self):
+        import numpy as np
+
+        kv = VersionedKV()
+        base = np.random.default_rng(0).integers(0, 256, 100_000, dtype=np.uint8).tobytes()
+        kv.put("dataset", base)
+        kv.put("dataset", base[:50_000] + b"DELTA" + base[50_005:])  # same length
+        assert kv.stats.physical_bytes < 0.65 * kv.stats.logical_bytes

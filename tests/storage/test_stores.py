@@ -1,0 +1,188 @@
+"""Chunk store, object store, folder store, and accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChunkNotFoundError, ObjectNotFoundError
+from repro.storage import (
+    FileChunkStore,
+    FolderStore,
+    MemoryChunkStore,
+    ObjectStore,
+    StorageStats,
+)
+
+
+def random_bytes(n: int, seed: int = 0) -> bytes:
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8).tobytes()
+
+
+class TestMemoryChunkStore:
+    def test_put_get_roundtrip(self):
+        store = MemoryChunkStore()
+        digest = store.put(b"hello")
+        assert store.get(digest) == b"hello"
+
+    def test_missing_chunk_raises(self):
+        with pytest.raises(ChunkNotFoundError):
+            MemoryChunkStore().get("0" * 64)
+
+    def test_duplicate_put_stores_once(self):
+        store = MemoryChunkStore()
+        d1 = store.put(b"same")
+        d2 = store.put(b"same")
+        assert d1 == d2
+        assert len(store) == 1
+        assert store.stats.logical_bytes == 8
+        assert store.stats.physical_bytes == 4
+        assert store.stats.dedup_hit_bytes == 4
+
+    def test_contains(self):
+        store = MemoryChunkStore()
+        digest = store.put(b"x")
+        assert store.contains(digest)
+        assert not store.contains("f" * 64)
+
+    def test_read_accounting(self):
+        store = MemoryChunkStore()
+        digest = store.put(b"abcd")
+        store.get(digest)
+        assert store.stats.read_bytes == 4
+        assert store.stats.reads == 1
+
+
+class TestFileChunkStore:
+    def test_roundtrip_and_layout(self, tmp_path):
+        store = FileChunkStore(tmp_path / "objects")
+        digest = store.put(b"persistent data")
+        assert store.get(digest) == b"persistent data"
+        # git-style fan-out: <root>/ab/cdef...
+        assert (tmp_path / "objects" / digest[:2] / digest[2:]).exists()
+
+    def test_digests_enumeration(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        digests = {store.put(bytes([i]) * 10) for i in range(5)}
+        assert set(store.digests()) == digests
+
+    def test_survives_reopen(self, tmp_path):
+        digest = FileChunkStore(tmp_path).put(b"durable")
+        reopened = FileChunkStore(tmp_path)
+        assert reopened.get(digest) == b"durable"
+
+    def test_missing_raises(self, tmp_path):
+        with pytest.raises(ChunkNotFoundError):
+            FileChunkStore(tmp_path).get("a" * 64)
+
+
+class TestObjectStore:
+    def test_roundtrip_large_blob(self):
+        store = ObjectStore()
+        data = random_bytes(150_000)
+        digest = store.put(data)
+        assert store.get(digest) == data
+
+    def test_recipe_structure(self):
+        store = ObjectStore()
+        data = random_bytes(50_000)
+        digest = store.put(data)
+        recipe = store.recipe(digest)
+        assert recipe.size == len(data)
+        assert recipe.n_chunks >= 2
+        assert recipe.blob_digest == digest
+
+    def test_dedup_across_similar_blobs(self):
+        store = ObjectStore()
+        data = random_bytes(200_000)
+        edited = data[:120_000] + b"PATCH" + data[120_005:]  # same length
+        store.put(data)
+        store.put(edited)
+        stats = store.stats
+        assert stats.physical_bytes < 0.65 * stats.logical_bytes
+
+    def test_identical_put_counts_logical_only(self):
+        store = ObjectStore()
+        data = random_bytes(30_000)
+        store.put(data)
+        physical_before = store.stats.physical_bytes
+        store.put(data)
+        assert store.stats.physical_bytes == physical_before
+        assert store.stats.logical_bytes == 2 * len(data)
+
+    def test_missing_object(self):
+        with pytest.raises(ObjectNotFoundError):
+            ObjectStore().get("b" * 64)
+
+    def test_contains_and_len(self):
+        store = ObjectStore()
+        assert len(store) == 0
+        digest = store.put(b"payload" * 100)
+        assert store.contains(digest)
+        assert len(store) == 1
+
+
+class TestFolderStore:
+    def test_memory_roundtrip(self):
+        store = FolderStore()
+        store.archive("lib", "v1", b"code bytes")
+        assert store.retrieve("lib", "v1") == b"code bytes"
+
+    def test_no_dedup_full_copies(self):
+        store = FolderStore()
+        store.archive("lib", "v1", b"same" * 100)
+        store.archive("lib", "v2", b"same" * 100)
+        assert store.stats.physical_bytes == store.stats.logical_bytes == 800
+
+    def test_disk_backed(self, tmp_path):
+        store = FolderStore(tmp_path)
+        store.archive("lib", "v1", b"on disk")
+        assert store.retrieve("lib", "v1") == b"on disk"
+        assert (tmp_path / "lib" / "v1" / "data.bin").exists()
+
+    def test_versions_listing(self):
+        store = FolderStore()
+        store.archive("a", "v1", b"1")
+        store.archive("a", "v2", b"2")
+        store.archive("b", "v1", b"3")
+        assert store.versions("a") == ["v1", "v2"]
+        assert store.versions("missing") == []
+
+    def test_missing_raises(self):
+        with pytest.raises(ObjectNotFoundError):
+            FolderStore().retrieve("nope", "v9")
+
+    def test_contains(self, tmp_path):
+        store = FolderStore(tmp_path)
+        store.archive("x", "v1", b"data")
+        assert store.contains("x", "v1")
+        assert not store.contains("x", "v2")
+
+
+class TestStorageStats:
+    def test_dedup_ratio(self):
+        stats = StorageStats(logical_bytes=100, physical_bytes=50)
+        assert stats.dedup_ratio == 2.0
+
+    def test_dedup_ratio_empty(self):
+        assert StorageStats().dedup_ratio == 1.0
+
+    def test_merged_with(self):
+        a = StorageStats(logical_bytes=10, physical_bytes=5, writes=1)
+        b = StorageStats(logical_bytes=20, physical_bytes=20, writes=2)
+        merged = a.merged_with(b)
+        assert merged.logical_bytes == 30
+        assert merged.physical_bytes == 25
+        assert merged.writes == 3
+
+    def test_timers_accumulate(self):
+        stats = StorageStats()
+        with stats.timed_write():
+            pass
+        with stats.timed_read():
+            pass
+        assert stats.write_seconds >= 0.0
+        assert stats.read_seconds >= 0.0
+        assert stats.storage_seconds == stats.write_seconds + stats.read_seconds
+
+    def test_snapshot_keys(self):
+        snap = StorageStats().snapshot()
+        assert {"logical_bytes", "physical_bytes", "writes", "reads"} <= set(snap)

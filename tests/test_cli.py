@@ -1,0 +1,82 @@
+"""CLI tests: every subcommand runs and prints what it promises."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_four(self):
+        code, text = run_cli(["workloads"])
+        assert code == 0
+        for name in ("readmission", "dpm", "sa", "autolearn"):
+            assert name in text
+
+    def test_shows_stage_chains(self):
+        _, text = run_cli(["workloads"])
+        assert "dataset -> clean -> extract -> model" in text
+
+
+class TestDemoCommand:
+    def test_readmission_demo(self):
+        code, text = run_cli(
+            ["demo", "readmission", "--scale", "0.3", "--seed", "1"]
+        )
+        assert code == 0
+        assert "metric-driven merge" in text
+        assert "master.0.2" in text
+        assert "diff" in text
+
+    def test_demo_ablation_mode(self):
+        code, text = run_cli(
+            ["demo", "readmission", "--scale", "0.3", "--mode", "pc_only"]
+        )
+        assert code == 0
+        assert "evaluated" in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["demo", "nonexistent"])
+
+
+class TestExperimentCommand:
+    def test_linear_prints_three_figures(self):
+        code, text = run_cli([
+            "experiment", "linear", "--scale", "0.3",
+            "--iterations", "4", "--apps", "readmission",
+        ])
+        assert code == 0
+        assert "Fig 5" in text and "Fig 6" in text and "Fig 7" in text
+
+    def test_merge_prints_fig8_and_speedups(self):
+        code, text = run_cli([
+            "experiment", "merge", "--scale", "0.3", "--apps", "readmission",
+        ])
+        assert code == 0
+        assert "Fig 8" in text
+        assert "speedup" in text
+
+    def test_search_prints_table1(self):
+        code, text = run_cli([
+            "experiment", "search", "--scale", "0.3",
+            "--trials", "10", "--apps", "readmission",
+        ])
+        assert code == 0
+        assert "Table I" in text
+
+    def test_distributed_prints_fig11(self):
+        code, text = run_cli(["experiment", "distributed"])
+        assert code == 0
+        assert "Fig 11a" in text and "Fig 11b" in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            run_cli([])

@@ -1,0 +1,77 @@
+"""Error-hierarchy tests: catchability and message content."""
+
+import pytest
+
+from repro.errors import (
+    BranchNotFoundError,
+    ChunkNotFoundError,
+    CommitNotFoundError,
+    ComponentError,
+    IncompatibleComponentsError,
+    MergeError,
+    MLCaskError,
+    NoCandidateError,
+    NotFittedError,
+    ObjectNotFoundError,
+    PipelineError,
+    RepositoryError,
+    SearchBudgetExhausted,
+    StorageError,
+    VersionError,
+)
+
+ALL_ERRORS = [
+    ChunkNotFoundError("a" * 64),
+    ObjectNotFoundError("key"),
+    StorageError("storage"),
+    VersionError("version"),
+    ComponentError("component"),
+    PipelineError("pipeline"),
+    IncompatibleComponentsError("producer", "consumer"),
+    RepositoryError("repo"),
+    BranchNotFoundError("dev"),
+    CommitNotFoundError("c123"),
+    MergeError("merge"),
+    NoCandidateError("none"),
+    SearchBudgetExhausted(),
+    NotFittedError("Model"),
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS, ids=lambda e: type(e).__name__)
+def test_all_derive_from_mlcask_error(error):
+    assert isinstance(error, MLCaskError)
+
+
+def test_incompatible_names_both_components():
+    error = IncompatibleComponentsError("fe@1.0", "cnn@0.4")
+    assert "fe@1.0" in str(error)
+    assert "cnn@0.4" in str(error)
+    assert error.producer == "fe@1.0"
+    assert error.consumer == "cnn@0.4"
+
+
+def test_incompatible_is_pipeline_error():
+    assert isinstance(IncompatibleComponentsError("a", "b"), PipelineError)
+
+
+def test_chunk_not_found_carries_digest():
+    digest = "f" * 64
+    assert ChunkNotFoundError(digest).digest == digest
+
+
+def test_branch_not_found_carries_branch():
+    assert BranchNotFoundError("dev").branch == "dev"
+
+
+def test_search_budget_carries_best():
+    error = SearchBudgetExhausted(best="pipeline")
+    assert error.best == "pipeline"
+
+
+def test_not_fitted_mentions_estimator():
+    assert "Model" in str(NotFittedError("Model"))
+
+
+def test_no_candidate_is_merge_error():
+    assert isinstance(NoCandidateError("x"), MergeError)

@@ -1,0 +1,114 @@
+"""Evolution script tests: the linear and non-linear histories."""
+
+import pytest
+
+from repro.core import MLCask, PipelineInstance
+from repro.workloads import (
+    ALL_WORKLOADS,
+    apply_nonlinear_history,
+    linear_script,
+    nonlinear_script,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ALL_WORKLOADS["readmission"](scale=0.3, seed=0)
+
+
+class TestLinearScript:
+    def test_ten_iterations(self, workload):
+        steps = linear_script(workload, n_iterations=10, seed=0)
+        assert len(steps) == 10
+        assert steps[0].updates == {}
+
+    def test_final_iteration_incompatible(self, workload):
+        steps = linear_script(workload, n_iterations=10, seed=0)
+        final = steps[-1]
+        assert final.expect_incompatible
+        assert list(final.updates) == [workload.schema_stage]
+        bumped = final.updates[workload.schema_stage]
+        assert bumped.version.schema == 1  # schema domain bumped
+
+    def test_final_combination_actually_incompatible(self, workload):
+        steps = linear_script(workload, n_iterations=10, seed=0)
+        components = workload.initial_components()
+        for step in steps:
+            components.update(step.updates)
+        instance = PipelineInstance(spec=workload.spec, components=components)
+        assert not instance.is_compatible()
+
+    def test_update_mix_respects_probability(self, workload):
+        """Across many seeds, ~40% of middle-iteration updates must be
+        pre-processing updates."""
+        preproc, total = 0, 0
+        for seed in range(30):
+            steps = linear_script(workload, n_iterations=12, seed=seed)
+            for step in steps[1:-1]:
+                stage = next(iter(step.updates))
+                total += 1
+                if stage != workload.model_stage:
+                    preproc += 1
+        assert 0.28 < preproc / total < 0.52
+
+    def test_deterministic_by_seed(self, workload):
+        a = linear_script(workload, seed=3)
+        b = linear_script(workload, seed=3)
+        assert [list(s.updates) for s in a] == [list(s.updates) for s in b]
+
+    def test_each_update_is_fresh_version(self, workload):
+        steps = linear_script(workload, n_iterations=10, seed=1)
+        seen = set()
+        for step in steps[1:]:
+            for component in step.updates.values():
+                assert component.identifier not in seen
+                seen.add(component.identifier)
+
+    def test_minimum_iterations(self, workload):
+        with pytest.raises(ValueError):
+            linear_script(workload, n_iterations=2)
+
+
+class TestNonlinearScript:
+    def test_fig3_shape(self, workload):
+        script = nonlinear_script(workload)
+        assert len(script.dev_commits) == 3
+        assert len(script.head_commits) == 1
+        # second dev commit bumps the schema stage and adapts the model
+        bump = script.dev_commits[1]
+        assert set(bump) == {workload.schema_stage, workload.model_stage}
+        assert bump[workload.schema_stage].version.schema == 1
+
+    def test_apply_builds_fig3_history(self, workload):
+        repo = MLCask(metric=workload.metric, seed=0)
+        apply_nonlinear_history(repo, nonlinear_script(workload))
+        assert repo.head_commit(workload.name, "master").label == "master.0.1"
+        assert repo.head_commit(workload.name, "dev").label == "dev.0.2"
+        ancestor = repo.graph.common_ancestor(
+            repo.head_commit(workload.name, "master").commit_id,
+            repo.head_commit(workload.name, "dev").commit_id,
+        )
+        assert ancestor.label == "master.0.0"
+
+    def test_search_spaces_match_fig4(self, workload):
+        from repro.core.merge import build_merge_scope
+
+        repo = MLCask(metric=workload.metric, seed=0)
+        apply_nonlinear_history(repo, nonlinear_script(workload))
+        scope = build_merge_scope(
+            repo.graph,
+            repo.registry,
+            repo.spec(workload.name),
+            repo.head_commit(workload.name, "master"),
+            repo.head_commit(workload.name, "dev"),
+        )
+        assert len(scope.space(workload.model_stage)) == 5
+        assert len(scope.space(workload.schema_stage)) == 2
+        assert len(scope.space(workload.clean_stage)) == 2
+
+    @pytest.mark.parametrize("app", ["dpm", "sa", "autolearn"])
+    def test_other_apps_histories_apply(self, app):
+        workload = ALL_WORKLOADS[app](scale=0.3, seed=0)
+        repo = MLCask(metric=workload.metric, seed=0)
+        apply_nonlinear_history(repo, nonlinear_script(workload))
+        assert repo.head_commit(workload.name, "dev").label == "dev.0.2"

@@ -1,0 +1,159 @@
+"""Workload tests: all four pipelines run, version semantics, distinctness."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionContext, MLCask, PipelineInstance
+from repro.core.checkpoint import ChunkedCheckpointStore
+from repro.core.executor import Executor
+from repro.data.serialize import payload_to_bytes
+from repro.workloads import ALL_WORKLOADS, library_code_blob
+from repro.core.semver import SemVer
+
+SMALL = dict(scale=0.3, seed=0)
+
+
+@pytest.fixture(params=list(ALL_WORKLOADS), scope="module")
+def workload(request):
+    return ALL_WORKLOADS[request.param](**SMALL)
+
+
+class TestStructure:
+    def test_spec_chain(self, workload):
+        spec = workload.spec
+        assert spec.stages[0] == "dataset"
+        assert spec.sinks() == [workload.model_stage]
+
+    def test_schema_stage_feeds_model(self, workload):
+        """The designed incompatibility must hit 'between the last two
+        components' (section VII-B)."""
+        assert workload.upstream_stage(workload.model_stage) == workload.schema_stage
+
+    def test_initial_components_compatible(self, workload):
+        instance = PipelineInstance(
+            spec=workload.spec, components=workload.initial_components()
+        )
+        assert instance.is_compatible()
+
+    def test_version_numbering(self, workload):
+        stage = workload.schema_stage
+        v00 = workload.stage_version(stage, 0)
+        v01 = workload.stage_version(stage, 1)
+        v10 = workload.stage_version(stage, 0, out_variant=1)
+        assert v00.version == SemVer("master", 0, 0)
+        assert v01.version == SemVer("master", 0, 1)
+        assert v10.version == SemVer("master", 1, 0)
+
+    def test_schema_variant_changes_output_tag(self, workload):
+        stage = workload.schema_stage
+        v0 = workload.stage_version(stage, 0, out_variant=0)
+        v1 = workload.stage_version(stage, 0, out_variant=1)
+        assert v0.output_schema != v1.output_schema
+
+    def test_schema_bump_breaks_model_compat(self, workload):
+        bumped = workload.stage_version(workload.schema_stage, 0, out_variant=1)
+        model = workload.model_version(0, in_variant=0)
+        assert not model.accepts(bumped.output_schema)
+        adapted = workload.model_version(1, in_variant=1)
+        assert adapted.accepts(bumped.output_schema)
+
+    def test_components_cached(self, workload):
+        a = workload.stage_version(workload.model_stage, 0)
+        b = workload.stage_version(workload.model_stage, 0)
+        assert a is b
+
+    def test_unknown_stage_rejected(self, workload):
+        with pytest.raises(ValueError):
+            workload.stage_version("ghost", 0)
+
+
+class TestExecution:
+    def test_initial_pipeline_runs_and_scores(self, workload):
+        repo = MLCask(metric=workload.metric, seed=1)
+        commit, report = repo.create_pipeline(
+            workload.spec, workload.initial_components()
+        )
+        assert not report.failed
+        assert 0.0 <= commit.score <= 1.0
+
+    def test_versions_produce_distinct_outputs(self, workload):
+        """Successive versions of every stage must emit different bytes —
+        otherwise content-addressing would silently alias them. Checked
+        deep into the family (idx 0/1 and 5/6) to catch saturating
+        parameter ladders."""
+        executor = Executor(ChunkedCheckpointStore(), metric=workload.metric)
+        context = ExecutionContext(seed=1, metric=workload.metric)
+        base = PipelineInstance(
+            spec=workload.spec, components=workload.initial_components()
+        )
+        base_report = executor.run(base, context)
+        for stage in workload.preprocessing_stages:
+            refs = {base_report.stage(stage).output_ref}
+            for idx in (1, 5, 6):
+                updated = base.with_updates(
+                    {stage: workload.stage_version(stage, idx)}
+                )
+                report = executor.run(updated, context)
+                ref = report.stage(stage).output_ref
+                assert ref not in refs, (
+                    f"{stage} version {idx} produced output identical to an "
+                    "earlier version"
+                )
+                refs.add(ref)
+
+    def test_deterministic_scores(self, workload):
+        scores = []
+        for _ in range(2):
+            repo = MLCask(metric=workload.metric, seed=5)
+            commit, _ = repo.create_pipeline(
+                workload.spec, workload.initial_components()
+            )
+            scores.append(commit.score)
+        assert scores[0] == scores[1]
+
+
+class TestCostProfiles:
+    def test_readmission_training_dominates(self):
+        workload = ALL_WORKLOADS["readmission"](scale=1.0, seed=0)
+        repo = MLCask(metric=workload.metric, seed=1)
+        _, report = repo.create_pipeline(workload.spec, workload.initial_components())
+        non_dataset_preproc = sum(
+            r.run_seconds
+            for r in report.stage_reports
+            if not r.is_model and r.stage != "dataset"
+        )
+        assert report.training_seconds > non_dataset_preproc
+
+    @pytest.mark.parametrize("app", ["dpm", "sa", "autolearn"])
+    def test_preprocessing_dominates(self, app):
+        workload = ALL_WORKLOADS[app](scale=1.0, seed=0)
+        repo = MLCask(metric=workload.metric, seed=1)
+        _, report = repo.create_pipeline(workload.spec, workload.initial_components())
+        assert report.preprocessing_seconds > report.training_seconds
+
+
+class TestLibraryCodeBlob:
+    def test_deterministic(self):
+        v = SemVer("master", 0, 1)
+        assert library_code_blob("lib", v) == library_code_blob("lib", v)
+
+    def test_versions_mostly_shared(self):
+        a = library_code_blob("lib", SemVer("master", 0, 0))
+        b = library_code_blob("lib", SemVer("master", 0, 1))
+        assert a != b
+        same = sum(1 for x, y in zip(a, b) if x == y)
+        assert same > 0.99 * len(a)
+
+    def test_schema_change_edits_more(self):
+        base = library_code_blob("lib", SemVer("master", 0, 0))
+        increment = library_code_blob("lib", SemVer("master", 0, 1))
+        schema = library_code_blob("lib", SemVer("master", 1, 0))
+        diff_inc = sum(1 for x, y in zip(base, increment) if x != y)
+        diff_schema = sum(1 for x, y in zip(base, schema) if x != y)
+        assert diff_schema > diff_inc
+
+    def test_different_libraries_unrelated(self):
+        a = library_code_blob("lib_a", SemVer())
+        b = library_code_blob("lib_b", SemVer())
+        same = sum(1 for x, y in zip(a, b) if x == y)
+        assert same < 0.05 * len(a)
