@@ -52,7 +52,7 @@ from .errors import (
     VersionError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ANY_SCHEMA",

@@ -1,6 +1,7 @@
 """Baseline systems: policy-faithful ModelDB and MLflow simulators."""
 
 from .base import IterationRecord, TrackingSystem
+from .cost_model import SimulatedCostModel
 from .mlcask_adapter import MLCaskLinear
 from .mlflow import MLflowSim
 from .modeldb import ModelDBSim
@@ -13,6 +14,7 @@ ALL_SYSTEMS = {
 
 __all__ = [
     "IterationRecord",
+    "SimulatedCostModel",
     "TrackingSystem",
     "MLCaskLinear",
     "MLflowSim",

@@ -17,6 +17,12 @@ schedule, so measured differences are attributable to the policies alone.
 Each system also archives every new library version it sees — the
 baselines as full folder copies, MLCask through its chunk-deduplicating
 engine (section VII-C's library-version dedup).
+
+Per-run time accounting is *simulated*, not wall clock: the
+:class:`SimulatedCostModel` charges deterministic seconds for the stages
+executed and the physical bytes written, so the cross-system orderings
+the figures plot (and the tests assert) are stable properties of the
+policies rather than of scheduler noise.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from ..core.context import ExecutionContext
 from ..core.executor import Executor, RunReport
 from ..core.pipeline import PipelineInstance
 from ..workloads.base import Workload, library_code_blob
+from .cost_model import SimulatedCostModel
 
 
 @dataclass
@@ -59,6 +66,7 @@ class TrackingSystem(ABC):
         self.instance: PipelineInstance | None = None
         self._known_libraries: set[str] = set()
         self.records: list[IterationRecord] = []
+        self.cost = SimulatedCostModel()
 
     # ------------------------------------------------------------ interface
     @abstractmethod
@@ -66,7 +74,8 @@ class TrackingSystem(ABC):
 
     @abstractmethod
     def _archive_library(self, component: LibraryComponent, blob: bytes) -> float:
-        """Persist a library version; return seconds spent."""
+        """Persist a library version; return *simulated* seconds spent
+        (physical bytes written, priced by the cost model)."""
 
     @abstractmethod
     def _storage_bytes(self) -> int:
@@ -109,14 +118,22 @@ class TrackingSystem(ABC):
             self.records.append(record)
             return record
 
+        physical_before = self._storage_bytes()
         report = self._executor().run(
             self.instance, ExecutionContext(seed=self.seed, metric=self.workload.metric)
         )
+        written = self._storage_bytes() - physical_before
         record.failed = report.failed
-        record.preprocessing_seconds = report.preprocessing_seconds
-        record.training_seconds = report.training_seconds
-        record.storage_seconds = report.storage_seconds + store_seconds
-        record.total_seconds = report.pipeline_seconds + store_seconds
+        record.preprocessing_seconds = self.cost.preprocessing_seconds(report)
+        record.training_seconds = self.cost.training_seconds(report)
+        record.storage_seconds = (
+            self.cost.checkpoint_storage_seconds(report, written) + store_seconds
+        )
+        record.total_seconds = (
+            record.preprocessing_seconds
+            + record.training_seconds
+            + record.storage_seconds
+        )
         record.score = report.score
         record.n_executed = report.n_executed
         record.n_reused = report.n_reused

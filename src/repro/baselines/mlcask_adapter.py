@@ -9,8 +9,6 @@ iteration is refused before any component runs.
 
 from __future__ import annotations
 
-import time
-
 from ..core.checkpoint import ChunkedCheckpointStore
 from ..core.component import LibraryComponent
 from ..core.executor import Executor
@@ -37,9 +35,11 @@ class MLCaskLinear(TrackingSystem):
         return self.executor
 
     def _archive_library(self, component: LibraryComponent, blob: bytes) -> float:
-        start = time.perf_counter()
+        before = self.library_objects.stats.physical_bytes
         self.library_objects.put(blob)
-        return time.perf_counter() - start
+        return self.cost.store_seconds(
+            self.library_objects.stats.physical_bytes - before
+        )
 
     def _storage_bytes(self) -> int:
         return (

@@ -9,8 +9,6 @@ separate folders". Policy: ``reuse=False`` over a folder checkpoint store.
 
 from __future__ import annotations
 
-import time
-
 from ..core.checkpoint import FolderCheckpointStore
 from ..core.component import LibraryComponent
 from ..core.executor import Executor
@@ -36,11 +34,13 @@ class ModelDBSim(TrackingSystem):
         return self.executor
 
     def _archive_library(self, component: LibraryComponent, blob: bytes) -> float:
-        start = time.perf_counter()
+        before = self.library_store.stats.physical_bytes
         self.library_store.archive(
             component.name, component.version.full, blob
         )
-        return time.perf_counter() - start
+        return self.cost.store_seconds(
+            self.library_store.stats.physical_bytes - before
+        )
 
     def _storage_bytes(self) -> int:
         return (

@@ -1,4 +1,4 @@
-"""Command-line interface: demos and experiment drivers.
+"""Command-line interface: demos, experiment drivers, and remote sync.
 
 Usage::
 
@@ -9,8 +9,16 @@ Usage::
     python -m repro experiment search         # regenerate Fig. 10 + Table I
     python -m repro experiment distributed    # regenerate Fig. 11
 
-``--scale`` resizes workloads (1.0 = the benchmark default), ``--seed``
-fixes all randomness.
+    python -m repro init REPO --workload readmission   # repo dir on disk
+    python -m repro serve REPO --port 8321             # expose it over HTTP
+    python -m repro clone SRC DEST                     # SRC: URL or repo dir
+    python -m repro push REPO REMOTE                   # fast-forward publish
+    python -m repro pull REPO REMOTE                   # sync (+merge) back
+
+Remotes are either ``http://host:port`` endpoints (a running ``serve``)
+or plain repository-directory paths, synced in-process through the same
+wire protocol. ``--scale`` resizes workloads (1.0 = the benchmark
+default), ``--seed`` fixes all randomness.
 """
 
 from __future__ import annotations
@@ -49,6 +57,57 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--apps", nargs="+", default=["readmission", "dpm", "sa", "autolearn"]
     )
+
+    init = sub.add_parser(
+        "init", help="create an on-disk repository seeded with a workload"
+    )
+    init.add_argument("repo", help="repository directory to create")
+    init.add_argument(
+        "--workload", choices=["readmission", "dpm", "sa", "autolearn"],
+        default="readmission",
+    )
+    init.add_argument("--scale", type=float, default=0.5)
+    init.add_argument("--seed", type=int, default=0)
+    init.add_argument(
+        "--commits", type=int, default=1,
+        help="model-update commits to create after master.0.0",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve a repository directory over HTTP"
+    )
+    serve.add_argument("repo", help="repository directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--requests", type=int, default=None,
+        help="exit after handling N requests (default: serve forever)",
+    )
+
+    clone = sub.add_parser("clone", help="clone a remote into a new directory")
+    clone.add_argument("source", help="http:// URL or repository directory")
+    clone.add_argument("dest", help="directory to create the clone in")
+
+    push = sub.add_parser("push", help="publish a branch to a remote")
+    push.add_argument("repo", help="local repository directory")
+    push.add_argument("remote", help="http:// URL or repository directory")
+    push.add_argument("--pipeline", default=None)
+    push.add_argument("--branch", default="master")
+
+    pull = sub.add_parser("pull", help="sync a branch from a remote")
+    pull.add_argument("repo", help="local repository directory")
+    pull.add_argument("remote", help="http:// URL or repository directory")
+    pull.add_argument("--pipeline", default=None)
+    pull.add_argument("--branch", default="master")
+    pull.add_argument(
+        "--workload", choices=["readmission", "dpm", "sa", "autolearn"],
+        default=None,
+        help="rebind component executables from this workload family so a "
+        "diverged pull can run the metric-driven merge (use the same "
+        "--scale/--seed the repository was built with)",
+    )
+    pull.add_argument("--scale", type=float, default=0.5)
+    pull.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -129,14 +188,199 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+# ------------------------------------------------------------ remote verbs
+def _transport_for(target: str, persist: bool = False):
+    """A transport to ``target``: HTTP URL or repository-directory path.
+
+    Directory remotes are loaded and served in-process over the same wire
+    protocol as HTTP; with ``persist`` the directory is rewritten after
+    every state-mutating request (i.e. a received push sticks).
+    """
+    from .core.repository import MLCask
+    from .remote.server import RepositoryServer
+    from .remote.transport import HttpTransport, LocalTransport
+
+    if target.startswith(("http://", "https://")):
+        return HttpTransport(target)
+    on_change = (lambda repo: repo.save_dir(target)) if persist else None
+    return LocalTransport(
+        RepositoryServer(MLCask.load_dir(target), on_change=on_change)
+    )
+
+
+def _only_pipeline(repo, requested: str | None) -> str:
+    from .errors import RepositoryError
+
+    if requested is not None:
+        return requested
+    pipelines = repo.branches.pipelines()
+    if len(pipelines) == 1:
+        return pipelines[0]
+    raise RepositoryError(
+        f"--pipeline required (repository has {len(pipelines)} pipelines: "
+        f"{', '.join(pipelines) or 'none'})"
+    )
+
+
+def _cmd_init(args, out) -> int:
+    from .core.repository import MLCask
+    from .workloads import ALL_WORKLOADS
+
+    workload = ALL_WORKLOADS[args.workload](scale=args.scale, seed=args.seed)
+    repo = MLCask(metric=workload.metric, seed=args.seed)
+    repo.create_pipeline(
+        workload.spec, workload.initial_components(), message="initial pipeline"
+    )
+    for idx in range(1, args.commits + 1):
+        repo.commit(
+            workload.name,
+            {workload.model_stage: workload.model_version(idx)},
+            message=f"model update {idx}",
+        )
+    repo.save_dir(args.repo)
+    head = repo.head_commit(workload.name)
+    print(
+        f"initialized {args.repo}: pipeline {workload.name!r} "
+        f"at {head.label} ({len(repo.graph)} commits)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    from .core.repository import MLCask
+    from .remote.server import serve
+
+    repo = MLCask.load_dir(args.repo)
+    server = serve(
+        repo,
+        host=args.host,
+        port=args.port,
+        on_change=lambda r: r.save_dir(args.repo),
+    )
+    print(f"serving {args.repo} at {server.url}/rpc", file=out)
+    try:
+        if args.requests is not None:
+            # Bounded serving must not exit with the last response still
+            # in flight on a daemon thread: make server_close() join the
+            # handler threads before returning.
+            server.daemon_threads = False
+            for _ in range(args.requests):
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_clone(args, out) -> int:
+    import os
+
+    from .core.repository import MLCask
+    from .errors import RemoteError
+
+    if os.path.exists(args.dest) and (
+        not os.path.isdir(args.dest) or os.listdir(args.dest)
+    ):
+        raise RemoteError(f"destination {args.dest!r} exists and is not empty")
+    transport = _transport_for(args.source)
+    repo = MLCask.clone(transport)
+    repo.save_dir(args.dest)
+    n_refs = sum(
+        len([b for b in repo.branches.branches(p) if "/" not in b])
+        for p in repo.branches.pipelines()
+    )
+    print(
+        f"cloned {args.source} -> {args.dest}: {len(repo.graph)} commits, "
+        f"{n_refs} refs, {transport.bytes_transferred} bytes on the wire",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_push(args, out) -> int:
+    from .core.repository import MLCask
+
+    repo = MLCask.load_dir(args.repo)
+    pipeline = _only_pipeline(repo, args.pipeline)
+    remote = repo.add_remote("origin", _transport_for(args.remote, persist=True))
+    result = remote.push(pipeline, args.branch)
+    if result.up_to_date:
+        print(f"{pipeline}:{args.branch} already up to date", file=out)
+    else:
+        print(
+            f"pushed {pipeline}:{args.branch}: {result.commits_sent} commits, "
+            f"{result.chunks_sent} chunks ({result.chunk_bytes_sent} bytes)",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_pull(args, out) -> int:
+    from .core.repository import MLCask
+
+    repo = MLCask.load_dir(args.repo)
+    pipeline = _only_pipeline(repo, args.pipeline)
+    remote = repo.add_remote("origin", _transport_for(args.remote))
+    if args.workload is not None:
+        from .workloads import ALL_WORKLOADS
+
+        # Fetch first so components referenced only by upstream commits
+        # are part of the history being rebound.
+        remote.fetch(pipeline, [args.branch])
+        workload = ALL_WORKLOADS[args.workload](scale=args.scale, seed=args.seed)
+        bound = workload.rebind(repo)
+        print(f"rebound {bound} components from workload {args.workload!r}", file=out)
+    from .errors import RemoteError, RepositoryError
+
+    try:
+        result = remote.pull(pipeline, args.branch)
+    except RepositoryError as error:
+        if "unknown component" in str(error):
+            raise RemoteError(
+                f"{error}; a diverged pull runs the metric-driven merge, "
+                "which needs live components — retry with --workload "
+                "(and the --scale/--seed the repository was built with)"
+            ) from error
+        raise
+    repo.save_dir(args.repo)
+    line = (
+        f"pulled {pipeline}:{args.branch}: {result.action}, "
+        f"{result.fetch.commits_received} commits, "
+        f"{result.fetch.chunks_received} chunks received"
+    )
+    if result.outcome is not None:
+        line += f"\n{result.outcome.summary()}"
+    print(line, file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
+    from .errors import MLCaskError
+
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
     if args.command == "workloads":
         return _cmd_workloads(out)
     if args.command == "demo":
         return _cmd_demo(args, out)
+    if args.command in ("init", "serve", "clone", "push", "pull"):
+        handler = {
+            "init": _cmd_init,
+            "serve": _cmd_serve,
+            "clone": _cmd_clone,
+            "push": _cmd_push,
+            "pull": _cmd_pull,
+        }[args.command]
+        try:
+            return handler(args, out)
+        except MLCaskError as error:
+            print(f"error: {error}", file=out)
+            return 1
     return _cmd_experiment(args, out)
 
 

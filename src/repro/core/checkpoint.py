@@ -109,6 +109,19 @@ class CheckpointStore(ABC):
     def records(self) -> list[CheckpointRecord]:
         return list(self._index.values())
 
+    def import_record(self, record: CheckpointRecord) -> bool:
+        """Adopt a record replicated from a peer or loaded from disk.
+
+        The key is content-derived (component fingerprint + input
+        content), so an imported record enables checkpoint reuse here
+        under exactly the conditions it did at its origin. Returns False
+        when the key is already indexed.
+        """
+        if record.key in self._index:
+            return False
+        self._index[record.key] = record
+        return True
+
     def prune(self, live_refs: set[str]) -> int:
         """Drop index entries whose output is no longer held (post-GC);
         returns the number of records removed."""

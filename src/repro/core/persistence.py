@@ -1,4 +1,4 @@
-"""Repository persistence: save/load the version-control state as JSON.
+"""Repository persistence: save/load the version-control state.
 
 What persists is the *metadata* half of MLCask — the commit graph, branch
 pointers, specs, and per-commit component references. Component
@@ -7,10 +7,25 @@ re-binds commits to components through a registry the caller provides
 (the same separation the paper uses: the library repository stores
 executables, the pipeline repository stores references).
 
-Checkpointed outputs are content-addressed; a loaded repository starts
-with an empty checkpoint store and repopulates it lazily on the next runs
-(every re-execution is deterministic, so the archive converges to the
-same content).
+Two layouts are supported:
+
+* a single JSON file (:func:`save_repository` / :func:`load_repository`)
+  holding only the version-control state. Checkpointed outputs are
+  content-addressed; a repository loaded this way starts with an empty
+  checkpoint store and repopulates it lazily on the next runs (every
+  re-execution is deterministic, so the archive converges to the same
+  content);
+* a *repository directory* (:func:`save_repository_dir` /
+  :func:`load_repository_dir`) that additionally persists the
+  content-addressed store — chunks in a git-style object directory,
+  recipes and the checkpoint index as JSON — so a reloaded repository can
+  serve clones and reuse archived outputs without re-running anything.
+  This is the on-disk format behind the ``repro serve/clone/push/pull``
+  CLI verbs.
+
+The per-object dict codecs (:func:`commit_to_dict` & friends) are shared
+with the remote-sync wire protocol: a pack travelling over a transport
+and a state file resting on disk serialize commits identically.
 """
 
 from __future__ import annotations
@@ -19,39 +34,118 @@ import json
 import os
 
 from ..errors import RepositoryError
+from ..storage.chunk_store import FileChunkStore
+from ..storage.object_store import Recipe
+from .checkpoint import CheckpointRecord
 from .commit import PipelineCommit
 from .pipeline import PipelineSpec
 from .semver import SemVer
 
 FORMAT_VERSION = 1
 
+STATE_FILE = "state.json"
+OBJECTS_DIR = "objects"
+RECIPES_FILE = "recipes.json"
+CHECKPOINTS_FILE = "checkpoints.json"
 
+
+# ------------------------------------------------------------- dict codecs
+def commit_to_dict(commit: PipelineCommit) -> dict:
+    return {
+        "commit_id": commit.commit_id,
+        "pipeline": commit.pipeline,
+        "version": commit.version.dotted,
+        "branch": commit.branch,
+        "parents": list(commit.parents),
+        "component_versions": dict(commit.component_versions),
+        "component_fingerprints": dict(commit.component_fingerprints),
+        "stage_outputs": dict(commit.stage_outputs),
+        "metrics": dict(commit.metrics),
+        "score": commit.score,
+        "message": commit.message,
+        "author": commit.author,
+        "sequence": commit.sequence,
+    }
+
+
+def commit_from_dict(entry: dict) -> PipelineCommit:
+    return PipelineCommit(
+        commit_id=entry["commit_id"],
+        pipeline=entry["pipeline"],
+        version=SemVer.parse_dotted(entry["version"]),
+        branch=entry["branch"],
+        parents=tuple(entry["parents"]),
+        component_versions=entry["component_versions"],
+        component_fingerprints=entry["component_fingerprints"],
+        stage_outputs=entry["stage_outputs"],
+        metrics=entry["metrics"],
+        score=entry["score"],
+        message=entry["message"],
+        author=entry["author"],
+        sequence=entry["sequence"],
+    )
+
+
+def spec_to_dict(spec: PipelineSpec) -> dict:
+    return {
+        "stages": list(spec.stages),
+        "edges": [list(edge) for edge in spec.edges],
+    }
+
+
+def spec_from_dict(name: str, entry: dict) -> PipelineSpec:
+    return PipelineSpec(
+        name=name,
+        stages=tuple(entry["stages"]),
+        edges=tuple(tuple(edge) for edge in entry["edges"]),
+    )
+
+
+def recipe_to_dict(recipe: Recipe) -> dict:
+    return {
+        "blob": recipe.blob_digest,
+        "chunks": list(recipe.chunk_digests),
+        "size": recipe.size,
+    }
+
+
+def recipe_from_dict(entry: dict) -> Recipe:
+    return Recipe(
+        blob_digest=entry["blob"],
+        chunk_digests=tuple(entry["chunks"]),
+        size=entry["size"],
+    )
+
+
+def record_to_dict(record: CheckpointRecord) -> dict:
+    return {
+        "key": record.key,
+        "component_id": record.component_id,
+        "output_ref": record.output_ref,
+        "output_bytes": record.output_bytes,
+        "run_seconds": record.run_seconds,
+        "metrics": dict(record.metrics),
+    }
+
+
+def record_from_dict(entry: dict) -> CheckpointRecord:
+    return CheckpointRecord(
+        key=entry["key"],
+        component_id=entry["component_id"],
+        output_ref=entry["output_ref"],
+        output_bytes=entry["output_bytes"],
+        run_seconds=entry["run_seconds"],
+        metrics=dict(entry["metrics"]),
+    )
+
+
+# ------------------------------------------------------------- state file
 def repository_state(repo) -> dict:
     """Serializable snapshot of a repository's version-control state."""
-    commits = []
-    for commit in repo.graph.all_commits():
-        commits.append({
-            "commit_id": commit.commit_id,
-            "pipeline": commit.pipeline,
-            "version": commit.version.dotted,
-            "branch": commit.branch,
-            "parents": list(commit.parents),
-            "component_versions": dict(commit.component_versions),
-            "component_fingerprints": dict(commit.component_fingerprints),
-            "stage_outputs": dict(commit.stage_outputs),
-            "metrics": dict(commit.metrics),
-            "score": commit.score,
-            "message": commit.message,
-            "author": commit.author,
-            "sequence": commit.sequence,
-        })
-    specs = {}
-    for name in repo.branches.pipelines():
-        spec = repo.spec(name)
-        specs[name] = {
-            "stages": list(spec.stages),
-            "edges": [list(edge) for edge in spec.edges],
-        }
+    commits = [commit_to_dict(c) for c in repo.graph.all_commits()]
+    specs = {
+        name: spec_to_dict(repo.spec(name)) for name in repo.branches.pipelines()
+    }
     heads = {
         pipeline: {
             branch: repo.branches.head(pipeline, branch)
@@ -109,30 +203,10 @@ def load_repository(path: str | os.PathLike[str], registry=None, repo=None):
         repo.registry = registry
 
     for name, spec_state in state["specs"].items():
-        spec = PipelineSpec(
-            name=name,
-            stages=tuple(spec_state["stages"]),
-            edges=tuple(tuple(edge) for edge in spec_state["edges"]),
-        )
-        repo._specs[name] = spec
+        repo._specs[name] = spec_from_dict(name, spec_state)
 
     for entry in state["commits"]:
-        commit = PipelineCommit(
-            commit_id=entry["commit_id"],
-            pipeline=entry["pipeline"],
-            version=SemVer.parse_dotted(entry["version"]),
-            branch=entry["branch"],
-            parents=tuple(entry["parents"]),
-            component_versions=entry["component_versions"],
-            component_fingerprints=entry["component_fingerprints"],
-            stage_outputs=entry["stage_outputs"],
-            metrics=entry["metrics"],
-            score=entry["score"],
-            message=entry["message"],
-            author=entry["author"],
-            sequence=entry["sequence"],
-        )
-        repo.graph.add(commit)
+        repo.graph.add(commit_from_dict(entry))
 
     for pipeline, branches in state["heads"].items():
         for branch, head in branches.items():
@@ -142,4 +216,78 @@ def load_repository(path: str | os.PathLike[str], registry=None, repo=None):
             for _ in range(count):
                 repo.branches.note_commit(pipeline, branch)
     repo._sequence = state["sequence"]
+    return repo
+
+
+# ------------------------------------------------------ directory layout
+def save_repository_dir(repo, path: str | os.PathLike[str]) -> None:
+    """Persist state *and* content under a repository directory.
+
+    Layout::
+
+        <dir>/state.json        version-control state (as save_repository)
+        <dir>/objects/ab/cdef.. chunks, git-style two-char fan-out
+        <dir>/recipes.json      blob digest -> ordered chunk digests
+        <dir>/checkpoints.json  checkpoint index (reuse metadata)
+    """
+    root = os.fspath(path)
+    os.makedirs(root, exist_ok=True)
+    save_repository(repo, os.path.join(root, STATE_FILE))
+
+    disk = FileChunkStore(os.path.join(root, OBJECTS_DIR))
+    chunks = repo.objects.chunks
+    held = set(chunks.digests())
+    for digest in held:
+        if not disk.contains(digest):
+            disk.import_chunk(digest, chunks.get(digest))
+    # Mirror deletions too: chunks the repository no longer holds (e.g.
+    # swept by gc) must not resurrect from disk on the next load.
+    for digest in disk.digests():
+        if digest not in held:
+            disk.discard(digest)
+
+    with open(os.path.join(root, RECIPES_FILE), "w") as fh:
+        json.dump(
+            {"recipes": [recipe_to_dict(r) for r in repo.objects.recipes()]},
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+    with open(os.path.join(root, CHECKPOINTS_FILE), "w") as fh:
+        json.dump(
+            {"records": [record_to_dict(r) for r in repo.checkpoints.records()]},
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def is_repository_dir(path: str | os.PathLike[str]) -> bool:
+    return os.path.isfile(os.path.join(os.fspath(path), STATE_FILE))
+
+
+def load_repository_dir(path: str | os.PathLike[str], registry=None):
+    """Rebuild a repository (state + content) from a repository directory."""
+    root = os.fspath(path)
+    if not is_repository_dir(root):
+        raise RepositoryError(f"not a repository directory: {root}")
+    repo = load_repository(os.path.join(root, STATE_FILE), registry=registry)
+
+    objects_root = os.path.join(root, OBJECTS_DIR)
+    if os.path.isdir(objects_root):
+        disk = FileChunkStore(objects_root)
+        for digest in disk.digests():
+            repo.objects.import_chunk(digest, disk.get(digest))
+
+    recipes_path = os.path.join(root, RECIPES_FILE)
+    if os.path.isfile(recipes_path):
+        with open(recipes_path) as fh:
+            for entry in json.load(fh)["recipes"]:
+                repo.objects.add_recipe(recipe_from_dict(entry))
+
+    checkpoints_path = os.path.join(root, CHECKPOINTS_FILE)
+    if os.path.isfile(checkpoints_path):
+        with open(checkpoints_path) as fh:
+            for entry in json.load(fh)["records"]:
+                repo.checkpoints.import_record(record_from_dict(entry))
     return repo

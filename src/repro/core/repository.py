@@ -138,6 +138,7 @@ class MLCask:
         self.pipeline_repo = VersionedKV()
         self._specs: dict[str, PipelineSpec] = {}
         self._sequence = 0
+        self._remotes: dict[str, object] = {}
 
     # ------------------------------------------------------------ plumbing
     def spec(self, pipeline: str) -> PipelineSpec:
@@ -463,6 +464,43 @@ class MLCask:
         self.checkpoints.prune(live)
         return collect_garbage(self.objects, live)
 
+    # -------------------------------------------------------------- remotes
+    def add_remote(self, name: str, transport):
+        """Register a peer repository under ``name`` (like ``git remote add``).
+
+        ``transport`` is any :class:`repro.remote.Transport` — a
+        :class:`LocalTransport` around an in-process server, or an
+        :class:`HttpTransport` pointed at a ``repro serve`` endpoint.
+        Returns the :class:`repro.remote.Remote` handle.
+        """
+        from ..remote.client import Remote
+
+        remote = Remote(self, transport, name=name)
+        self._remotes[name] = remote
+        return remote
+
+    def remote(self, name: str = "origin"):
+        """The :class:`repro.remote.Remote` registered under ``name``."""
+        if name not in self._remotes:
+            raise RepositoryError(f"unknown remote {name!r}")
+        return self._remotes[name]
+
+    def remotes(self) -> list[str]:
+        return sorted(self._remotes)
+
+    @classmethod
+    def clone(
+        cls,
+        transport,
+        registry: ComponentRegistry | None = None,
+        name: str = "origin",
+    ) -> "MLCask":
+        """Replicate a peer repository end to end; see
+        :func:`repro.remote.clone_repository`."""
+        from ..remote.client import clone_repository
+
+        return clone_repository(transport, registry=registry, name=name)
+
     # ---------------------------------------------------------- persistence
     def save(self, path) -> None:
         """Persist the version-control state (commits, branches, specs)."""
@@ -477,3 +515,20 @@ class MLCask:
         from .persistence import load_repository
 
         return load_repository(path, registry=registry)
+
+    def save_dir(self, path) -> None:
+        """Persist state *and* content (chunks, recipes, checkpoint index)
+        under a repository directory — the on-disk format the remote CLI
+        verbs (``repro serve/clone/push/pull``) operate on."""
+        from .persistence import save_repository_dir
+
+        save_repository_dir(self, path)
+
+    @classmethod
+    def load_dir(
+        cls, path, registry: ComponentRegistry | None = None
+    ) -> "MLCask":
+        """Rebuild a repository saved with :meth:`save_dir`."""
+        from .persistence import load_repository_dir
+
+        return load_repository_dir(path, registry=registry)

@@ -32,6 +32,20 @@ class ObjectNotFoundError(StorageError):
         self.key = key
 
 
+class ChunkIntegrityError(StorageError):
+    """A chunk's bytes do not hash to their claimed content address.
+
+    Raised when importing chunks received from an untrusted source (a
+    remote peer, an on-disk object directory): content addressing makes
+    corruption detectable at the moment of receipt, before the bad bytes
+    can ever be served back under a digest they do not match.
+    """
+
+    def __init__(self, digest: str):
+        super().__init__(f"chunk integrity check failed for {digest}")
+        self.digest = digest
+
+
 class VersionError(MLCaskError):
     """Semantic-version parsing or bumping failed."""
 
@@ -96,6 +110,35 @@ class SearchBudgetExhausted(MergeError):
     def __init__(self, best=None):
         super().__init__("search budget exhausted before covering all candidates")
         self.best = best
+
+
+class RemoteError(MLCaskError):
+    """A remote-repository operation (clone/fetch/push/pull) failed."""
+
+
+class TransportError(RemoteError):
+    """The transport could not deliver a request or response."""
+
+
+class RemoteProtocolError(RemoteError):
+    """A wire message was malformed or of an unsupported version."""
+
+
+class PushRejectedError(RemoteError):
+    """The server refused a ref update (non-fast-forward push).
+
+    Mirrors git's behaviour: the client must first pull — which, when the
+    branches diverged, resolves the divergence through the metric-driven
+    merge — and push the merge result instead.
+    """
+
+    def __init__(self, pipeline: str, branch: str, reason: str):
+        super().__init__(
+            f"push of {pipeline}:{branch} rejected: {reason}"
+        )
+        self.pipeline = pipeline
+        self.branch = branch
+        self.reason = reason
 
 
 class NotFittedError(MLCaskError):

@@ -1,0 +1,48 @@
+"""Remote repository sync: serve/clone/push/pull with dedup-aware transfer.
+
+This subsystem turns single-process MLCask repositories into the
+multi-user collaborative system the paper describes: repositories
+exchange commit graphs, branch refs, and content-addressed chunks over a
+:class:`Transport`, negotiating at the chunk level so only content the
+peer lacks ever crosses the wire (the DataHub-style dedup-at-scale idea
+applied to pipeline version control).
+
+Layering::
+
+    protocol.py    framed JSON + raw-chunk wire format
+    transport.py   Transport ABC, LocalTransport (in-process), HttpTransport
+    pack.py        pack assembly/import over storage + core primitives
+    server.py      RepositoryServer (op handlers) + stdlib HTTP serve()
+    client.py      Remote: clone / fetch / push / pull
+
+Quickstart::
+
+    from repro.remote import LocalTransport, RepositoryServer, clone_repository
+
+    server = RepositoryServer(shared_repo)
+    mine = clone_repository(LocalTransport(server), registry=shared_repo.registry)
+    mine.commit(...)                       # work locally
+    mine.remote("origin").push(name)       # publish (fast-forward only)
+    mine.remote("origin").pull(name)       # diverged? metric-driven merge
+"""
+
+from .client import FetchResult, PullResult, PushResult, Remote, clone_repository
+from .protocol import decode_message, encode_message
+from .server import RepositoryServer, SyncHTTPServer, serve
+from .transport import HttpTransport, LocalTransport, Transport
+
+__all__ = [
+    "FetchResult",
+    "HttpTransport",
+    "LocalTransport",
+    "PullResult",
+    "PushResult",
+    "Remote",
+    "RepositoryServer",
+    "SyncHTTPServer",
+    "Transport",
+    "clone_repository",
+    "decode_message",
+    "encode_message",
+    "serve",
+]

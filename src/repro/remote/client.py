@@ -1,0 +1,274 @@
+"""Remote handles: clone, fetch, push, and pull against a peer repository.
+
+The client half of the sync protocol. A :class:`Remote` binds one local
+``MLCask`` to one transport and implements the git-shaped verbs on top of
+chunk-level content negotiation:
+
+* **fetch** — pull the peer's commit graph (minus commits already held),
+  recipes, and checkpoint records; then request *only* the chunks the
+  local store lacks. Remote branch heads land as tracking refs named
+  ``<remote>/<branch>``.
+* **pull** — fetch, then move the local branch: fast-forward when the
+  histories allow it, otherwise resolve the divergence with MLCask's own
+  metric-driven merge against the tracking ref (the collaborative-merge
+  story of paper section V, now spanning repositories).
+* **push** — offer reachable commits, learn which the server lacks, send
+  those plus exactly the chunks the server reports missing. The server
+  only fast-forwards refs; a diverged push raises
+  :class:`PushRejectedError` and is resolved client-side via ``pull``.
+* **clone** — bootstrap a fresh repository from a peer's manifest plus
+  one full fetch (:func:`clone_repository`).
+
+Component *executables* never cross the wire (they are live Python
+callables); like :mod:`repro.core.persistence`, a registry re-binds
+fetched commits to runnable components when the caller has them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ChunkNotFoundError, RemoteError
+from . import pack
+from .protocol import decode_message, encode_message, raise_remote_error
+
+
+@dataclass
+class FetchResult:
+    """What one fetch moved."""
+
+    refs: dict = field(default_factory=dict)
+    commits_received: int = 0
+    chunks_received: int = 0
+    chunk_bytes_received: int = 0
+
+
+@dataclass
+class PushResult:
+    """What one push moved (all zero when already up to date)."""
+
+    up_to_date: bool = False
+    commits_sent: int = 0
+    chunks_sent: int = 0
+    chunk_bytes_sent: int = 0
+    updated: dict = field(default_factory=dict)
+
+
+@dataclass
+class PullResult:
+    """How a pull advanced the local branch.
+
+    ``action`` is one of ``"up-to-date"``, ``"created"``,
+    ``"fast-forward"``, or ``"merged"``; ``outcome`` carries the
+    :class:`MergeOutcome` when the divergence was merge-resolved.
+    """
+
+    action: str
+    fetch: FetchResult
+    outcome: object | None = None
+
+
+class Remote:
+    """One peer repository, addressed through a transport."""
+
+    def __init__(self, repo, transport, name: str = "origin"):
+        self.repo = repo
+        self.transport = transport
+        self.name = name
+
+    # ------------------------------------------------------------ plumbing
+    def _call(self, meta: dict, blobs: list[bytes] | None = None):
+        response = self.transport.call(encode_message(meta, blobs))
+        meta_out, blobs_out = decode_message(response)
+        raise_remote_error(meta_out)
+        return meta_out, blobs_out
+
+    def tracking_branch(self, branch: str) -> str:
+        return f"{self.name}/{branch}"
+
+    def manifest(self) -> dict:
+        """The peer's refs and repository configuration."""
+        meta, _ = self._call({"op": "manifest"})
+        return meta
+
+    def refs(self) -> dict:
+        return self.manifest()["refs"]
+
+    # --------------------------------------------------------------- fetch
+    def fetch(self, pipeline: str | None = None, branches=None) -> FetchResult:
+        """Synchronize the peer's history and content into this repository.
+
+        ``pipeline``/``branches`` narrow the want set; by default
+        everything the peer advertises is fetched. Content transfer is
+        chunk-negotiated: when nothing is missing locally, no chunk
+        request is issued at all.
+        """
+        want = None
+        if pipeline is not None:
+            want = {pipeline: list(branches) if branches else []}
+        have = [c.commit_id for c in self.repo.graph.all_commits()]
+        meta, _ = self._call(
+            {"op": "fetch", "want": want, "have_commits": have}
+        )
+
+        # All network I/O happens before anything is imported: a transport
+        # failure mid-fetch must leave the repository exactly as it was —
+        # in particular, never holding recipes whose chunks did not arrive
+        # (that state would poison later pushes).
+        wanted_chunks = self.repo.objects.chunks.missing(
+            meta.get("chunk_digests", [])
+        )
+        chunk_ids: list = []
+        chunk_blobs: list = []
+        if wanted_chunks:
+            chunk_meta, chunk_blobs = self._call(
+                {"op": "get_chunks", "digests": wanted_chunks}
+            )
+            chunk_ids = chunk_meta.get("digests", [])
+
+        # Commits import *last*: the server advertises content by commit
+        # delta, so grafting commits before their content has safely
+        # landed would make a retry after a failed transfer believe there
+        # is nothing left to fetch.
+        pack.import_specs(self.repo, meta.get("specs", {}))
+        new_chunks = pack.import_content(
+            self.repo,
+            meta.get("recipes", []),
+            meta.get("records", []),
+            chunk_ids,
+            chunk_blobs,
+        )
+        added = pack.import_commits(self.repo, meta.get("commits", []))
+        result = FetchResult(
+            refs=meta.get("refs", {}),
+            commits_received=len(added),
+            chunks_received=new_chunks,
+            chunk_bytes_received=sum(len(b) for b in chunk_blobs),
+        )
+
+        for ref_pipeline, ref_branches in result.refs.items():
+            for branch, head in ref_branches.items():
+                self.repo.branches.set_head(
+                    ref_pipeline, self.tracking_branch(branch), head
+                )
+        return result
+
+    # ---------------------------------------------------------------- push
+    def push(self, pipeline: str, branch: str = "master") -> PushResult:
+        """Publish a branch; only missing commits and chunks cross the wire."""
+        repo = self.repo
+        head = repo.branches.head(pipeline, branch)
+        observed = self.refs().get(pipeline, {}).get(branch)
+        if observed == head:
+            return PushResult(up_to_date=True)
+
+        if observed is not None and observed in repo.graph:
+            # The server's head is in our history (the common case after a
+            # clone or pull): everything it can reach, it has. No need to
+            # ask — one round-trip and one O(history) id list saved.
+            known = repo.graph.ancestors(observed)
+        else:
+            reachable = sorted(repo.graph.ancestors(head))
+            meta, _ = self._call({"op": "known_commits", "ids": reachable})
+            known = meta.get("known", [])
+        commits = pack.commits_to_send(repo, head, known)
+        recipes, records, chunk_digests = pack.content_of_commits(repo, commits)
+        meta, _ = self._call(
+            {"op": "missing_chunks", "digests": sorted(chunk_digests)}
+        )
+        missing = meta.get("missing", [])
+        try:
+            blobs = [repo.objects.chunks.get(d) for d in missing]
+        except ChunkNotFoundError as error:
+            raise RemoteError(
+                f"cannot push {pipeline}:{branch}: chunk "
+                f"{error.digest[:12]} is referenced by a local recipe but "
+                "not held (incomplete objects directory?); restore the "
+                "content or re-clone before pushing"
+            ) from error
+
+        push_meta = pack.pack_meta(repo, commits, recipes, records, missing)
+        push_meta["op"] = "push"
+        push_meta["refs"] = {
+            pipeline: {branch: {"old": observed, "new": head}}
+        }
+        meta, _ = self._call(push_meta, blobs)
+        return PushResult(
+            commits_sent=len(commits),
+            chunks_sent=len(missing),
+            chunk_bytes_sent=sum(len(b) for b in blobs),
+            updated=meta.get("updated", {}),
+        )
+
+    # ---------------------------------------------------------------- pull
+    def pull(
+        self,
+        pipeline: str,
+        branch: str = "master",
+        merge: bool = True,
+        **merge_kwargs,
+    ) -> PullResult:
+        """Fetch, then advance the local branch to include the peer's work.
+
+        Fast-forwards when the local branch has nothing of its own;
+        otherwise — exactly the collaborative scenario the paper's merge
+        exists for — the peer's head (as tracking ref) is merged into the
+        local branch with the metric-driven merge, producing a commit
+        that a subsequent :meth:`push` fast-forwards onto the server.
+        ``merge_kwargs`` pass through to :meth:`MLCask.merge` (mode,
+        search, budget, ...).
+        """
+        fetched = self.fetch(pipeline, [branch])
+        remote_head = fetched.refs.get(pipeline, {}).get(branch)
+        if remote_head is None:
+            raise RemoteError(
+                f"remote has no branch {branch!r} for pipeline {pipeline!r}"
+            )
+
+        repo = self.repo
+        if not repo.branches.has_branch(pipeline, branch):
+            repo.branches.set_head(pipeline, branch, remote_head)
+            return PullResult(action="created", fetch=fetched)
+        local_head = repo.branches.head(pipeline, branch)
+        if local_head == remote_head:
+            return PullResult(action="up-to-date", fetch=fetched)
+        if repo.graph.is_ancestor(local_head, remote_head):
+            repo.branches.set_head(pipeline, branch, remote_head)
+            return PullResult(action="fast-forward", fetch=fetched)
+
+        if not merge:
+            raise RemoteError(
+                f"{pipeline}:{branch} diverged from {self.name}; "
+                "pull with merge=True to resolve via the metric-driven merge"
+            )
+        outcome = repo.merge(
+            pipeline, branch, self.tracking_branch(branch), **merge_kwargs
+        )
+        return PullResult(action="merged", fetch=fetched, outcome=outcome)
+
+
+def clone_repository(transport, registry=None, name: str = "origin", author: str | None = None):
+    """Bootstrap a new repository from a peer; returns the ``MLCask``.
+
+    The peer's metric/seed configuration, full history, content, and
+    checkpoint index are replicated; every advertised branch is checked
+    out at the peer's head. The attached :class:`Remote` is registered
+    under ``name`` (reachable as ``repo.remote(name)``) so the usual
+    push/pull cycle continues from the clone.
+    """
+    from ..core.repository import MLCask
+
+    remote_probe = Remote(repo=None, transport=transport, name=name)
+    manifest = remote_probe.manifest()
+    kwargs = {"metric": manifest["metric"], "seed": manifest["seed"]}
+    if author is not None:
+        kwargs["author"] = author
+    repo = MLCask(**kwargs)
+    if registry is not None:
+        repo.registry = registry
+    remote = repo.add_remote(name, transport)
+    remote.fetch()
+    for pipeline, branches in manifest["refs"].items():
+        for branch, head in branches.items():
+            repo.branches.set_head(pipeline, branch, head)
+    return repo

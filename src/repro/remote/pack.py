@@ -1,0 +1,170 @@
+"""Pack assembly and import: what actually crosses the wire.
+
+A *pack* is the unit of synchronization, in the spirit of git's packfiles
+specialized to MLCask's object model. It carries, for a chosen set of
+commits:
+
+* the commit dicts themselves (metadata only — identifiers, lineage,
+  metrics, content references);
+* the pipeline specs those commits belong to;
+* the *recipes* of every stage output the commits reference (blob digest
+  -> ordered chunk digests);
+* the checkpoint-index records for those outputs, so the receiver can
+  *reuse* replicated outputs in its own runs and merges, not merely read
+  them;
+* the chunk digests the receiver still needs — negotiated beforehand via
+  :meth:`ChunkStore.missing` so duplicate content never crosses the wire.
+
+Import is the mirror image, with two invariants:
+
+* **Sequence reassignment.** ``sequence`` is a repository-local logical
+  clock (it drives common-ancestor selection and history ordering).
+  Imported commits get *fresh* local sequence numbers, assigned in the
+  sender's creation order — parents always precede children on both
+  sides, so ancestry keeps its "ancestors sort earlier" property without
+  trusting another repository's clock.
+* **Integrity on receive.** Every chunk is re-hashed against its claimed
+  digest before it is written (:class:`ChunkIntegrityError` otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..errors import RemoteError
+from ..core.persistence import (
+    commit_from_dict,
+    commit_to_dict,
+    record_from_dict,
+    record_to_dict,
+    recipe_from_dict,
+    recipe_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+# -------------------------------------------------------------- assembly
+def commits_to_send(repo, head_id: str, exclude_ids) -> list:
+    """Commits reachable from ``head_id`` the receiver does not have,
+    oldest first (sender creation order, so parents precede children)."""
+    exclude = set(exclude_ids)
+    reachable = repo.graph.ancestors(head_id)
+    return sorted(
+        (repo.graph.get(c) for c in reachable if c not in exclude),
+        key=lambda c: c.sequence,
+    )
+
+
+def content_of_commits(repo, commits) -> tuple[list, list, set[str]]:
+    """(recipes, checkpoint records, chunk digests) behind ``commits``.
+
+    Only stage outputs whose recipe the sender actually holds contribute —
+    a metadata-only repository (loaded from a bare state file) can still
+    sync its history; the content simply is not there to ship.
+    """
+    blobs: set[str] = set()
+    for commit in commits:
+        blobs.update(commit.stage_outputs.values())
+    recipes = [
+        repo.objects.recipe(blob) for blob in sorted(blobs)
+        if repo.objects.contains(blob)
+    ]
+    held = {recipe.blob_digest for recipe in recipes}
+    records = [
+        record
+        for record in repo.checkpoints.records()
+        if record.output_ref in held
+    ]
+    chunk_digests = repo.objects.reachable_chunks(held)
+    return recipes, records, chunk_digests
+
+
+def pack_meta(repo, commits, recipes, records, chunk_digests) -> dict:
+    """The JSON half of a pack (chunks travel as framed binary blobs)."""
+    pipelines = sorted({c.pipeline for c in commits})
+    return {
+        "commits": [commit_to_dict(c) for c in commits],
+        "specs": {
+            name: spec_to_dict(repo.spec(name))
+            for name in pipelines
+            if name in repo._specs
+        },
+        "recipes": [recipe_to_dict(r) for r in recipes],
+        "records": [record_to_dict(r) for r in records],
+        "chunk_digests": list(chunk_digests),
+    }
+
+
+# ---------------------------------------------------------------- import
+def import_specs(repo, specs: dict) -> None:
+    """Adopt pipeline specs; a conflicting redefinition is an error."""
+    for name, entry in specs.items():
+        spec = spec_from_dict(name, entry)
+        existing = repo._specs.get(name)
+        if existing is None:
+            repo._specs[name] = spec
+        elif existing.stages != spec.stages or existing.edges != spec.edges:
+            raise RemoteError(
+                f"pipeline {name!r} exists locally with a different spec"
+            )
+
+
+def import_commits(repo, commit_entries) -> list:
+    """Graft new commits into the local graph; returns the commits added.
+
+    Entries are applied in sender-sequence order and re-stamped with local
+    sequence numbers; commits already present (content-derived ids match)
+    are skipped, which also makes import idempotent.
+    """
+    added = []
+    for entry in sorted(commit_entries, key=lambda e: e["sequence"]):
+        if entry["commit_id"] in repo.graph:
+            continue
+        commit = replace(commit_from_dict(entry), sequence=repo._next_sequence())
+        repo.graph.add(commit)
+        repo.branches.note_commit(commit.pipeline, commit.branch)
+        added.append(commit)
+    return added
+
+
+def import_content(
+    repo, recipe_entries, record_entries, chunk_digests, chunk_blobs
+) -> int:
+    """Adopt recipes, checkpoint records, and verified chunks.
+
+    ``chunk_digests``/``chunk_blobs`` are parallel; each blob is re-hashed
+    against its claimed digest on receipt. Chunks land *first*: if one
+    fails its integrity check, the import aborts before any recipe is
+    registered, so the store never ends up holding recipes that point at
+    content it was never given. Returns how many chunks were actually new
+    to the local store.
+    """
+    if len(chunk_digests) != len(chunk_blobs):
+        raise RemoteError(
+            f"chunk manifest mismatch: {len(chunk_digests)} digests, "
+            f"{len(chunk_blobs)} blobs"
+        )
+    new = 0
+    for digest, blob in zip(chunk_digests, chunk_blobs):
+        if repo.objects.import_chunk(digest, blob):
+            new += 1
+    for entry in recipe_entries:
+        repo.objects.add_recipe(recipe_from_dict(entry))
+    for entry in record_entries:
+        repo.checkpoints.import_record(record_from_dict(entry))
+    return new
+
+
+def is_fast_forward_update(repo, old_head: str | None, new_head: str) -> bool:
+    """Would moving a ref ``old_head -> new_head`` be a fast-forward?
+
+    Called *after* the incoming commits are grafted, so reachability is
+    answered by the local graph. A new branch (``old_head is None``) and a
+    no-op update are both fast-forwards.
+    """
+    if old_head is None or old_head == new_head:
+        return True
+    if new_head not in repo.graph:
+        return False
+    return repo.graph.is_ancestor(old_head, new_head)

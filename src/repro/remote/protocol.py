@@ -1,0 +1,117 @@
+"""Wire format for the remote-sync protocol: framed JSON + raw chunks.
+
+Every request and response is one *message*: a JSON header (the ``meta``
+dict) followed by zero or more opaque binary blobs — chunk payloads
+travelling to or from a peer's content-addressed store. The framing is
+deliberately git-packfile-ish: metadata is cheap structured text, content
+is raw bytes concatenated after it, so measured wire bytes honestly
+reflect what a transfer costs (no base64 inflation of chunk data).
+
+Layout::
+
+    MAGIC (4 bytes) | header length (u32 BE) | header JSON (UTF-8) | blobs...
+
+where the header is ``{"meta": {...}, "blob_sizes": [n0, n1, ...]}`` and
+the blobs follow back-to-back in declared order. Decoding is strict: bad
+magic, truncated frames, or trailing garbage raise
+:class:`RemoteProtocolError` rather than yielding partial messages.
+
+The ``meta`` dict carries the operation name (requests) or results
+(responses); an error response carries ``{"error": {"type", "message",
+...}}`` which :func:`raise_remote_error` maps back onto the library's
+exception hierarchy client-side.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from ..errors import PushRejectedError, RemoteError, RemoteProtocolError
+
+MAGIC = b"MLCR"
+PROTOCOL_VERSION = 1
+
+#: Operations a server understands; anything else is a protocol error.
+OPS = (
+    "manifest",
+    "known_commits",
+    "missing_chunks",
+    "get_chunks",
+    "fetch",
+    "push",
+)
+
+
+def encode_message(meta: dict, blobs: list[bytes] | None = None) -> bytes:
+    """Frame ``meta`` plus binary ``blobs`` into one wire message."""
+    blobs = blobs or []
+    header = json.dumps(
+        {"v": PROTOCOL_VERSION, "meta": meta, "blob_sizes": [len(b) for b in blobs]},
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    return b"".join([MAGIC, struct.pack(">I", len(header)), header, *blobs])
+
+
+def decode_message(data: bytes) -> tuple[dict, list[bytes]]:
+    """Inverse of :func:`encode_message`; strict about every byte."""
+    if len(data) < 8 or data[:4] != MAGIC:
+        raise RemoteProtocolError("bad magic: not a remote-sync message")
+    (header_len,) = struct.unpack(">I", data[4:8])
+    header_end = 8 + header_len
+    if len(data) < header_end:
+        raise RemoteProtocolError("truncated message header")
+    try:
+        header = json.loads(data[8:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise RemoteProtocolError(f"unparseable header: {error}") from None
+    if header.get("v") != PROTOCOL_VERSION:
+        raise RemoteProtocolError(
+            f"unsupported protocol version {header.get('v')!r}"
+        )
+    if not isinstance(header.get("meta"), dict):
+        raise RemoteProtocolError("header carries no meta object")
+    sizes = header.get("blob_sizes", [])
+    if not isinstance(sizes, list) or any(
+        not isinstance(s, int) or isinstance(s, bool) or s < 0 for s in sizes
+    ):
+        raise RemoteProtocolError("invalid blob_sizes in header")
+    blobs = []
+    cursor = header_end
+    for size in sizes:
+        blob = data[cursor : cursor + size]
+        if len(blob) != size:
+            raise RemoteProtocolError("truncated message blob")
+        blobs.append(blob)
+        cursor += size
+    if cursor != len(data):
+        raise RemoteProtocolError("trailing bytes after declared blobs")
+    return header["meta"], blobs
+
+
+def error_response(error: Exception) -> bytes:
+    """Serialize a server-side failure into an error message."""
+    payload: dict = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, PushRejectedError):
+        payload.update(
+            pipeline=error.pipeline, branch=error.branch, reason=error.reason
+        )
+    return encode_message({"error": payload})
+
+
+def raise_remote_error(meta: dict) -> None:
+    """Re-raise a server-reported error client-side, typed when possible."""
+    error = meta.get("error")
+    if error is None:
+        return
+    if error.get("type") == "PushRejectedError":
+        raise PushRejectedError(
+            error.get("pipeline", "?"),
+            error.get("branch", "?"),
+            error.get("reason", error.get("message", "rejected")),
+        )
+    raise RemoteError(f"remote error: {error.get('type')}: {error.get('message')}")

@@ -1,0 +1,251 @@
+"""Repository server: answers sync requests against a live ``MLCask``.
+
+The server side of the wire protocol. One :class:`RepositoryServer` wraps
+one repository and handles the five operations — ``manifest``,
+``known_commits``, ``missing_chunks``, ``get_chunks``, ``fetch``, and
+``push`` — entirely in terms of pack assembly/import from
+:mod:`repro.remote.pack`. It is transport-agnostic: :class:`LocalTransport`
+calls :meth:`handle_bytes` directly, and :func:`serve` exposes the same
+entry point over a real socket with the stdlib HTTP server (no external
+dependencies, matching the repository's no-new-deps constraint).
+
+Push semantics follow git: received commits and chunks are grafted first
+(content-addressed, so duplicates are no-ops and orphans are harmless —
+they become reachable once the client's eventual merge lands), but a ref
+only moves if the update is a *fast-forward* from the server's current
+head. Anything else is answered with a typed rejection the client
+resolves via pull + metric-driven merge.
+"""
+
+from __future__ import annotations
+
+import http.server
+import threading
+
+from ..errors import MLCaskError, PushRejectedError, RemoteProtocolError
+from . import pack
+from .protocol import (
+    OPS,
+    decode_message,
+    encode_message,
+    error_response,
+)
+from .transport import RPC_PATH
+
+
+class RepositoryServer:
+    """Protocol endpoint over one repository.
+
+    ``on_change`` (optional) is invoked with the repository after every
+    state-mutating request — directory-backed remotes pass a save
+    callback so pushes persist; in-memory servers pass nothing.
+    """
+
+    def __init__(self, repo, on_change=None):
+        self.repo = repo
+        self.on_change = on_change
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ dispatch
+    def handle_bytes(self, payload: bytes) -> bytes:
+        """Decode one request, run it, encode the response.
+
+        Library errors travel back as typed error messages instead of
+        crashing the server; the client re-raises them locally.
+        """
+        try:
+            meta, blobs = decode_message(payload)
+            op = meta.get("op")
+            if op not in OPS:
+                raise RemoteProtocolError(f"unknown operation {op!r}")
+            with self._lock:
+                handler = getattr(self, f"_op_{op}")
+                return handler(meta, blobs)
+        except MLCaskError as error:
+            return error_response(error)
+
+    # ---------------------------------------------------------- operations
+    def _public_branches(self, pipeline: str) -> list[str]:
+        """Branches this repository advertises: its own, not the tracking
+        refs (``origin/master``) it keeps for *its* remotes — re-exporting
+        those would nest another ``origin/`` per clone hop."""
+        return [
+            branch
+            for branch in self.repo.branches.branches(pipeline)
+            if "/" not in branch
+        ]
+
+    def _op_manifest(self, meta: dict, blobs) -> bytes:
+        """Refs plus repository configuration (for clone bootstrap)."""
+        repo = self.repo
+        refs = {
+            pipeline: {
+                branch: repo.branches.head(pipeline, branch)
+                for branch in self._public_branches(pipeline)
+            }
+            for pipeline in repo.branches.pipelines()
+        }
+        return encode_message(
+            {"refs": refs, "metric": repo.metric, "seed": repo.seed}
+        )
+
+    def _op_known_commits(self, meta: dict, blobs) -> bytes:
+        """Which of the offered commit ids the server already holds."""
+        known = [c for c in meta.get("ids", []) if c in self.repo.graph]
+        return encode_message({"known": known})
+
+    def _op_missing_chunks(self, meta: dict, blobs) -> bytes:
+        """The have/want negotiation: digests the server lacks."""
+        missing = self.repo.objects.chunks.missing(meta.get("digests", []))
+        return encode_message({"missing": missing})
+
+    def _op_get_chunks(self, meta: dict, blobs) -> bytes:
+        """Ship requested chunks as raw framed blobs."""
+        digests = meta.get("digests", [])
+        payloads = [self.repo.objects.chunks.get(d) for d in digests]
+        return encode_message({"digests": digests}, payloads)
+
+    def _op_fetch(self, meta: dict, blobs) -> bytes:
+        """Commit-graph sync: everything reachable from the wanted refs
+        that the client does not claim to have. Content (chunks) is
+        negotiated separately so unchanged outputs never re-transfer."""
+        repo = self.repo
+        want = meta.get("want")  # {pipeline: [branch, ...]} or None = all
+        have = set(meta.get("have_commits", []))
+
+        refs: dict[str, dict[str, str]] = {}
+        pipelines = (
+            sorted(want) if want is not None else repo.branches.pipelines()
+        )
+        commits: dict[str, object] = {}
+        for pipeline in pipelines:
+            branches = (
+                want[pipeline]
+                if want is not None and want[pipeline]
+                else self._public_branches(pipeline)
+            )
+            for branch in branches:
+                head = repo.branches.head(pipeline, branch)
+                refs.setdefault(pipeline, {})[branch] = head
+                for commit in pack.commits_to_send(repo, head, have):
+                    commits[commit.commit_id] = commit
+        ordered = sorted(commits.values(), key=lambda c: c.sequence)
+        recipes, records, chunk_digests = pack.content_of_commits(repo, ordered)
+        meta_out = pack.pack_meta(repo, ordered, recipes, records, chunk_digests)
+        meta_out["refs"] = refs
+        return encode_message(meta_out)
+
+    def _op_push(self, meta: dict, blobs) -> bytes:
+        """Graft a pack, then fast-forward the offered ref updates.
+
+        Ref updates carry the head the client *observed* (``old``): a
+        mismatch with the server's current head means the branch moved
+        since the client negotiated — rejected the same way a
+        non-fast-forward is, so no update is ever lost silently.
+        """
+        repo = self.repo
+        pack.import_specs(repo, meta.get("specs", {}))
+        pack.import_commits(repo, meta.get("commits", []))
+        new_chunks = pack.import_content(
+            repo,
+            meta.get("recipes", []),
+            meta.get("records", []),
+            meta.get("chunk_digests", []),
+            blobs,
+        )
+
+        updates = meta.get("refs", {})
+        # Validate every update before applying any: a push is atomic.
+        for pipeline, branches in updates.items():
+            for branch, update in branches.items():
+                observed = update.get("old")
+                new_head = update["new"]
+                current = (
+                    repo.branches.head(pipeline, branch)
+                    if repo.branches.has_branch(pipeline, branch)
+                    else None
+                )
+                if current != observed:
+                    raise PushRejectedError(
+                        pipeline, branch,
+                        "remote branch moved since refs were negotiated "
+                        "(stale old head); fetch and retry",
+                    )
+                if new_head not in repo.graph:
+                    raise PushRejectedError(
+                        pipeline, branch,
+                        f"new head {new_head[:12]} not present after import",
+                    )
+                if not pack.is_fast_forward_update(repo, current, new_head):
+                    raise PushRejectedError(
+                        pipeline, branch,
+                        "non-fast-forward (branches diverged); pull, resolve "
+                        "with the metric-driven merge, then push the result",
+                    )
+        applied = {}
+        for pipeline, branches in updates.items():
+            for branch, update in branches.items():
+                repo.branches.set_head(pipeline, branch, update["new"])
+                applied.setdefault(pipeline, {})[branch] = update["new"]
+        if self.on_change is not None:
+            self.on_change(repo)
+        return encode_message({"ok": True, "updated": applied, "new_chunks": new_chunks})
+
+
+# ------------------------------------------------------------- HTTP serve
+class _Handler(http.server.BaseHTTPRequestHandler):
+    """Minimal single-endpoint RPC handler over the stdlib HTTP server."""
+
+    server_version = "mlcask-repro/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_POST(self):  # noqa: N802 - http.server naming convention
+        if self.path.rstrip("/") != RPC_PATH:
+            self.send_error(404, "unknown endpoint")
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        payload = self.rfile.read(length)
+        response = self.server.repository_server.handle_bytes(payload)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(response)))
+        self.end_headers()
+        self.wfile.write(response)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class SyncHTTPServer(http.server.ThreadingHTTPServer):
+    """HTTP server bound to one :class:`RepositoryServer`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, repository_server, verbose=False):
+        super().__init__(address, _Handler)
+        self.repository_server = repository_server
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(
+    repo,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    on_change=None,
+    verbose: bool = False,
+) -> SyncHTTPServer:
+    """Expose ``repo`` at ``http://host:port/rpc``; returns the server.
+
+    The caller drives the loop (``serve_forever()`` for a daemon,
+    ``handle_request()`` N times for bounded serving in tests); ``port=0``
+    binds an ephemeral port, readable from ``server.url``.
+    """
+    return SyncHTTPServer(
+        (host, port), RepositoryServer(repo, on_change=on_change), verbose=verbose
+    )

@@ -1,0 +1,115 @@
+"""Transports: how encoded messages reach a repository server.
+
+A transport moves opaque request bytes to a server and response bytes
+back — it knows nothing about operations or packs, which keeps the byte
+counters honest: ``bytes_sent``/``bytes_received`` measure exactly what
+would cross a real network, framing included. The remote-sync benchmark
+reads these counters to compare incremental push against naive full copy.
+
+* :class:`LocalTransport` — calls a :class:`RepositoryServer` in-process.
+  Zero infrastructure; the default for tests, examples, and directory
+  remotes (``repro push /path/to/repo``).
+* :class:`HttpTransport` — POSTs messages to a running ``repro serve``
+  endpoint over a real socket, via the stdlib ``http.client``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import urllib.parse
+from abc import ABC, abstractmethod
+
+from ..errors import TransportError
+
+RPC_PATH = "/rpc"
+
+
+class Transport(ABC):
+    """Byte-level request/response channel with transfer accounting."""
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.requests = 0
+
+    def call(self, payload: bytes) -> bytes:
+        """Deliver one request; return the server's response bytes."""
+        self.requests += 1
+        self.bytes_sent += len(payload)
+        response = self._call(payload)
+        self.bytes_received += len(response)
+        return response
+
+    @abstractmethod
+    def _call(self, payload: bytes) -> bytes: ...
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total traffic in both directions."""
+        return self.bytes_sent + self.bytes_received
+
+    def reset_counters(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.requests = 0
+
+
+class LocalTransport(Transport):
+    """In-process transport wrapping a :class:`RepositoryServer`."""
+
+    def __init__(self, server):
+        super().__init__()
+        self.server = server
+
+    def _call(self, payload: bytes) -> bytes:
+        return self.server.handle_bytes(payload)
+
+
+class HttpTransport(Transport):
+    """Real-socket transport speaking to a ``serve()`` endpoint."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        super().__init__()
+        parsed = urllib.parse.urlparse(url)
+        if parsed.scheme not in ("http", "https"):
+            raise TransportError(f"unsupported URL scheme {parsed.scheme!r}")
+        if not parsed.hostname:
+            raise TransportError(f"no host in remote URL {url!r}")
+        self.scheme = parsed.scheme
+        self.host = parsed.hostname
+        self.port = parsed.port or (443 if parsed.scheme == "https" else 80)
+        # Accept both the base URL and the full endpoint serve() prints
+        # ("http://host:port/rpc") — either way we POST to exactly /rpc.
+        path = parsed.path.rstrip("/")
+        if path.endswith(RPC_PATH):
+            path = path[: -len(RPC_PATH)]
+        self.path = path + RPC_PATH
+        self.timeout = timeout
+
+    def _call(self, payload: bytes) -> bytes:
+        connection_cls = (
+            http.client.HTTPSConnection
+            if self.scheme == "https"
+            else http.client.HTTPConnection
+        )
+        connection = connection_cls(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "POST",
+                self.path,
+                body=payload,
+                headers={"Content-Type": "application/octet-stream"},
+            )
+            response = connection.getresponse()
+            body = response.read()
+            if response.status != 200:
+                raise TransportError(
+                    f"server returned HTTP {response.status} for {self.path}"
+                )
+            return body
+        except (OSError, http.client.HTTPException) as error:
+            raise TransportError(
+                f"request to {self.host}:{self.port} failed: {error}"
+            ) from error
+        finally:
+            connection.close()

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 
-from ..errors import ChunkNotFoundError
+from ..errors import ChunkIntegrityError, ChunkNotFoundError
 from .accounting import StorageStats
 from .hashing import sha256_hex
 
@@ -32,6 +32,9 @@ class ChunkStore(ABC):
 
     @abstractmethod
     def _read(self, digest: str) -> bytes: ...
+
+    @abstractmethod
+    def _delete(self, digest: str) -> None: ...
 
     @abstractmethod
     def digests(self) -> list[str]:
@@ -61,6 +64,55 @@ class ChunkStore(ABC):
     def contains(self, digest: str) -> bool:
         return self._contains(digest)
 
+    def discard(self, digest: str) -> int:
+        """Drop a chunk; returns the physical bytes reclaimed (0 if absent).
+
+        For garbage sweeps and deletion mirroring — content addressing
+        makes re-adding the same bytes later completely safe.
+        """
+        if not self._contains(digest):
+            return 0
+        size = len(self._read(digest))
+        self._delete(digest)
+        self.stats.record_physical(-size)
+        return size
+
+    def missing(self, digests) -> list[str]:
+        """Subset of ``digests`` this store does not hold (order kept).
+
+        This is the have/want negotiation primitive of the remote sync
+        protocol: a peer offers the digests reachable from the refs being
+        synced, and only the ones reported missing cross the wire.
+        """
+        seen: set[str] = set()
+        wanted = []
+        for digest in digests:
+            if digest in seen:
+                continue
+            seen.add(digest)
+            if not self._contains(digest):
+                wanted.append(digest)
+        return wanted
+
+    def import_chunk(self, digest: str, data: bytes) -> bool:
+        """Store a chunk received under a claimed ``digest``.
+
+        Unlike :meth:`put`, the address is asserted by the sender, so the
+        content is re-hashed and a mismatch raises
+        :class:`ChunkIntegrityError` before anything is written. Returns
+        True when the chunk was new (physical bytes grew), False when it
+        was already held. Imported bytes count as physical, not logical —
+        nobody *authored* them here, they were replicated.
+        """
+        if sha256_hex(data) != digest:
+            raise ChunkIntegrityError(digest)
+        with self.stats.timed_write():
+            if self._contains(digest):
+                return False
+            self._write(digest, data)
+            self.stats.record_physical(len(data))
+        return True
+
     def __len__(self) -> int:
         return len(self.digests())
 
@@ -80,6 +132,9 @@ class MemoryChunkStore(ChunkStore):
 
     def _read(self, digest: str) -> bytes:
         return self._chunks[digest]
+
+    def _delete(self, digest: str) -> None:
+        del self._chunks[digest]
 
     def digests(self) -> list[str]:
         return list(self._chunks)
@@ -116,6 +171,14 @@ class FileChunkStore(ChunkStore):
     def _read(self, digest: str) -> bytes:
         with open(self._path(digest), "rb") as fh:
             return fh.read()
+
+    def _delete(self, digest: str) -> None:
+        path = self._path(digest)
+        os.remove(path)
+        try:
+            os.rmdir(os.path.dirname(path))
+        except OSError:
+            pass  # fan-out dir still has siblings
 
     def digests(self) -> list[str]:
         found = []

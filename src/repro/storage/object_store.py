@@ -72,6 +72,40 @@ class ObjectStore:
     def contains(self, digest: str) -> bool:
         return digest in self._recipes
 
+    # ------------------------------------------------------- replication
+    def recipes(self) -> list[Recipe]:
+        """All recipes currently held (for persistence and remote sync)."""
+        return list(self._recipes.values())
+
+    def add_recipe(self, recipe: Recipe) -> None:
+        """Register a recipe received from a peer or loaded from disk.
+
+        The chunks it references may arrive separately (and later): a
+        recipe is pure metadata, so holding one for not-yet-fetched
+        content is fine — :meth:`get` fails chunk-by-chunk until the
+        content lands.
+        """
+        self._recipes.setdefault(recipe.blob_digest, recipe)
+
+    def reachable_chunks(self, blob_digests) -> set[str]:
+        """Chunk digests needed to reassemble the given blobs.
+
+        Blobs without a local recipe are skipped — a repository restored
+        from metadata-only persistence can reference outputs whose content
+        was never archived here; those simply contribute nothing to a
+        transfer.
+        """
+        chunks: set[str] = set()
+        for blob in blob_digests:
+            recipe = self._recipes.get(blob)
+            if recipe is not None:
+                chunks.update(recipe.chunk_digests)
+        return chunks
+
+    def import_chunk(self, digest: str, data: bytes) -> bool:
+        """Verified chunk receive; see :meth:`ChunkStore.import_chunk`."""
+        return self.chunks.import_chunk(digest, data)
+
     @property
     def stats(self):
         return self.chunks.stats

@@ -163,6 +163,67 @@ class Workload(ABC):
     def model_version(self, idx: int, in_variant: int = 0) -> LibraryComponent:
         return self.stage_version(self.model_stage, idx, 0, in_variant)
 
+    # ------------------------------------------------------------ rebinding
+    def rebind(self, repo, max_variant: int = 4) -> int:
+        """Re-register this workload's executables into a loaded repository.
+
+        A repository loaded from disk (or cloned without a registry) holds
+        commits that reference components by identifier and fingerprint
+        but carries no executables — the paper's library-repository /
+        pipeline-repository separation. For histories built from this
+        workload's version families, every referenced component is
+        reconstructible: the identifier names the stage and semantic
+        version, and the fingerprint verifies the rebuilt candidate is
+        *exactly* the component the commit ran (input-variant ambiguity is
+        resolved by searching variants up to ``max_variant``).
+
+        Returns the number of identifiers re-bound. Identifiers that do
+        not belong to this family are left alone — history stays loadable,
+        those commits just stay non-runnable.
+        """
+        bound = 0
+        for commit in repo.graph.all_commits():
+            if commit.pipeline != self.name:
+                continue
+            for stage, identifier in commit.component_versions.items():
+                if identifier in repo.registry:
+                    continue
+                fingerprint = commit.component_fingerprints.get(stage, "")
+                component = self._rebuild(stage, identifier, fingerprint, max_variant)
+                if component is not None:
+                    repo.registry.register(component)
+                    bound += 1
+        return bound
+
+    def _rebuild(self, stage, identifier, fingerprint, max_variant):
+        """Reconstruct one referenced component, fingerprint-verified."""
+        from ..errors import VersionError
+
+        _, _, version_text = identifier.partition("@")
+        try:
+            version = SemVer.parse(version_text)
+        except VersionError:
+            return None
+        if stage == "dataset":
+            for day in range(max_variant):
+                candidate = self.make_dataset(day=day)
+                if candidate.fingerprint == fingerprint:
+                    return candidate
+            return None
+        if stage not in self.stage_names:
+            return None
+        for in_variant in range(max_variant):
+            candidate = self.stage_version(
+                stage,
+                version.increment,
+                out_variant=version.schema,
+                in_variant=in_variant,
+                branch=version.branch,
+            )
+            if candidate.fingerprint == fingerprint:
+                return candidate
+        return None
+
     def scaled(self, n: int) -> int:
         """Apply the workload scale factor to a size parameter."""
         return max(4, int(round(n * self.scale)))

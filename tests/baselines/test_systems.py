@@ -106,12 +106,26 @@ class TestCrossSystemShapes:
         assert executed["modeldb"] > executed["mlcask"]
 
     def test_modeldb_compute_time_highest(self, systems):
+        """ModelDB reruns every stage, so under the deterministic
+        simulated cost model its compute time strictly dominates the
+        reuse-enabled systems (no wall-clock noise, no fudge factor)."""
         compute = {
             n: sum(r.preprocessing_seconds + r.training_seconds for r in s.records)
             for n, s in systems.items()
         }
-        assert compute["modeldb"] > 0.9 * compute["mlflow"]
-        assert compute["modeldb"] > 0.9 * compute["mlcask"]
+        assert compute["modeldb"] > compute["mlflow"]
+        assert compute["modeldb"] > compute["mlcask"]
+
+    def test_accounting_is_deterministic(self, workload, steps):
+        """Two identical runs produce bit-identical time series — the
+        property that makes the shape assertions above stable."""
+        first = run_system(ModelDBSim, workload, steps)
+        second = run_system(ModelDBSim, workload, steps)
+        assert first.cumulative_seconds == second.cumulative_seconds
+        for a, b in zip(first.records, second.records):
+            assert a.preprocessing_seconds == b.preprocessing_seconds
+            assert a.training_seconds == b.training_seconds
+            assert a.storage_seconds == b.storage_seconds
 
     def test_modeldb_most_storage(self, systems):
         storage = {n: s.cumulative_bytes[-1] for n, s in systems.items()}

@@ -1,0 +1,30 @@
+"""Shared fixtures for remote-sync tests: a served repo plus a transport."""
+
+import pytest
+
+from repro import MLCask
+from repro.remote import LocalTransport, RepositoryServer
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture
+def workload():
+    return ALL_WORKLOADS["readmission"](scale=0.3, seed=0)
+
+
+@pytest.fixture
+def server_repo(workload):
+    """A shared repository with two commits of history."""
+    repo = MLCask(metric=workload.metric, seed=0)
+    repo.create_pipeline(
+        workload.spec, workload.initial_components(), message="common ancestor"
+    )
+    repo.commit(
+        workload.name, {"model": workload.model_version(1)}, message="model v1"
+    )
+    return repo
+
+
+@pytest.fixture
+def transport(server_repo):
+    return LocalTransport(RepositoryServer(server_repo))

@@ -1,0 +1,66 @@
+"""The real-socket path: stdlib HTTP serve() + HttpTransport."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.remote import HttpTransport, clone_repository, serve
+
+
+@pytest.fixture
+def http_server(server_repo):
+    server = serve(server_repo, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestHttpSync:
+    def test_clone_over_real_socket(self, http_server, server_repo, workload):
+        transport = HttpTransport(http_server.url)
+        clone = clone_repository(transport, registry=server_repo.registry)
+        assert len(clone.graph) == len(server_repo.graph)
+        assert transport.bytes_received > 0
+
+    def test_push_over_real_socket(self, http_server, server_repo, workload):
+        clone = clone_repository(
+            HttpTransport(http_server.url), registry=server_repo.registry
+        )
+        commit, _ = clone.commit(
+            workload.name, {"model": workload.model_version(2)}, message="over http"
+        )
+        clone.remote("origin").push(workload.name, "master")
+        assert server_repo.branches.head(workload.name, "master") == commit.commit_id
+
+    def test_connection_refused_is_a_transport_error(self, http_server):
+        # Bind-then-close gives a port with (very likely) no listener.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        transport = HttpTransport(f"http://127.0.0.1:{dead_port}")
+        with pytest.raises(TransportError):
+            transport.call(b"anything")
+
+    def test_rejects_non_http_scheme(self):
+        with pytest.raises(TransportError, match="scheme"):
+            HttpTransport("ftp://example.org/repo")
+
+    def test_accepts_https_with_default_port(self):
+        transport = HttpTransport("https://example.org")
+        assert transport.scheme == "https"
+        assert transport.port == 443
+
+    def test_accepts_the_url_serve_prints(self, http_server, server_repo):
+        """serve() advertises '.../rpc'; pasting that exact URL as the
+        remote must work (no '/rpc/rpc' double path)."""
+        transport = HttpTransport(http_server.url + "/rpc")
+        assert transport.path == "/rpc"
+        clone = clone_repository(transport, registry=server_repo.registry)
+        assert len(clone.graph) == len(server_repo.graph)

@@ -1,0 +1,106 @@
+"""Wire-format tests: framing is exact, strict, and binary-clean."""
+
+import pytest
+
+from repro.errors import (
+    MergeError,
+    PushRejectedError,
+    RemoteError,
+    RemoteProtocolError,
+)
+from repro.remote.protocol import (
+    decode_message,
+    encode_message,
+    error_response,
+    raise_remote_error,
+)
+
+
+class TestFraming:
+    def test_meta_only_roundtrip(self):
+        meta = {"op": "manifest", "nested": {"a": [1, 2, 3]}}
+        decoded, blobs = decode_message(encode_message(meta))
+        assert decoded == meta
+        assert blobs == []
+
+    def test_blobs_roundtrip_binary_clean(self):
+        blobs = [b"\x00\xff" * 100, b"", bytes(range(256))]
+        decoded, out = decode_message(encode_message({"op": "get_chunks"}, blobs))
+        assert out == blobs
+
+    def test_blob_bytes_are_raw_not_inflated(self):
+        # Chunk payloads must travel verbatim (no base64): the message is
+        # only framing-overhead bigger than the content it carries.
+        blob = bytes(255 for _ in range(10_000))
+        message = encode_message({"op": "get_chunks"}, [blob])
+        assert len(message) < len(blob) + 200
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            decode_message(b"HTTP/1.1 200 OK\r\n\r\n")
+
+    def test_truncated_header_rejected(self):
+        message = encode_message({"op": "manifest"})
+        with pytest.raises(RemoteProtocolError):
+            decode_message(message[: len(message) - 3])
+
+    def test_truncated_blob_rejected(self):
+        message = encode_message({"op": "x"}, [b"0123456789"])
+        with pytest.raises(RemoteProtocolError):
+            decode_message(message[:-4])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(RemoteProtocolError):
+            decode_message(encode_message({"op": "x"}) + b"extra")
+
+    def test_malformed_blob_sizes_rejected_not_crashed(self):
+        # A hostile header must yield a protocol error, never a TypeError
+        # escaping the server's error channel.
+        import json
+        import struct
+
+        for bad_sizes in (["x"], {"a": 1}, [-5], [True]):
+            header = json.dumps(
+                {"v": 1, "meta": {"op": "x"}, "blob_sizes": bad_sizes}
+            ).encode()
+            message = b"MLCR" + struct.pack(">I", len(header)) + header
+            with pytest.raises(RemoteProtocolError, match="blob_sizes"):
+                decode_message(message)
+
+    def test_header_without_meta_rejected_not_crashed(self):
+        import json
+        import struct
+
+        header = json.dumps({"v": 1, "blob_sizes": []}).encode()
+        message = b"MLCR" + struct.pack(">I", len(header)) + header
+        with pytest.raises(RemoteProtocolError, match="meta"):
+            decode_message(message)
+
+    def test_unsupported_version_rejected(self):
+        import repro.remote.protocol as protocol
+
+        message = encode_message({"op": "x"})
+        # Bump the version in the already-encoded header.
+        bad = message.replace(b'"v":1', b'"v":99', 1)
+        with pytest.raises(RemoteProtocolError):
+            decode_message(bad)
+        assert protocol.PROTOCOL_VERSION == 1  # update this test on bumps
+
+
+class TestErrorChannel:
+    def test_push_rejection_survives_the_wire_typed(self):
+        error = PushRejectedError("readmission", "master", "non-fast-forward")
+        meta, _ = decode_message(error_response(error))
+        with pytest.raises(PushRejectedError) as excinfo:
+            raise_remote_error(meta)
+        assert excinfo.value.pipeline == "readmission"
+        assert excinfo.value.branch == "master"
+        assert "non-fast-forward" in excinfo.value.reason
+
+    def test_other_errors_become_remote_errors(self):
+        meta, _ = decode_message(error_response(MergeError("no common ancestor")))
+        with pytest.raises(RemoteError, match="no common ancestor"):
+            raise_remote_error(meta)
+
+    def test_no_error_is_a_no_op(self):
+        raise_remote_error({"refs": {}})

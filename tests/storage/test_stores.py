@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ChunkNotFoundError, ObjectNotFoundError
+from repro.errors import ChunkIntegrityError, ChunkNotFoundError, ObjectNotFoundError
 from repro.storage import (
     FileChunkStore,
     FolderStore,
@@ -72,6 +72,80 @@ class TestFileChunkStore:
     def test_missing_raises(self, tmp_path):
         with pytest.raises(ChunkNotFoundError):
             FileChunkStore(tmp_path).get("a" * 64)
+
+
+class TestChunkReplication:
+    """The have/want and verified-import primitives behind remote sync."""
+
+    def test_missing_reports_unheld_digests_in_order(self):
+        store = MemoryChunkStore()
+        held = store.put(b"held")
+        wanted = ["a" * 64, held, "b" * 64, "a" * 64]  # dup collapses
+        assert store.missing(wanted) == ["a" * 64, "b" * 64]
+
+    def test_import_chunk_roundtrip(self):
+        src, dst = MemoryChunkStore(), MemoryChunkStore()
+        digest = src.put(b"replicate me")
+        assert dst.import_chunk(digest, src.get(digest)) is True
+        assert dst.get(digest) == b"replicate me"
+        assert dst.import_chunk(digest, src.get(digest)) is False  # idempotent
+
+    def test_import_counts_physical_not_logical(self):
+        store = MemoryChunkStore()
+        from repro.storage.hashing import sha256_hex
+
+        data = b"x" * 100
+        store.import_chunk(sha256_hex(data), data)
+        assert store.stats.physical_bytes == 100
+        assert store.stats.logical_bytes == 0
+
+    def test_corrupt_import_rejected_before_write(self):
+        store = MemoryChunkStore()
+        with pytest.raises(ChunkIntegrityError):
+            store.import_chunk("c" * 64, b"not what the digest claims")
+        assert len(store) == 0
+
+    def test_discard_reclaims_physical_bytes(self):
+        store = MemoryChunkStore()
+        digest = store.put(b"x" * 50)
+        keep = store.put(b"y" * 30)
+        assert store.discard(digest) == 50
+        assert not store.contains(digest)
+        assert store.stats.physical_bytes == 30
+        assert store.discard(digest) == 0  # absent -> no-op
+        assert store.contains(keep)
+
+    def test_file_store_discard_cleans_fanout_dir(self, tmp_path):
+        store = FileChunkStore(tmp_path / "objects")
+        digest = store.put(b"lonely chunk")
+        fanout = tmp_path / "objects" / digest[:2]
+        assert fanout.is_dir()
+        store.discard(digest)
+        assert not fanout.exists()
+        assert store.digests() == []
+
+    def test_file_store_import(self, tmp_path):
+        src = MemoryChunkStore()
+        digest = src.put(b"to disk")
+        dst = FileChunkStore(tmp_path / "objects")
+        assert dst.import_chunk(digest, src.get(digest)) is True
+        assert dst.get(digest) == b"to disk"
+
+    def test_object_store_recipe_exchange(self):
+        src, dst = ObjectStore(), ObjectStore()
+        data = random_bytes(80_000)
+        blob = src.put(data)
+        recipe = src.recipe(blob)
+        dst.add_recipe(recipe)
+        for digest in dst.chunks.missing(recipe.chunk_digests):
+            dst.import_chunk(digest, src.chunks.get(digest))
+        assert dst.get(blob) == data
+
+    def test_reachable_chunks_skips_unknown_blobs(self):
+        store = ObjectStore()
+        blob = store.put(random_bytes(40_000))
+        reachable = store.reachable_chunks([blob, "f" * 64])
+        assert reachable == set(store.recipe(blob).chunk_digests)
 
 
 class TestObjectStore:

@@ -14,6 +14,7 @@ FAST_EXAMPLES = [
     "linear_evolution.py",
     "retrospective_audit.py",
     "readmission_collaboration.py",
+    "remote_collaboration.py",
 ]
 
 
