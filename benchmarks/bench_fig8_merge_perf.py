@@ -5,7 +5,7 @@ Benchmarks the headline unit: a full metric-driven merge with both
 pruning methods on the Fig. 3-shaped Readmission history.
 """
 
-from conftest import BENCH_SEED, write_result
+from conftest import BENCH_SEED, BENCH_SMOKE, write_result
 
 from repro.core.repository import MLCask
 from repro.workloads import apply_nonlinear_history, nonlinear_script, readmission_workload
@@ -31,14 +31,17 @@ def test_fig8_merge_performance(merge_result, benchmark):
     write_result("fig8_merge_perf.txt", "\n".join(lines))
 
     for app, by_mode in merge_result.measures.items():
-        # Paper: "The proposed system dominates the comparison in all
-        # test cases as well as all metrics."
-        assert by_mode["pcpr"].cpt_seconds <= by_mode["pc_only"].cpt_seconds, app
-        assert by_mode["pcpr"].cpt_seconds <= by_mode["none"].cpt_seconds, app
+        if not BENCH_SMOKE:
+            # Wall-clock orderings are noise at smoke sizes; the paper's
+            # "dominates in all metrics" claim is checked at full scale.
+            assert by_mode["pcpr"].cpt_seconds <= by_mode["pc_only"].cpt_seconds, app
+            assert by_mode["pcpr"].cpt_seconds <= by_mode["none"].cpt_seconds, app
+            # "MLCask without PR provides minor advantages over w/o PCPR."
+            assert (
+                by_mode["pc_only"].cpt_seconds <= 1.1 * by_mode["none"].cpt_seconds
+            ), app
         assert by_mode["pcpr"].css_bytes <= by_mode["pc_only"].css_bytes, app
         assert by_mode["pcpr"].css_bytes <= by_mode["none"].css_bytes, app
-        # "MLCask without PR provides minor advantages over w/o PCPR."
-        assert by_mode["pc_only"].cpt_seconds <= 1.1 * by_mode["none"].cpt_seconds, app
         # All modes must elect an equally-scored winner.
         scores = {m.winner_score for m in by_mode.values()}
         assert len(scores) == 1, app

@@ -23,6 +23,9 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "10"))
 BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "100"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+# Smoke mode (CI): tiny sizes, exercising every benchmark end to end to
+# catch bit-rot, with performance-ratio assertions relaxed.
+BENCH_SMOKE = bool(int(os.environ.get("REPRO_BENCH_SMOKE", "0")))
 
 
 def write_result(name: str, text: str) -> None:

@@ -27,6 +27,13 @@ import argparse
 import sys
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return number
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -83,22 +90,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--requests", type=int, default=None,
         help="exit after handling N requests (default: serve forever)",
     )
+    serve.add_argument(
+        "--max-pack-bytes", type=_positive_int, default=None,
+        help="chunk payload window per get_chunks response (default 4 MiB)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=128,
+        help="read-response cache slots, invalidated on push (0 disables)",
+    )
+    serve.add_argument(
+        "--max-request-bytes", type=_positive_int, default=256 * 1024 * 1024,
+        help="reject request bodies above this size with HTTP 413 "
+        "(default 256 MiB)",
+    )
 
     clone = sub.add_parser("clone", help="clone a remote into a new directory")
     clone.add_argument("source", help="http:// URL or repository directory")
     clone.add_argument("dest", help="directory to create the clone in")
+    clone.add_argument(
+        "--max-pack-bytes", type=_positive_int, default=None,
+        help="chunk payload window per wire message (default 4 MiB)",
+    )
 
     push = sub.add_parser("push", help="publish a branch to a remote")
     push.add_argument("repo", help="local repository directory")
     push.add_argument("remote", help="http:// URL or repository directory")
     push.add_argument("--pipeline", default=None)
     push.add_argument("--branch", default="master")
+    push.add_argument(
+        "--max-pack-bytes", type=_positive_int, default=None,
+        help="chunk payload window per wire message (default 4 MiB)",
+    )
 
     pull = sub.add_parser("pull", help="sync a branch from a remote")
     pull.add_argument("repo", help="local repository directory")
     pull.add_argument("remote", help="http:// URL or repository directory")
     pull.add_argument("--pipeline", default=None)
     pull.add_argument("--branch", default="master")
+    pull.add_argument(
+        "--max-pack-bytes", type=_positive_int, default=None,
+        help="chunk payload window per wire message (default 4 MiB)",
+    )
     pull.add_argument(
         "--workload", choices=["readmission", "dpm", "sa", "autolearn"],
         default=None,
@@ -249,6 +281,7 @@ def _cmd_init(args, out) -> int:
 
 def _cmd_serve(args, out) -> int:
     from .core.repository import MLCask
+    from .remote.pack import DEFAULT_MAX_PACK_BYTES
     from .remote.server import serve
 
     repo = MLCask.load_dir(args.repo)
@@ -257,15 +290,35 @@ def _cmd_serve(args, out) -> int:
         host=args.host,
         port=args.port,
         on_change=lambda r: r.save_dir(args.repo),
+        max_pack_bytes=(
+            args.max_pack_bytes
+            if args.max_pack_bytes is not None
+            else DEFAULT_MAX_PACK_BYTES
+        ),
+        cache_entries=args.cache_entries,
+        max_request_bytes=args.max_request_bytes,
+        # Bounded serving must return promptly after the Nth request even
+        # when clients leave keep-alive sockets open: a short idle timeout
+        # lets server_close() join the handler threads without waiting out
+        # the default 60s (clients transparently reconnect if they resume).
+        # 5s, not shorter: the same timeout governs mid-body reads, and a
+        # request stalled past it is dropped *and* charged to the budget.
+        idle_timeout=5.0 if args.requests is not None else None,
     )
     print(f"serving {args.repo} at {server.url}/rpc", file=out)
     try:
         if args.requests is not None:
-            # Bounded serving must not exit with the last response still
-            # in flight on a daemon thread: make server_close() join the
-            # handler threads before returning.
+            # Bounded serving counts handled *requests*, not accepted
+            # connections — keep-alive clients multiplex many requests
+            # over one socket (handlers stop honouring keep-alive once the
+            # budget is spent, see request_limit). The accept timeout lets
+            # the loop re-check the count while the last connection is
+            # still open, and daemon_threads=False makes server_close()
+            # join the handler threads so no response is left in flight.
             server.daemon_threads = False
-            for _ in range(args.requests):
+            server.timeout = 0.2
+            server.request_limit = args.requests
+            while server.repository_server.requests_handled < args.requests:
                 server.handle_request()
         else:
             server.serve_forever()
@@ -287,7 +340,10 @@ def _cmd_clone(args, out) -> int:
     ):
         raise RemoteError(f"destination {args.dest!r} exists and is not empty")
     transport = _transport_for(args.source)
-    repo = MLCask.clone(transport)
+    try:
+        repo = MLCask.clone(transport, max_pack_bytes=args.max_pack_bytes)
+    finally:
+        transport.close()
     repo.save_dir(args.dest)
     n_refs = sum(
         len([b for b in repo.branches.branches(p) if "/" not in b])
@@ -306,8 +362,15 @@ def _cmd_push(args, out) -> int:
 
     repo = MLCask.load_dir(args.repo)
     pipeline = _only_pipeline(repo, args.pipeline)
-    remote = repo.add_remote("origin", _transport_for(args.remote, persist=True))
-    result = remote.push(pipeline, args.branch)
+    remote = repo.add_remote(
+        "origin",
+        _transport_for(args.remote, persist=True),
+        max_pack_bytes=args.max_pack_bytes,
+    )
+    try:
+        result = remote.push(pipeline, args.branch)
+    finally:
+        remote.transport.close()
     if result.up_to_date:
         print(f"{pipeline}:{args.branch} already up to date", file=out)
     else:
@@ -324,7 +387,11 @@ def _cmd_pull(args, out) -> int:
 
     repo = MLCask.load_dir(args.repo)
     pipeline = _only_pipeline(repo, args.pipeline)
-    remote = repo.add_remote("origin", _transport_for(args.remote))
+    remote = repo.add_remote(
+        "origin",
+        _transport_for(args.remote),
+        max_pack_bytes=args.max_pack_bytes,
+    )
     if args.workload is not None:
         from .workloads import ALL_WORKLOADS
 
@@ -346,6 +413,8 @@ def _cmd_pull(args, out) -> int:
                 "(and the --scale/--seed the repository was built with)"
             ) from error
         raise
+    finally:
+        remote.transport.close()
     repo.save_dir(args.repo)
     line = (
         f"pulled {pipeline}:{args.branch}: {result.action}, "

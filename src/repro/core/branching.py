@@ -24,6 +24,8 @@ class BranchManager:
         # commit on Frank-dev is Frank-dev.0.0 even though the branch
         # point was master.0.0 — see Fig. 3).
         self._committed_on: dict[str, dict[str, int]] = {}
+        # Mutation counter: a staleness token for response caches.
+        self.revision = 0
 
     # ---------------------------------------------------------------- heads
     def head(self, pipeline: str, branch: str) -> str:
@@ -34,6 +36,7 @@ class BranchManager:
 
     def set_head(self, pipeline: str, branch: str, commit_id: str) -> None:
         self._heads.setdefault(pipeline, {})[branch] = commit_id
+        self.revision += 1
 
     def has_branch(self, pipeline: str, branch: str) -> bool:
         return branch in self._heads.get(pipeline, {})

@@ -55,6 +55,8 @@ class CheckpointStore(ABC):
         self._index: dict[str, CheckpointRecord] = {}
         self.save_seconds = 0.0
         self.load_seconds = 0.0
+        # Mutation counter: a staleness token for response caches.
+        self.revision = 0
 
     # ------------------------------------------------------------ interface
     @abstractmethod
@@ -94,6 +96,7 @@ class CheckpointStore(ABC):
             metrics=dict(metrics or {}),
         )
         self._index[key] = record
+        self.revision += 1
         return record
 
     def load(self, record: CheckpointRecord):
@@ -120,6 +123,7 @@ class CheckpointStore(ABC):
         if record.key in self._index:
             return False
         self._index[record.key] = record
+        self.revision += 1
         return True
 
     def prune(self, live_refs: set[str]) -> int:
@@ -132,6 +136,8 @@ class CheckpointStore(ABC):
         ]
         for key in dead:
             del self._index[key]
+        if dead:
+            self.revision += 1
         return len(dead)
 
 

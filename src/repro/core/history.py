@@ -16,10 +16,16 @@ from .commit import PipelineCommit
 
 
 class CommitGraph:
-    """Append-only DAG of :class:`PipelineCommit` objects."""
+    """Append-only DAG of :class:`PipelineCommit` objects.
+
+    ``revision`` counts mutations — a cheap staleness token consumers
+    (e.g. the remote server's response cache) compare instead of hashing
+    repository state.
+    """
 
     def __init__(self) -> None:
         self._commits: dict[str, PipelineCommit] = {}
+        self.revision = 0
 
     def add(self, commit: PipelineCommit) -> None:
         if commit.commit_id in self._commits:
@@ -28,6 +34,7 @@ class CommitGraph:
             if parent not in self._commits:
                 raise CommitNotFoundError(parent)
         self._commits[commit.commit_id] = commit
+        self.revision += 1
 
     def get(self, commit_id: str) -> PipelineCommit:
         if commit_id not in self._commits:

@@ -58,10 +58,114 @@ def propagate_leaf_score(leaf: TreeNode) -> None:
 
 
 # ------------------------------------------------------------- leaf picking
-def _has_unrun_leaf(node: TreeNode, run: set[int]) -> bool:
-    if node.is_leaf:
-        return id(node) not in run
-    return any(_has_unrun_leaf(child, run) for child in node.children)
+class _LeafCounter:
+    """Per-node count of unrun leaves beneath it, kept in sync with a run set.
+
+    Replaces the recursive subtree rescan the picker used to do on every
+    descent step (which made a full search O(leaves²)): a node is "open"
+    iff its count is positive, and marking a leaf run decrements exactly
+    the counts along that leaf's ancestry — so a pick costs
+    O(depth × branching). Built lazily for whatever run set the caller
+    passes; :class:`RunSet` keeps it current in O(depth) per ``add``.
+
+    The counter assumes the tree's *shape* is fixed (pruning happens
+    before searching, as every caller does); scores may change freely.
+    """
+
+    def __init__(self, root: TreeNode, run) -> None:
+        self.counts: dict[int, int] = {}
+        self.ancestry: dict[int, tuple[int, ...]] = {}
+        self.seen: set[int] = set()
+        #: True when a RunSet owns this counter: only that set's ``add``
+        #: may advance it, so a picker called with some *other* run set
+        #: must build its own instead of corrupting the owner's counts.
+        self.owned = False
+        self._build(root)
+        for leaf_id in run:
+            self.mark_run(leaf_id)
+
+    def _build(self, root: TreeNode) -> None:
+        path: list[int] = []
+
+        def visit(node: TreeNode) -> int:
+            path.append(id(node))
+            if node.is_leaf:
+                count = 1
+                self.ancestry[id(node)] = tuple(path)
+            else:
+                count = sum(visit(child) for child in node.children)
+            self.counts[id(node)] = count
+            path.pop()
+            return count
+
+        visit(root)
+
+    def mark_run(self, leaf_id: int) -> None:
+        if leaf_id in self.seen:
+            return
+        self.seen.add(leaf_id)
+        for node_id in self.ancestry.get(leaf_id, ()):
+            self.counts[node_id] -= 1
+
+    def has_unrun(self, node: TreeNode) -> bool:
+        return self.counts[id(node)] > 0
+
+
+class RunSet(set):
+    """A run set bound to its tree: ``add`` updates the unrun-leaf counts.
+
+    :func:`run_ordered_search` and the simulator use this so every pick is
+    O(depth × branching) with no per-pick synchronization; plain sets keep
+    working for external callers (the counter syncs by set difference).
+    """
+
+    def __init__(self, root: TreeNode) -> None:
+        super().__init__()
+        self.root = root
+        self.counter = _LeafCounter(root, ())
+        self.counter.owned = True
+        root._leaf_counter = self.counter
+
+    def add(self, leaf_id: int) -> None:
+        if leaf_id not in self:
+            super().add(leaf_id)
+            self.counter.mark_run(leaf_id)
+
+    def update(self, *others) -> None:
+        for other in others:
+            for leaf_id in other:
+                self.add(leaf_id)
+
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+    def _no_removal(self, *args, **kwargs):
+        # A run set only grows: counters are decrement-only, so removal
+        # would silently desynchronize them — fail loudly instead.
+        raise TypeError("RunSet does not support removing run leaves")
+
+    remove = discard = pop = clear = _no_removal
+    difference_update = intersection_update = symmetric_difference_update = (
+        _no_removal
+    )
+    __isub__ = __iand__ = __ixor__ = _no_removal
+
+
+def _counter_for(root: TreeNode, run) -> _LeafCounter:
+    """The unrun-leaf counter for ``(root, run)``, reusing the cached one
+    when ``run`` only grew since it was last synced (the picker's loop
+    contract); anything else — a shrunk or replaced run set — rebuilds."""
+    if isinstance(run, RunSet) and run.root is root:
+        return run.counter
+    counter = getattr(root, "_leaf_counter", None)
+    if counter is None or counter.owned or not counter.seen <= run:
+        counter = _LeafCounter(root, run)
+        root._leaf_counter = counter
+    elif len(run) > len(counter.seen):
+        for leaf_id in run - counter.seen:
+            counter.mark_run(leaf_id)
+    return counter
 
 
 def pick_prioritized_leaf(
@@ -78,9 +182,10 @@ def pick_prioritized_leaf(
     prioritized search's per-rank scores across trials (the variance the
     paper reports in Fig. 10).
     """
+    counter = _counter_for(root, run)
     node = root
     while not node.is_leaf:
-        open_children = [c for c in node.children if _has_unrun_leaf(c, run)]
+        open_children = [c for c in node.children if counter.has_unrun(c)]
         if not open_children:
             return None
         prior = node.score
@@ -139,7 +244,7 @@ def run_ordered_search(
         raise ValueError("time_budget_seconds must be non-negative")
     rng = np.random.default_rng(seed)
     refresh_scores(root)
-    run: set[int] = set()
+    run = RunSet(root)
     evaluations: list[CandidateEvaluation] = []
     picker = pick_prioritized_leaf if method == "prioritized" else pick_random_leaf
     clock_start = time.perf_counter()
@@ -246,7 +351,7 @@ class SearchSimulator:
         rng = np.random.default_rng(seed)
         root = self._fresh_tree()
         refresh_scores(root)
-        run: set[int] = set()
+        run = RunSet(root)
         executed_components: set[str] = set()
         for node in _all_nodes(root):
             if not node.is_root and node.executed:

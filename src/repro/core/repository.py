@@ -465,17 +465,20 @@ class MLCask:
         return collect_garbage(self.objects, live)
 
     # -------------------------------------------------------------- remotes
-    def add_remote(self, name: str, transport):
+    def add_remote(self, name: str, transport, max_pack_bytes: int | None = None):
         """Register a peer repository under ``name`` (like ``git remote add``).
 
         ``transport`` is any :class:`repro.remote.Transport` — a
         :class:`LocalTransport` around an in-process server, or an
         :class:`HttpTransport` pointed at a ``repro serve`` endpoint.
-        Returns the :class:`repro.remote.Remote` handle.
+        ``max_pack_bytes`` overrides the per-message chunk-payload window
+        (``None`` keeps the library default). Returns the
+        :class:`repro.remote.Remote` handle.
         """
         from ..remote.client import Remote
 
-        remote = Remote(self, transport, name=name)
+        kwargs = {} if max_pack_bytes is None else {"max_pack_bytes": max_pack_bytes}
+        remote = Remote(self, transport, name=name, **kwargs)
         self._remotes[name] = remote
         return remote
 
@@ -494,12 +497,15 @@ class MLCask:
         transport,
         registry: ComponentRegistry | None = None,
         name: str = "origin",
+        max_pack_bytes: int | None = None,
     ) -> "MLCask":
         """Replicate a peer repository end to end; see
         :func:`repro.remote.clone_repository`."""
         from ..remote.client import clone_repository
 
-        return clone_repository(transport, registry=registry, name=name)
+        return clone_repository(
+            transport, registry=registry, name=name, max_pack_bytes=max_pack_bytes
+        )
 
     # ---------------------------------------------------------- persistence
     def save(self, path) -> None:

@@ -27,11 +27,13 @@ Quickstart::
 """
 
 from .client import FetchResult, PullResult, PushResult, Remote, clone_repository
+from .pack import DEFAULT_MAX_PACK_BYTES
 from .protocol import decode_message, encode_message
-from .server import RepositoryServer, SyncHTTPServer, serve
+from .server import RepositoryServer, ResponseCache, RWLock, SyncHTTPServer, serve
 from .transport import HttpTransport, LocalTransport, Transport
 
 __all__ = [
+    "DEFAULT_MAX_PACK_BYTES",
     "FetchResult",
     "HttpTransport",
     "LocalTransport",
@@ -39,6 +41,8 @@ __all__ = [
     "PushResult",
     "Remote",
     "RepositoryServer",
+    "ResponseCache",
+    "RWLock",
     "SyncHTTPServer",
     "Transport",
     "clone_repository",

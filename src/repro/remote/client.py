@@ -32,6 +32,12 @@ from ..errors import ChunkNotFoundError, RemoteError
 from . import pack
 from .protocol import decode_message, encode_message, raise_remote_error
 
+#: Most chunk digests offered per get_chunks request. The server answers
+#: with a prefix that fits its byte window, so re-sending the *entire*
+#: remaining want list every round would make request traffic quadratic
+#: in chunk count; a slice keeps each request bounded (~270 KB of JSON).
+WANT_DIGESTS_PER_REQUEST = 4096
+
 
 @dataclass
 class FetchResult:
@@ -69,12 +75,25 @@ class PullResult:
 
 
 class Remote:
-    """One peer repository, addressed through a transport."""
+    """One peer repository, addressed through a transport.
 
-    def __init__(self, repo, transport, name: str = "origin"):
+    ``max_pack_bytes`` bounds the chunk payload of any single wire
+    message in either direction: fetches window their ``get_chunks``
+    requests to it, and a push whose missing content exceeds it streams
+    the chunks in ``put_chunks`` batches before the final ref update.
+    """
+
+    def __init__(
+        self,
+        repo,
+        transport,
+        name: str = "origin",
+        max_pack_bytes: int = pack.DEFAULT_MAX_PACK_BYTES,
+    ):
         self.repo = repo
         self.transport = transport
         self.name = name
+        self.max_pack_bytes = max_pack_bytes
 
     # ------------------------------------------------------------ plumbing
     def _call(self, meta: dict, blobs: list[bytes] | None = None):
@@ -111,39 +130,69 @@ class Remote:
             {"op": "fetch", "want": want, "have_commits": have}
         )
 
-        # All network I/O happens before anything is imported: a transport
-        # failure mid-fetch must leave the repository exactly as it was —
-        # in particular, never holding recipes whose chunks did not arrive
-        # (that state would poison later pushes).
+        # Chunk transfer is windowed to max_pack_bytes per response and
+        # each batch is imported (integrity-verified) as it arrives, so
+        # peak memory is one window, not the whole want set. Safe to land
+        # incrementally: chunks without recipes are inert content-addressed
+        # bytes — the consistency invariant is only that no *recipe* ever
+        # points at chunks that did not arrive, so recipes, records, and
+        # commits still import strictly after all content is in.
         wanted_chunks = self.repo.objects.chunks.missing(
             meta.get("chunk_digests", [])
         )
-        chunk_ids: list = []
-        chunk_blobs: list = []
-        if wanted_chunks:
+        new_chunks = 0
+        chunk_bytes = 0
+        remaining = list(wanted_chunks)
+        while remaining:
             chunk_meta, chunk_blobs = self._call(
-                {"op": "get_chunks", "digests": wanted_chunks}
+                {
+                    "op": "get_chunks",
+                    "digests": remaining[:WANT_DIGESTS_PER_REQUEST],
+                    "max_bytes": self.max_pack_bytes,
+                }
             )
-            chunk_ids = chunk_meta.get("digests", [])
+            got = chunk_meta.get("digests", [])
+            if not got:
+                raise RemoteError(
+                    "server sent an empty chunk batch while "
+                    f"{len(remaining)} chunks were still wanted"
+                )
+            new_chunks += pack.import_content(self.repo, [], [], got, chunk_blobs)
+            chunk_bytes += sum(len(b) for b in chunk_blobs)
+            if got == remaining[: len(got)]:
+                # The server contract: shipped chunks are a prefix of the
+                # requested order — progress tracking is one slice, not a
+                # set-difference scan over everything still wanted.
+                remaining = remaining[len(got):]
+                continue
+            # Nonconforming peer: fall back to a scan, but never spin on a
+            # response that made no progress at all.
+            got_set = set(got)
+            still_wanted = [d for d in remaining if d not in got_set]
+            if len(still_wanted) == len(remaining):
+                raise RemoteError(
+                    "server sent chunks unrelated to the requested digests"
+                )
+            remaining = still_wanted
 
         # Commits import *last*: the server advertises content by commit
         # delta, so grafting commits before their content has safely
         # landed would make a retry after a failed transfer believe there
         # is nothing left to fetch.
         pack.import_specs(self.repo, meta.get("specs", {}))
-        new_chunks = pack.import_content(
+        pack.import_content(
             self.repo,
             meta.get("recipes", []),
             meta.get("records", []),
-            chunk_ids,
-            chunk_blobs,
+            [],
+            [],
         )
         added = pack.import_commits(self.repo, meta.get("commits", []))
         result = FetchResult(
             refs=meta.get("refs", {}),
             commits_received=len(added),
             chunks_received=new_chunks,
-            chunk_bytes_received=sum(len(b) for b in chunk_blobs),
+            chunk_bytes_received=chunk_bytes,
         )
 
         for ref_pipeline, ref_branches in result.refs.items():
@@ -177,26 +226,53 @@ class Remote:
             {"op": "missing_chunks", "digests": sorted(chunk_digests)}
         )
         missing = meta.get("missing", [])
-        try:
-            blobs = [repo.objects.chunks.get(d) for d in missing]
-        except ChunkNotFoundError as error:
-            raise RemoteError(
-                f"cannot push {pipeline}:{branch}: chunk "
-                f"{error.digest[:12]} is referenced by a local recipe but "
-                "not held (incomplete objects directory?); restore the "
-                "content or re-clone before pushing"
-            ) from error
 
-        push_meta = pack.pack_meta(repo, commits, recipes, records, missing)
+        def read_chunk(digest: str) -> bytes:
+            try:
+                return repo.objects.chunks.get(digest)
+            except ChunkNotFoundError as error:
+                raise RemoteError(
+                    f"cannot push {pipeline}:{branch}: chunk "
+                    f"{error.digest[:12]} is referenced by a local recipe but "
+                    "not held (incomplete objects directory?); restore the "
+                    "content or re-clone before pushing"
+                ) from error
+
+        # Window the content: if everything fits in one pack message the
+        # push keeps its single-request shape; otherwise the chunks are
+        # pre-seeded batch by batch with put_chunks (content-addressed, so
+        # an interrupted push leaves only harmless orphans) and the final
+        # push message carries metadata and the ref update alone. The
+        # has_more flag keeps peak memory at one window: each batch is
+        # shipped before the next is materialized.
+        chunk_bytes_sent = 0
+        push_digests: list = []
+        push_blobs: list = []
+        streamed = False
+        for batch_digests, batch_blobs, has_more in pack.iter_chunk_batches(
+            read_chunk, missing, self.max_pack_bytes
+        ):
+            if not has_more and not streamed:
+                # Sole batch: it rides inside the push message itself.
+                push_digests, push_blobs = batch_digests, batch_blobs
+                break
+            self._call(
+                {"op": "put_chunks", "digests": batch_digests}, batch_blobs
+            )
+            streamed = True
+            chunk_bytes_sent += sum(len(b) for b in batch_blobs)
+        chunk_bytes_sent += sum(len(b) for b in push_blobs)
+
+        push_meta = pack.pack_meta(repo, commits, recipes, records, push_digests)
         push_meta["op"] = "push"
         push_meta["refs"] = {
             pipeline: {branch: {"old": observed, "new": head}}
         }
-        meta, _ = self._call(push_meta, blobs)
+        meta, _ = self._call(push_meta, push_blobs)
         return PushResult(
             commits_sent=len(commits),
             chunks_sent=len(missing),
-            chunk_bytes_sent=sum(len(b) for b in blobs),
+            chunk_bytes_sent=chunk_bytes_sent,
             updated=meta.get("updated", {}),
         )
 
@@ -247,7 +323,13 @@ class Remote:
         return PullResult(action="merged", fetch=fetched, outcome=outcome)
 
 
-def clone_repository(transport, registry=None, name: str = "origin", author: str | None = None):
+def clone_repository(
+    transport,
+    registry=None,
+    name: str = "origin",
+    author: str | None = None,
+    max_pack_bytes: int | None = None,
+):
     """Bootstrap a new repository from a peer; returns the ``MLCask``.
 
     The peer's metric/seed configuration, full history, content, and
@@ -266,7 +348,7 @@ def clone_repository(transport, registry=None, name: str = "origin", author: str
     repo = MLCask(**kwargs)
     if registry is not None:
         repo.registry = registry
-    remote = repo.add_remote(name, transport)
+    remote = repo.add_remote(name, transport, max_pack_bytes=max_pack_bytes)
     remote.fetch()
     for pipeline, branches in manifest["refs"].items():
         for branch, head in branches.items():

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from collections.abc import Callable, Iterable, Iterator
+
 from ..errors import RemoteError
 from ..core.persistence import (
     commit_from_dict,
@@ -42,6 +44,44 @@ from ..core.persistence import (
     spec_from_dict,
     spec_to_dict,
 )
+
+
+#: Upper bound on the chunk payload of a single wire message. Both sides
+#: of the protocol honour it: the server windows ``get_chunks`` responses
+#: to this many bytes (the client re-requests the remainder), and the
+#: client splits an oversized push into ``put_chunks`` batches before the
+#: final ref update. Bounds peak memory per request instead of letting a
+#: large repository materialize its whole content set in one message.
+DEFAULT_MAX_PACK_BYTES = 4 * 1024 * 1024
+
+
+def iter_chunk_batches(
+    fetch_chunk: Callable[[str], bytes],
+    digests: Iterable[str],
+    max_bytes: int,
+) -> Iterator[tuple[list[str], list[bytes], bool]]:
+    """Yield ``(digests, blobs, has_more)`` batches of ≤ ``max_bytes`` payload.
+
+    Chunks are fetched lazily: peak memory is one batch plus the single
+    overflow chunk that triggered the yield — consumers can act on
+    ``has_more`` (True on every yield except the last) without pulling the
+    next batch into memory. A chunk larger than the budget still ships
+    (as a batch of one) — the window bounds batch size, it never makes
+    content unsendable.
+    """
+    batch_digests: list[str] = []
+    batch_blobs: list[bytes] = []
+    batch_size = 0
+    for digest in digests:
+        blob = fetch_chunk(digest)
+        if batch_digests and batch_size + len(blob) > max_bytes:
+            yield batch_digests, batch_blobs, True
+            batch_digests, batch_blobs, batch_size = [], [], 0
+        batch_digests.append(digest)
+        batch_blobs.append(blob)
+        batch_size += len(blob)
+    if batch_digests:
+        yield batch_digests, batch_blobs, False
 
 
 # -------------------------------------------------------------- assembly

@@ -30,7 +30,11 @@ import struct
 from ..errors import PushRejectedError, RemoteError, RemoteProtocolError
 
 MAGIC = b"MLCR"
-PROTOCOL_VERSION = 1
+#: v2: windowed ``get_chunks`` (``remaining`` count, server-enforced
+#: ``max_pack_bytes`` bound) and the ``put_chunks`` operation. The bump is
+#: deliberate: a v1 peer fetching from a windowing server would silently
+#: import a truncated chunk set; a loud version error is the safe failure.
+PROTOCOL_VERSION = 2
 
 #: Operations a server understands; anything else is a protocol error.
 OPS = (
@@ -38,9 +42,14 @@ OPS = (
     "known_commits",
     "missing_chunks",
     "get_chunks",
+    "put_chunks",
     "fetch",
     "push",
 )
+
+#: Operations that mutate repository state (served under the exclusive
+#: side of the server's reader-writer lock); everything else is a read.
+WRITE_OPS = frozenset({"push", "put_chunks"})
 
 
 def encode_message(meta: dict, blobs: list[bytes] | None = None) -> bytes:
@@ -113,5 +122,9 @@ def raise_remote_error(meta: dict) -> None:
             error.get("pipeline", "?"),
             error.get("branch", "?"),
             error.get("reason", error.get("message", "rejected")),
+        )
+    if error.get("type") == "RemoteProtocolError":
+        raise RemoteProtocolError(
+            f"remote rejected request: {error.get('message')}"
         )
     raise RemoteError(f"remote error: {error.get('type')}: {error.get('message')}")

@@ -1,13 +1,20 @@
 """Repository server: answers sync requests against a live ``MLCask``.
 
 The server side of the wire protocol. One :class:`RepositoryServer` wraps
-one repository and handles the five operations — ``manifest``,
-``known_commits``, ``missing_chunks``, ``get_chunks``, ``fetch``, and
-``push`` — entirely in terms of pack assembly/import from
+one repository and handles the seven operations — ``manifest``,
+``known_commits``, ``missing_chunks``, ``get_chunks``, ``put_chunks``,
+``fetch``, and ``push`` — entirely in terms of pack assembly/import from
 :mod:`repro.remote.pack`. It is transport-agnostic: :class:`LocalTransport`
 calls :meth:`handle_bytes` directly, and :func:`serve` exposes the same
 entry point over a real socket with the stdlib HTTP server (no external
 dependencies, matching the repository's no-new-deps constraint).
+
+Concurrency model: read operations run in parallel under the shared side
+of a reader-writer lock; only the mutating operations (``push``,
+``put_chunks``) take the exclusive side. Read responses are additionally
+served from a bounded cache keyed by the request bytes — every response
+is a deterministic function of (request, repository state), so the cache
+is exact and is invalidated wholesale whenever state mutates.
 
 Push semantics follow git: received commits and chunks are grafted first
 (content-addressed, so duplicates are no-ops and orphans are harmless —
@@ -15,54 +22,361 @@ they become reachable once the client's eventual merge lands), but a ref
 only moves if the update is a *fast-forward* from the server's current
 head. Anything else is answered with a typed rejection the client
 resolves via pull + metric-driven merge.
+
+Robustness: :meth:`RepositoryServer.handle_bytes` never lets an exception
+escape — malformed requests are schema-validated up front and answered
+with typed :class:`RemoteProtocolError` responses, and anything
+unexpected is wrapped the same way, so one bad client cannot take a
+handler thread (or the keep-alive connection behind it) down.
 """
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
 import http.server
 import threading
+from collections import OrderedDict
 
 from ..errors import MLCaskError, PushRejectedError, RemoteProtocolError
 from . import pack
 from .protocol import (
     OPS,
+    WRITE_OPS,
     decode_message,
     encode_message,
     error_response,
 )
 from .transport import RPC_PATH
 
+#: Read operations whose responses are worth caching: pure metadata, so
+#: entries stay small. ``get_chunks`` is deliberately excluded — content
+#: reads are already O(1) store lookups and their responses are up to a
+#: full pack window each, the wrong trade for a metadata cache.
+CACHEABLE_OPS = frozenset({"manifest", "known_commits", "missing_chunks", "fetch"})
+
+
+class RWLock:
+    """A reader-writer lock: many readers or one writer, writer preference.
+
+    Readers queue behind a *waiting* writer (not only an active one) so a
+    steady stream of reads cannot starve pushes indefinitely.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read_locked(self):
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write_locked(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+class ResponseCache:
+    """Bounded LRU of encoded responses, keyed by request-payload digest.
+
+    Every entry carries the repository *state token* (the tuple of store
+    revision counters) it was computed under; a hit requires the token to
+    still match, so entries go stale the moment anything mutates the
+    repository — through a push or out-of-band (a live repo served while
+    its owner keeps committing). The token is captured under the read
+    lock, where writers are excluded, so an entry can never claim a newer
+    state than its response reflects.
+    """
+
+    #: Total cached-response bytes across all entries. Entry *count* alone
+    #: is no bound: fetch responses scale with history depth, and distinct
+    #: have_commits sets hash to distinct keys — 128 slots of multi-MB
+    #: packs would pin real memory.
+    DEFAULT_MAX_TOTAL_BYTES = 64 * 1024 * 1024
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        max_total_bytes: int = DEFAULT_MAX_TOTAL_BYTES,
+    ):
+        self.max_entries = max(0, max_entries)
+        self.max_total_bytes = max(0, max_total_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[bytes, tuple[tuple, bytes]] = OrderedDict()
+        self._total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes, token: tuple) -> bytes | None:
+        if not self.max_entries:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != token:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+
+    def put(self, key: bytes, token: tuple, value: bytes) -> None:
+        if not self.max_entries or len(value) > self.max_total_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._total_bytes -= len(old[1])
+            self._entries[key] = (token, value)
+            self._total_bytes += len(value)
+            while (
+                len(self._entries) > self.max_entries
+                or self._total_bytes > self.max_total_bytes
+            ):
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self._total_bytes -= len(evicted)
+
+    def invalidate(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._total_bytes = 0
+
+
+# ------------------------------------------------------- request validation
+def _fail(op: str, message: str):
+    raise RemoteProtocolError(f"invalid {op} request: {message}")
+
+
+def _is_str_list(value) -> bool:
+    return isinstance(value, list) and all(isinstance(v, str) for v in value)
+
+
+def _is_dict_list(value) -> bool:
+    return isinstance(value, list) and all(isinstance(v, dict) for v in value)
+
+
+def _check_digest_blob_parallel(op: str, meta: dict, blobs: list) -> None:
+    digests = meta.get("chunk_digests" if op == "push" else "digests", [])
+    if not _is_str_list(digests):
+        _fail(op, "chunk digests must be a list of strings")
+    if len(digests) != len(blobs):
+        _fail(op, f"{len(digests)} chunk digests but {len(blobs)} blobs")
+
+
+def validate_request(op: str, meta: dict, blobs: list) -> None:
+    """Schema-check a request before any handler state is touched.
+
+    Everything a handler would otherwise discover as a ``KeyError`` or
+    ``TypeError`` mid-operation is rejected here as a typed
+    :class:`RemoteProtocolError` instead.
+    """
+    if op == "known_commits":
+        if not _is_str_list(meta.get("ids", [])):
+            _fail(op, "'ids' must be a list of strings")
+    elif op == "missing_chunks":
+        if not _is_str_list(meta.get("digests", [])):
+            _fail(op, "'digests' must be a list of strings")
+    elif op == "get_chunks":
+        if not _is_str_list(meta.get("digests", [])):
+            _fail(op, "'digests' must be a list of strings")
+        max_bytes = meta.get("max_bytes")
+        if max_bytes is not None and (
+            not isinstance(max_bytes, int)
+            or isinstance(max_bytes, bool)
+            or max_bytes <= 0
+        ):
+            _fail(op, "'max_bytes' must be a positive integer")
+    elif op == "put_chunks":
+        _check_digest_blob_parallel(op, meta, blobs)
+    elif op == "fetch":
+        want = meta.get("want")
+        if want is not None:
+            if not isinstance(want, dict):
+                _fail(op, "'want' must be null or {pipeline: [branch, ...]}")
+            for pipeline, branches in want.items():
+                if not isinstance(pipeline, str) or not _is_str_list(branches):
+                    _fail(op, "'want' must map pipeline names to branch lists")
+        if not _is_str_list(meta.get("have_commits", [])):
+            _fail(op, "'have_commits' must be a list of strings")
+    elif op == "push":
+        commits = meta.get("commits", [])
+        if not _is_dict_list(commits):
+            _fail(op, "'commits' must be a list of commit dicts")
+        for entry in commits:
+            if not isinstance(entry.get("commit_id"), str):
+                _fail(op, "every commit needs a string 'commit_id'")
+            if not isinstance(entry.get("sequence"), int):
+                _fail(op, "every commit needs an integer 'sequence'")
+        if not isinstance(meta.get("specs", {}), dict):
+            _fail(op, "'specs' must be a dict")
+        recipes = meta.get("recipes", [])
+        if not _is_dict_list(recipes):
+            _fail(op, "'recipes' must be a list of recipe dicts")
+        for entry in recipes:
+            if (
+                not isinstance(entry.get("blob"), str)
+                or not _is_str_list(entry.get("chunks"))
+                or not isinstance(entry.get("size"), int)
+                or isinstance(entry.get("size"), bool)
+            ):
+                _fail(
+                    op,
+                    "every recipe needs a string 'blob', a 'chunks' list of "
+                    "strings, and an integer 'size'",
+                )
+        if not _is_dict_list(meta.get("records", [])):
+            _fail(op, "'records' must be a list of record dicts")
+        _check_digest_blob_parallel(op, meta, blobs)
+        refs = meta.get("refs", {})
+        if not isinstance(refs, dict):
+            _fail(op, "'refs' must be {pipeline: {branch: {old, new}}}")
+        for pipeline, branches in refs.items():
+            if not isinstance(pipeline, str) or not isinstance(branches, dict):
+                _fail(op, "'refs' must be {pipeline: {branch: {old, new}}}")
+            for branch, update in branches.items():
+                if not isinstance(branch, str) or not isinstance(update, dict):
+                    _fail(op, "every ref update must be a {old, new} dict")
+                if not isinstance(update.get("new"), str) or not update["new"]:
+                    _fail(
+                        op,
+                        f"ref update for {pipeline}:{branch} is missing a "
+                        "non-empty 'new' head",
+                    )
+                old = update.get("old")
+                if old is not None and not isinstance(old, str):
+                    _fail(
+                        op,
+                        f"ref update for {pipeline}:{branch} has a non-string "
+                        "'old' head",
+                    )
+
 
 class RepositoryServer:
     """Protocol endpoint over one repository.
 
     ``on_change`` (optional) is invoked with the repository after every
-    state-mutating request — directory-backed remotes pass a save
-    callback so pushes persist; in-memory servers pass nothing.
+    ref-moving push — directory-backed remotes pass a save callback so
+    pushes persist; in-memory servers pass nothing. ``max_pack_bytes``
+    windows ``get_chunks`` responses; ``cache_entries`` bounds the read
+    response cache (0 disables it); ``exclusive=True`` serializes *every*
+    operation behind the write lock — the pre-reader-writer behaviour,
+    kept as the baseline the concurrency benchmark measures against.
     """
 
-    def __init__(self, repo, on_change=None):
+    def __init__(
+        self,
+        repo,
+        on_change=None,
+        *,
+        max_pack_bytes: int = pack.DEFAULT_MAX_PACK_BYTES,
+        cache_entries: int = 128,
+        exclusive: bool = False,
+    ):
         self.repo = repo
         self.on_change = on_change
-        self._lock = threading.Lock()
+        self.max_pack_bytes = max_pack_bytes
+        self.exclusive = exclusive
+        self._rwlock = RWLock()
+        self.cache = ResponseCache(cache_entries)
+        self._count_lock = threading.Lock()
+        #: Requests this endpoint has answered — including HTTP-level
+        #: rejections the handler never forwards to handle_bytes (wrong
+        #: path, bad Content-Length, oversized body); bounded serving
+        #: (``repro serve --requests N``) keys off this, and an uncounted
+        #: rejection would leave it waiting forever.
+        self.requests_handled = 0
+
+    def count_request(self) -> None:
+        with self._count_lock:
+            self.requests_handled += 1
 
     # ------------------------------------------------------------ dispatch
     def handle_bytes(self, payload: bytes) -> bytes:
         """Decode one request, run it, encode the response.
 
-        Library errors travel back as typed error messages instead of
-        crashing the server; the client re-raises them locally.
+        Never raises: library errors travel back as typed error messages
+        (the client re-raises them locally), and unexpected failures are
+        wrapped as :class:`RemoteProtocolError` responses so a malformed
+        request can never kill the handler thread serving it.
         """
+        self.count_request()
         try:
             meta, blobs = decode_message(payload)
             op = meta.get("op")
             if op not in OPS:
                 raise RemoteProtocolError(f"unknown operation {op!r}")
-            with self._lock:
-                handler = getattr(self, f"_op_{op}")
+            validate_request(op, meta, blobs)
+            handler = getattr(self, f"_op_{op}")
+            if op in WRITE_OPS or self.exclusive:
+                with self._rwlock.write_locked():
+                    try:
+                        return handler(meta, blobs)
+                    finally:
+                        # Even a failed/rejected write may have grafted
+                        # content before raising; the revision tokens catch
+                        # most of that, the wholesale clear catches all.
+                        if op in WRITE_OPS:
+                            self.cache.invalidate()
+            if op in CACHEABLE_OPS:
+                key = hashlib.sha256(payload).digest()
+                cached = self.cache.get(key, self._state_token())
+                if cached is not None:
+                    return cached
+                with self._rwlock.read_locked():
+                    token = self._state_token()
+                    response = handler(meta, blobs)
+                self.cache.put(key, token, response)
+                return response
+            with self._rwlock.read_locked():
                 return handler(meta, blobs)
         except MLCaskError as error:
             return error_response(error)
+        except Exception as error:  # noqa: BLE001 - last-resort containment
+            return error_response(
+                RemoteProtocolError(
+                    f"internal server error: {type(error).__name__}: {error}"
+                )
+            )
+
+    def _state_token(self) -> tuple:
+        """Cheap fingerprint of everything read responses depend on.
+
+        Specs are covered by their count: spec registration is add-only
+        (a conflicting redefinition raises), so any change moves it.
+        """
+        repo = self.repo
+        return (
+            repo.graph.revision,
+            repo.branches.revision,
+            repo.objects.revision,
+            repo.objects.chunks.revision,
+            repo.checkpoints.revision,
+            len(repo._specs),
+        )
 
     # ---------------------------------------------------------- operations
     def _public_branches(self, pipeline: str) -> list[str]:
@@ -100,10 +414,55 @@ class RepositoryServer:
         return encode_message({"missing": missing})
 
     def _op_get_chunks(self, meta: dict, blobs) -> bytes:
-        """Ship requested chunks as raw framed blobs."""
+        """Ship requested chunks as raw framed blobs, windowed.
+
+        At most ``min(max_bytes, max_pack_bytes)`` of payload per response
+        (the server's window applies even when the request names none —
+        the memory bound must hold against non-cooperating clients), but
+        always at least one chunk, so progress is guaranteed. The
+        ``remaining`` count tells the client how many of its wanted
+        digests did not fit; it re-requests exactly those. Shipped chunks
+        are always a *prefix* of the requested order — clients rely on
+        this for O(batch) progress tracking.
+        """
         digests = meta.get("digests", [])
-        payloads = [self.repo.objects.chunks.get(d) for d in digests]
-        return encode_message({"digests": digests}, payloads)
+        requested = meta.get("max_bytes")
+        budget = (
+            min(requested, self.max_pack_bytes)
+            if requested is not None
+            else self.max_pack_bytes
+        )
+        # Known trade-off: the generator reads one chunk past the window
+        # to detect overflow, and that blob is discarded with it — one
+        # redundant store read per window. Served repositories hold chunks
+        # in a MemoryChunkStore (load_dir imports the objects directory
+        # into memory), so this is a dict lookup, accepted in exchange for
+        # a single windowing implementation shared with the push path.
+        send_digests, payloads, _ = next(
+            pack.iter_chunk_batches(self.repo.objects.chunks.get, digests, budget),
+            ([], [], False),
+        )
+        return encode_message(
+            {
+                "digests": send_digests,
+                "remaining": len(digests) - len(send_digests),
+            },
+            payloads,
+        )
+
+    def _op_put_chunks(self, meta: dict, blobs) -> bytes:
+        """Graft verified chunks ahead of a batched push.
+
+        Content-addressed, so replays are no-ops and chunks orphaned by an
+        interrupted push are harmless — they become reachable when the
+        push's final message lands (and are re-offered by the client's
+        next negotiation if it never does). ``on_change`` is *not* fired:
+        refs have not moved, and the eventual push persists everything.
+        """
+        new = pack.import_content(
+            self.repo, [], [], meta.get("digests", []), blobs
+        )
+        return encode_message({"ok": True, "new_chunks": new})
 
     def _op_fetch(self, meta: dict, blobs) -> bytes:
         """Commit-graph sync: everything reachable from the wanted refs
@@ -144,8 +503,31 @@ class RepositoryServer:
         non-fast-forward is, so no update is ever lost silently.
         """
         repo = self.repo
+        # Content-completeness gate, before anything imports: every chunk a
+        # pushed recipe references must either ride in this message or
+        # already be held (landed by put_chunks pre-seeding or earlier
+        # syncs). Without this, a schema-valid push could register recipes
+        # pointing at content the server was never given — poisoning every
+        # later fetch of that branch with an unservable chunk digest.
+        incoming = set(meta.get("chunk_digests", []))
+        referenced = {
+            digest
+            for entry in meta.get("recipes", [])
+            for digest in entry["chunks"]
+        }
+        absent = repo.objects.chunks.missing(sorted(referenced - incoming))
+        if absent:
+            raise RemoteProtocolError(
+                f"push references {len(absent)} chunks neither included in "
+                f"the pack nor held by the server (first: {absent[0][:12]}); "
+                "negotiate with missing_chunks and resend"
+            )
         pack.import_specs(repo, meta.get("specs", {}))
-        pack.import_commits(repo, meta.get("commits", []))
+        # Content lands before commits (the mirror of the client-fetch
+        # ordering): if a blob fails its integrity check here, nothing has
+        # been grafted yet — grafting commits first would leave orphans a
+        # retry push could fast-forward onto even though their content
+        # never arrived, the poisoned state the gate above exists to stop.
         new_chunks = pack.import_content(
             repo,
             meta.get("recipes", []),
@@ -153,6 +535,7 @@ class RepositoryServer:
             meta.get("chunk_digests", []),
             blobs,
         )
+        pack.import_commits(repo, meta.get("commits", []))
 
         updates = meta.get("refs", {})
         # Validate every update before applying any: a push is atomic.
@@ -194,23 +577,100 @@ class RepositoryServer:
 
 # ------------------------------------------------------------- HTTP serve
 class _Handler(http.server.BaseHTTPRequestHandler):
-    """Minimal single-endpoint RPC handler over the stdlib HTTP server."""
+    """Minimal single-endpoint RPC handler over the stdlib HTTP server.
+
+    Keep-alive discipline: a handled request — even one that produced a
+    typed error response — leaves the connection reusable. Anything that
+    puts the connection in an unknowable state (truncated body, a failure
+    outside :meth:`RepositoryServer.handle_bytes`, a write error) closes
+    it, and internal failures are reported as HTTP 500 with an encoded
+    error body the client surfaces instead of a bare dropped socket.
+    """
 
     server_version = "mlcask-repro/1"
     protocol_version = "HTTP/1.1"
+    #: Response headers and body go out in separate writes; with Nagle on,
+    #: the second write stalls behind the peer's delayed ACK (~40ms per
+    #: request on Linux loopback). RPC traffic wants the segments now.
+    disable_nagle_algorithm = True
+    #: Socket read timeout: an idle keep-alive connection is dropped after
+    #: this many seconds (the client transparently reconnects), so handler
+    #: threads never wait forever on a silent peer. Overridden per server
+    #: by ``SyncHTTPServer(idle_timeout=...)``.
+    timeout = 60.0
+
+    def setup(self):
+        idle_timeout = getattr(self.server, "idle_timeout", None)
+        if idle_timeout is not None:
+            self.timeout = idle_timeout
+        super().setup()
 
     def do_POST(self):  # noqa: N802 - http.server naming convention
+        count_request = self.server.repository_server.count_request
         if self.path.rstrip("/") != RPC_PATH:
+            count_request()
             self.send_error(404, "unknown endpoint")
             return
-        length = int(self.headers.get("Content-Length", 0))
-        payload = self.rfile.read(length)
-        response = self.server.repository_server.handle_bytes(payload)
-        self.send_response(200)
-        self.send_header("Content-Type", "application/octet-stream")
-        self.send_header("Content-Length", str(len(response)))
-        self.end_headers()
-        self.wfile.write(response)
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            count_request()
+            self.send_error(400, "bad Content-Length")
+            return
+        if length < 0:
+            count_request()
+            self.send_error(400, "bad Content-Length")
+            return
+        limit = getattr(self.server, "max_request_bytes", None)
+        if limit is not None and length > limit:
+            count_request()
+            self.send_error(413, "request exceeds the server's size limit")
+            return
+        try:
+            payload = self.rfile.read(length)
+        except OSError:
+            # Stalled mid-body past the idle timeout — same treatment as
+            # the short-read below (TimeoutError is an OSError).
+            payload = b""
+        if len(payload) < length:
+            # The peer hung up (or stalled) mid-body; there is no request
+            # to answer and no sane way to keep framing on this socket —
+            # but it still spends one unit of a bounded-serve budget.
+            count_request()
+            self.close_connection = True
+            return
+        try:
+            status = 200
+            response = self.server.repository_server.handle_bytes(payload)
+        except Exception as error:  # noqa: BLE001 - handle_bytes contains its
+            # own failures; this is the last-resort mapping to HTTP 500.
+            status = 500
+            response = error_response(
+                RemoteProtocolError(
+                    f"internal server error: {type(error).__name__}: {error}"
+                )
+            )
+        # Bounded serving (request_limit): once the budget is spent, stop
+        # honouring keep-alive so an active pipelining client cannot keep
+        # its handler thread alive past the limit.
+        limit = getattr(self.server, "request_limit", None)
+        spent = (
+            limit is not None
+            and self.server.repository_server.requests_handled >= limit
+        )
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(len(response)))
+            if status != 200 or spent:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(response)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+            return
+        if status != 200 or spent:
+            self.close_connection = True
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if getattr(self.server, "verbose", False):
@@ -218,14 +678,30 @@ class _Handler(http.server.BaseHTTPRequestHandler):
 
 
 class SyncHTTPServer(http.server.ThreadingHTTPServer):
-    """HTTP server bound to one :class:`RepositoryServer`."""
+    """HTTP server bound to one :class:`RepositoryServer`.
+
+    ``max_request_bytes`` (optional) rejects oversized request bodies with
+    HTTP 413 before they are read into memory.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address, repository_server, verbose=False):
+    def __init__(
+        self,
+        address,
+        repository_server,
+        verbose=False,
+        max_request_bytes: int | None = None,
+        idle_timeout: float | None = None,
+    ):
         super().__init__(address, _Handler)
         self.repository_server = repository_server
         self.verbose = verbose
+        self.max_request_bytes = max_request_bytes
+        self.idle_timeout = idle_timeout
+        # When set, handlers stop honouring keep-alive once this many
+        # requests have been handled (bounded serving, see the CLI).
+        self.request_limit: int | None = None
 
     @property
     def url(self) -> str:
@@ -239,13 +715,30 @@ def serve(
     port: int = 0,
     on_change=None,
     verbose: bool = False,
+    max_pack_bytes: int = pack.DEFAULT_MAX_PACK_BYTES,
+    cache_entries: int = 128,
+    exclusive: bool = False,
+    max_request_bytes: int | None = None,
+    idle_timeout: float | None = None,
 ) -> SyncHTTPServer:
     """Expose ``repo`` at ``http://host:port/rpc``; returns the server.
 
     The caller drives the loop (``serve_forever()`` for a daemon,
     ``handle_request()`` N times for bounded serving in tests); ``port=0``
-    binds an ephemeral port, readable from ``server.url``.
+    binds an ephemeral port, readable from ``server.url``. Requests are
+    handled on a thread per connection: reads run concurrently, pushes
+    exclusively (see :class:`RepositoryServer`).
     """
     return SyncHTTPServer(
-        (host, port), RepositoryServer(repo, on_change=on_change), verbose=verbose
+        (host, port),
+        RepositoryServer(
+            repo,
+            on_change=on_change,
+            max_pack_bytes=max_pack_bytes,
+            cache_entries=cache_entries,
+            exclusive=exclusive,
+        ),
+        verbose=verbose,
+        max_request_bytes=max_request_bytes,
+        idle_timeout=idle_timeout,
     )

@@ -19,10 +19,16 @@ from .hashing import sha256_hex
 
 
 class ChunkStore(ABC):
-    """Interface shared by the memory and file backends."""
+    """Interface shared by the memory and file backends.
+
+    ``revision`` counts membership changes (a chunk added or removed) — a
+    cheap staleness token for consumers like the remote server's response
+    cache; reads and dedup hits do not move it.
+    """
 
     def __init__(self) -> None:
         self.stats = StorageStats()
+        self.revision = 0
 
     @abstractmethod
     def _contains(self, digest: str) -> bool: ...
@@ -48,6 +54,7 @@ class ChunkStore(ABC):
             if not self._contains(digest):
                 self._write(digest, data)
                 self.stats.record_physical(len(data))
+                self.revision += 1
             else:
                 self.stats.record_dedup_hit(len(data))
         return digest
@@ -75,6 +82,7 @@ class ChunkStore(ABC):
         size = len(self._read(digest))
         self._delete(digest)
         self.stats.record_physical(-size)
+        self.revision += 1
         return size
 
     def missing(self, digests) -> list[str]:
@@ -111,6 +119,7 @@ class ChunkStore(ABC):
                 return False
             self._write(digest, data)
             self.stats.record_physical(len(data))
+            self.revision += 1
         return True
 
     def __len__(self) -> int:

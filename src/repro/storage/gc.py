@@ -62,6 +62,7 @@ def collect_garbage(store: ObjectStore, live_blob_digests: set[str]) -> GCReport
     ]
     for digest in dead_recipes:
         del store._recipes[digest]
+        store.revision += 1
 
     return GCReport(
         live_blobs=live_blobs,

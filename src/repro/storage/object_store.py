@@ -44,6 +44,9 @@ class ObjectStore:
         self.chunks = chunk_store if chunk_store is not None else MemoryChunkStore()
         self.chunker = chunker if chunker is not None else ContentDefinedChunker()
         self._recipes: dict[str, Recipe] = {}
+        # Recipe-membership mutation counter: a staleness token for
+        # response caches (the chunk store keeps its own).
+        self.revision = 0
 
     def put(self, data: bytes) -> str:
         """Persist ``data``; return its blob digest (idempotent)."""
@@ -57,6 +60,7 @@ class ObjectStore:
             return digest
         chunk_digests = tuple(self.chunks.put(chunk) for chunk in self.chunker.split(data))
         self._recipes[digest] = Recipe(digest, chunk_digests, len(data))
+        self.revision += 1
         return digest
 
     def get(self, digest: str) -> bytes:
@@ -85,7 +89,9 @@ class ObjectStore:
         content is fine — :meth:`get` fails chunk-by-chunk until the
         content lands.
         """
-        self._recipes.setdefault(recipe.blob_digest, recipe)
+        if recipe.blob_digest not in self._recipes:
+            self._recipes[recipe.blob_digest] = recipe
+            self.revision += 1
 
     def reachable_chunks(self, blob_digests) -> set[str]:
         """Chunk digests needed to reassemble the given blobs.

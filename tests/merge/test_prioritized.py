@@ -121,6 +121,83 @@ class TestLeafPicking:
         assert pick_random_leaf(root, run, np.random.default_rng(0)) is None
 
 
+class TestUnrunLeafCounting:
+    """The O(depth × branching) pick path: per-node unrun-leaf counts must
+    always agree with a brute-force subtree scan, and picking behaviour
+    (including rng draw order) must be identical however the run set is
+    maintained."""
+
+    def _brute_count(self, node, run):
+        if node.is_leaf:
+            return 0 if id(node) in run else 1
+        return sum(self._brute_count(child, run) for child in node.children)
+
+    def test_counts_match_brute_force_throughout_a_search(self):
+        from repro.core.merge import iter_nodes
+        from repro.core.merge.prioritized import RunSet, _counter_for
+
+        repo = build_fig3_history()
+        _, root = prepared_tree(repo)
+        refresh_scores(root)
+        rng = np.random.default_rng(3)
+        run = RunSet(root)
+        while (leaf := pick_prioritized_leaf(root, run, rng)) is not None:
+            run.add(id(leaf))
+            counter = _counter_for(root, run)
+            for node in iter_nodes(root):
+                assert counter.counts[id(node)] == self._brute_count(node, run)
+
+    def test_plain_set_and_runset_pick_identical_sequences(self):
+        from repro.core.merge.prioritized import RunSet
+        from repro.core.merge import candidate_components
+
+        def picked_sequence(make_run):
+            repo = build_fig3_history()
+            _, root = prepared_tree(repo)
+            refresh_scores(root)
+            rng = np.random.default_rng(11)
+            run = make_run(root)
+            picked = []
+            while (leaf := pick_prioritized_leaf(root, run, rng)) is not None:
+                run.add(id(leaf))
+                picked.append(
+                    tuple(c.identifier for c in candidate_components(leaf).values())
+                )
+            return picked
+
+        assert picked_sequence(lambda root: set()) == picked_sequence(RunSet)
+
+    def test_runset_grows_only(self):
+        """Counters are decrement-only, so RunSet must route every grow
+        through add() and refuse removal outright."""
+        from repro.core.merge.prioritized import RunSet
+
+        repo = build_fig3_history()
+        _, root = prepared_tree(repo)
+        run = RunSet(root)
+        all_leaves = leaves(root)
+        run.update([id(leaf) for leaf in all_leaves])
+        assert pick_prioritized_leaf(root, run, np.random.default_rng(0)) is None
+        with pytest.raises(TypeError, match="removing"):
+            run.remove(id(all_leaves[0]))
+        with pytest.raises(TypeError, match="removing"):
+            run.clear()
+        with pytest.raises(TypeError, match="removing"):
+            run -= {id(all_leaves[0])}
+
+    def test_counter_rebuilds_when_run_set_shrinks(self):
+        """External callers may pass any plain set; a counter synced to a
+        larger run must be rebuilt, not trusted."""
+        repo = build_fig3_history()
+        _, root = prepared_tree(repo)
+        refresh_scores(root)
+        everything = {id(leaf) for leaf in leaves(root)}
+        assert pick_prioritized_leaf(root, everything, np.random.default_rng(0)) is None
+        # Shrink back to nothing: picking must work again.
+        leaf = pick_prioritized_leaf(root, set(), np.random.default_rng(0))
+        assert leaf is not None
+
+
 class TestRunOrderedSearch:
     def _search(self, method, budget=None):
         repo = build_fig3_history()

@@ -64,3 +64,46 @@ class TestHttpSync:
         assert transport.path == "/rpc"
         clone = clone_repository(transport, registry=server_repo.registry)
         assert len(clone.graph) == len(server_repo.graph)
+
+
+class TestKeepAlive:
+    """Persistent connections: one TCP socket per sync conversation."""
+
+    def test_connection_survives_across_requests(self, http_server, server_repo):
+        transport = HttpTransport(http_server.url)
+        clone = clone_repository(transport, registry=server_repo.registry)
+        assert len(clone.graph) == len(server_repo.graph)
+        first_connection = transport._connection
+        assert first_connection is not None  # still pooled after the clone
+        clone.remote("origin").fetch()
+        assert transport._connection is first_connection
+        assert transport.reconnects == 0
+        transport.close()
+        assert transport._connection is None
+
+    def test_stale_connection_transparently_reconnects(self, server_repo):
+        """The server idle-closes a pooled socket; the next call must
+        replay on a fresh connection instead of failing."""
+        import time
+
+        from repro.remote import serve
+        from repro.remote.protocol import encode_message, decode_message
+
+        server = serve(server_repo, host="127.0.0.1", port=0, idle_timeout=0.3)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        transport = HttpTransport(server.url)
+        try:
+            transport.call(encode_message({"op": "manifest"}))
+            assert transport._connection is not None
+            time.sleep(0.8)  # let the server drop the idle connection
+            meta, _ = decode_message(
+                transport.call(encode_message({"op": "manifest"}))
+            )
+            assert "refs" in meta
+            assert transport.reconnects == 1
+        finally:
+            transport.close()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

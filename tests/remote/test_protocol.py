@@ -9,6 +9,7 @@ from repro.errors import (
     RemoteProtocolError,
 )
 from repro.remote.protocol import (
+    PROTOCOL_VERSION,
     decode_message,
     encode_message,
     error_response,
@@ -61,7 +62,7 @@ class TestFraming:
 
         for bad_sizes in (["x"], {"a": 1}, [-5], [True]):
             header = json.dumps(
-                {"v": 1, "meta": {"op": "x"}, "blob_sizes": bad_sizes}
+                {"v": PROTOCOL_VERSION, "meta": {"op": "x"}, "blob_sizes": bad_sizes}
             ).encode()
             message = b"MLCR" + struct.pack(">I", len(header)) + header
             with pytest.raises(RemoteProtocolError, match="blob_sizes"):
@@ -71,7 +72,7 @@ class TestFraming:
         import json
         import struct
 
-        header = json.dumps({"v": 1, "blob_sizes": []}).encode()
+        header = json.dumps({"v": PROTOCOL_VERSION, "blob_sizes": []}).encode()
         message = b"MLCR" + struct.pack(">I", len(header)) + header
         with pytest.raises(RemoteProtocolError, match="meta"):
             decode_message(message)
@@ -81,10 +82,12 @@ class TestFraming:
 
         message = encode_message({"op": "x"})
         # Bump the version in the already-encoded header.
-        bad = message.replace(b'"v":1', b'"v":99', 1)
+        bad = message.replace(
+            f'"v":{protocol.PROTOCOL_VERSION}'.encode(), b'"v":99', 1
+        )
         with pytest.raises(RemoteProtocolError):
             decode_message(bad)
-        assert protocol.PROTOCOL_VERSION == 1  # update this test on bumps
+        assert protocol.PROTOCOL_VERSION == 2  # update this test on bumps
 
 
 class TestErrorChannel:
