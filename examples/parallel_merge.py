@@ -1,0 +1,67 @@
+"""A budgeted merge search evaluated by four workers at once.
+
+The merge operation's cost is dominated by running candidate pipelines;
+PR/PCPR pruning shrinks the candidate set, and the parallel engine runs
+what remains concurrently. Workers draw candidates from the *same*
+prioritized pick stream and their results commit in draw order, so a
+parallel search is deterministic for a given (seed, workers) pair — and
+the single-flight checkpoint layer guarantees two in-flight candidates
+racing to a shared prefix still execute each component exactly once.
+
+This example builds a two-branch history whose merge tree has 24
+candidate leaves (components carry a small simulated compute delay),
+then runs the same budgeted prioritized search sequentially and with 4
+workers.
+
+Run:  python examples/parallel_merge.py
+"""
+
+import time
+
+from repro.experiments import build_delayed_merge_repo
+
+BUDGET = 12  # evaluate at most half of the 24 candidates
+SHAPE = dict(n_clean=2, n_extract=3, n_model=4,
+             stage_seconds=0.01, model_seconds=0.02)
+
+
+def timed_merge(workers: int):
+    repo = build_delayed_merge_repo(**SHAPE)  # fresh cold repo per run
+    start = time.perf_counter()
+    outcome = repo.merge(
+        "pmerge", "master", "dev",
+        search="prioritized", budget=BUDGET, workers=workers, seed=0,
+    )
+    return outcome, time.perf_counter() - start
+
+
+def main() -> None:
+    sequential, seq_seconds = timed_merge(workers=1)
+    parallel, par_seconds = timed_merge(workers=4)
+
+    print(f"budgeted prioritized merge search (budget={BUDGET} of 24 candidates)\n")
+    for label, outcome, seconds in (
+        ("sequential", sequential, seq_seconds),
+        ("4 workers ", parallel, par_seconds),
+    ):
+        print(
+            f"{label}: {seconds:.3f}s, {outcome.candidates_evaluated} evaluated, "
+            f"{outcome.components_executed} executed / "
+            f"{outcome.components_reused} reused, "
+            f"winner score {outcome.commit.score:.4f}"
+        )
+
+    print(f"\nspeedup: {seq_seconds / par_seconds:.2f}x")
+    print(
+        "\nBoth searches draw from the same prioritized pick stream; with\n"
+        "workers the picker sees scores a few draws late (the lookahead\n"
+        "window), so a *budgeted* parallel search may pick a slightly\n"
+        "different candidate subset — while an unbudgeted one provably\n"
+        "reaches identical scores and output refs at any worker count.\n"
+        "Single-flight checkpointing kept every (component, input) pair\n"
+        "at-most-once even while candidates raced to shared prefixes."
+    )
+
+
+if __name__ == "__main__":
+    main()

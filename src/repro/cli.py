@@ -15,6 +15,9 @@ Usage::
     python -m repro push REPO REMOTE                   # fast-forward publish
     python -m repro pull REPO REMOTE                   # sync (+merge) back
 
+    python -m repro run REPO --workload readmission    # run the branch head
+    python -m repro merge REPO master dev --workers 4  # metric-driven merge
+
 Remotes are either ``http://host:port`` endpoints (a running ``serve``)
 or plain repository-directory paths, synced in-process through the same
 wire protocol. ``--scale`` resizes workloads (1.0 = the benchmark
@@ -80,6 +83,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="model-update commits to create after master.0.0",
     )
 
+    run = sub.add_parser(
+        "run", help="run a pipeline's branch head against the checkpoint store"
+    )
+    run.add_argument("repo", help="repository directory (see `repro init`)")
+    run.add_argument("--pipeline", default=None)
+    run.add_argument("--branch", default="master")
+    run.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="stage-parallel workers for DAG pipelines (default 1: sequential)",
+    )
+    _add_rebind_arguments(run)
+
+    merge = sub.add_parser(
+        "merge", help="metric-driven merge of one branch into another"
+    )
+    merge.add_argument("repo", help="repository directory (see `repro init`)")
+    merge.add_argument("head_branch", help="branch merged into (HEAD)")
+    merge.add_argument("merge_head_branch", help="branch merged from (MERGE_HEAD)")
+    merge.add_argument("--pipeline", default=None)
+    merge.add_argument(
+        "--mode", choices=["pcpr", "pc_only", "none"], default="pcpr",
+        help="merge mode (ablations: pc_only = w/o PR, none = w/o PCPR)",
+    )
+    merge.add_argument(
+        "--search", choices=["prioritized", "random", "exhaustive"],
+        default="prioritized",
+        help="candidate order (default: the paper's prioritized search; "
+        "exhaustive enumerates depth-first and is always sequential)",
+    )
+    merge.add_argument(
+        "--budget", type=_positive_int, default=None,
+        help="cap on evaluated candidates (default: search everything)",
+    )
+    merge.add_argument(
+        "--time-budget", type=float, default=None,
+        help="wall-clock budget in seconds for the ordered searches",
+    )
+    merge.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="candidate-parallel workers (default 1: sequential; "
+        "single-flight checkpointing keeps executions at-most-once)",
+    )
+    _add_rebind_arguments(merge)
+
     serve = sub.add_parser(
         "serve", help="serve a repository directory over HTTP"
     )
@@ -141,6 +188,109 @@ def _build_parser() -> argparse.ArgumentParser:
     pull.add_argument("--scale", type=float, default=0.5)
     pull.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_rebind_arguments(parser) -> None:
+    """Options shared by verbs that must *execute* loaded pipelines: a
+    repository directory carries commits, not executables (the paper's
+    library-repository separation), so live components are rebound from a
+    workload family (fingerprint-verified)."""
+    parser.add_argument(
+        "--workload", choices=["readmission", "dpm", "sa", "autolearn"],
+        default=None,
+        help="rebind component executables from this workload family "
+        "(use the same --scale/--seed the repository was built with)",
+    )
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load_runnable_repo(args, out):
+    """Load a repository directory, rebinding workload executables."""
+    from .core.repository import MLCask
+
+    repo = MLCask.load_dir(args.repo)
+    if args.workload is not None:
+        from .workloads import ALL_WORKLOADS
+
+        workload = ALL_WORKLOADS[args.workload](scale=args.scale, seed=args.seed)
+        bound = workload.rebind(repo)
+        print(
+            f"rebound {bound} components from workload {args.workload!r}", file=out
+        )
+    return repo
+
+
+def _hint_rebind(error):
+    from .errors import RepositoryError
+
+    if "unknown component" in str(error):
+        return RepositoryError(
+            f"{error}; executing loaded history needs live components — "
+            "retry with --workload (and the --scale/--seed the repository "
+            "was built with)"
+        )
+    return error
+
+
+def _cmd_run(args, out) -> int:
+    from .errors import RepositoryError
+
+    repo = _load_runnable_repo(args, out)
+    pipeline = _only_pipeline(repo, args.pipeline)
+    try:
+        report = repo.run_head(pipeline, args.branch, workers=args.workers)
+    except RepositoryError as error:
+        raise _hint_rebind(error) from error
+    for stage_report in report.stage_reports:
+        status = "reused" if stage_report.reused else (
+            "failed" if stage_report.failed else "executed"
+        )
+        print(
+            f"  {stage_report.stage:12s} {status:8s} "
+            f"{stage_report.run_seconds + stage_report.store_seconds:8.3f}s  "
+            f"{stage_report.component_id}",
+            file=out,
+        )
+    if report.failed:
+        print(
+            f"run failed at {report.failure_stage!r}: {report.failure_reason}",
+            file=out,
+        )
+        return 1
+    repo.save_dir(args.repo)  # persist newly archived checkpoints
+    score = "n/a" if report.score is None else f"{report.score:.4f}"
+    print(
+        f"ran {pipeline}:{args.branch} with {args.workers} worker(s): "
+        f"score {score}, {report.n_executed} executed / "
+        f"{report.n_reused} reused, {report.pipeline_seconds:.3f}s pipeline time",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_merge(args, out) -> int:
+    from .errors import RepositoryError
+
+    repo = _load_runnable_repo(args, out)
+    pipeline = _only_pipeline(repo, args.pipeline)
+    try:
+        outcome = repo.merge(
+            pipeline,
+            args.head_branch,
+            args.merge_head_branch,
+            mode=args.mode,
+            search=args.search,
+            budget=args.budget,
+            time_budget_seconds=args.time_budget,
+            workers=args.workers,
+        )
+    except RepositoryError as error:
+        raise _hint_rebind(error) from error
+    repo.save_dir(args.repo)
+    print(outcome.summary(), file=out)
+    print(f"winner: {outcome.commit.describe()}", file=out)
+    return 0
 
 
 def _cmd_workloads(out) -> int:
@@ -437,13 +587,15 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_workloads(out)
     if args.command == "demo":
         return _cmd_demo(args, out)
-    if args.command in ("init", "serve", "clone", "push", "pull"):
+    if args.command in ("init", "serve", "clone", "push", "pull", "run", "merge"):
         handler = {
             "init": _cmd_init,
             "serve": _cmd_serve,
             "clone": _cmd_clone,
             "push": _cmd_push,
             "pull": _cmd_pull,
+            "run": _cmd_run,
+            "merge": _cmd_merge,
         }[args.command]
         try:
             return handler(args, out)

@@ -15,10 +15,27 @@ condition. Two persistence backends implement the same interface:
   deduplicating object store (ForkBase-like);
 * :class:`FolderCheckpointStore` — the baselines' path: every output is a
   full copy in its own folder.
+
+Concurrency contract: every public operation (``lookup``, ``save``,
+``load``, ``import_record``, ``prune``, ``records``, ``len``) is atomic
+under one reentrant lock shared by the index, the ``revision`` counter,
+and the ``save_seconds``/``load_seconds`` accumulators — so the parallel
+engine's workers may share one store freely. The lock is *held across
+backend persistence* (``_persist``/``_retrieve``): the backends
+(:class:`~repro.storage.object_store.ObjectStore`, folder archives) are
+not internally thread-safe, so storage traffic serializes while component
+compute — and payload (de)serialization, which happens outside the
+lock — runs in parallel. The store only prevents torn state, not
+duplicate work — two racing ``save`` calls for one key both persist (the
+content-addressed backend dedups the bytes; last index write wins, both
+writes being identical records). Computing a key at most once is the
+engine's single-flight layer (:mod:`repro.engine.single_flight`), built
+on top of this contract.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -57,6 +74,10 @@ class CheckpointStore(ABC):
         self.load_seconds = 0.0
         # Mutation counter: a staleness token for response caches.
         self.revision = 0
+        # Guards the index, revision, timing accumulators, and backend
+        # persistence — see the module docstring's concurrency contract.
+        # Reentrant so a subclass helper may call public operations.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------ interface
     @abstractmethod
@@ -72,7 +93,8 @@ class CheckpointStore(ABC):
 
     # ------------------------------------------------------------ operations
     def lookup(self, component: Component, input_ref: str) -> CheckpointRecord | None:
-        return self._index.get(checkpoint_key(component, input_ref))
+        with self._lock:
+            return self._index.get(checkpoint_key(component, input_ref))
 
     def save(
         self,
@@ -84,33 +106,41 @@ class CheckpointStore(ABC):
     ) -> CheckpointRecord:
         key = checkpoint_key(component, input_ref)
         start = time.perf_counter()
+        # Serialization is pure CPU on caller-owned data — outside the
+        # lock, so concurrent workers don't serialize their encodes.
         data = payload_to_bytes(payload)
-        output_ref = self._persist(key, data)
-        self.save_seconds += time.perf_counter() - start
-        record = CheckpointRecord(
-            key=key,
-            component_id=component.identifier,
-            output_ref=output_ref,
-            output_bytes=len(data),
-            run_seconds=run_seconds,
-            metrics=dict(metrics or {}),
-        )
-        self._index[key] = record
-        self.revision += 1
-        return record
+        with self._lock:
+            output_ref = self._persist(key, data)
+            self.save_seconds += time.perf_counter() - start
+            record = CheckpointRecord(
+                key=key,
+                component_id=component.identifier,
+                output_ref=output_ref,
+                output_bytes=len(data),
+                run_seconds=run_seconds,
+                metrics=dict(metrics or {}),
+            )
+            self._index[key] = record
+            self.revision += 1
+            return record
 
     def load(self, record: CheckpointRecord):
         start = time.perf_counter()
-        data = self._retrieve(record)
+        with self._lock:
+            data = self._retrieve(record)
+        # Deserialization outside the lock, like save's encode.
         payload = payload_from_bytes(data)
-        self.load_seconds += time.perf_counter() - start
+        with self._lock:
+            self.load_seconds += time.perf_counter() - start
         return payload
 
     def __len__(self) -> int:
-        return len(self._index)
+        with self._lock:
+            return len(self._index)
 
     def records(self) -> list[CheckpointRecord]:
-        return list(self._index.values())
+        with self._lock:
+            return list(self._index.values())
 
     def import_record(self, record: CheckpointRecord) -> bool:
         """Adopt a record replicated from a peer or loaded from disk.
@@ -120,25 +150,27 @@ class CheckpointStore(ABC):
         under exactly the conditions it did at its origin. Returns False
         when the key is already indexed.
         """
-        if record.key in self._index:
-            return False
-        self._index[record.key] = record
-        self.revision += 1
-        return True
+        with self._lock:
+            if record.key in self._index:
+                return False
+            self._index[record.key] = record
+            self.revision += 1
+            return True
 
     def prune(self, live_refs: set[str]) -> int:
         """Drop index entries whose output is no longer held (post-GC);
         returns the number of records removed."""
-        dead = [
-            key
-            for key, record in self._index.items()
-            if record.output_ref not in live_refs
-        ]
-        for key in dead:
-            del self._index[key]
-        if dead:
-            self.revision += 1
-        return len(dead)
+        with self._lock:
+            dead = [
+                key
+                for key, record in self._index.items()
+                if record.output_ref not in live_refs
+            ]
+            for key in dead:
+                del self._index[key]
+            if dead:
+                self.revision += 1
+            return len(dead)
 
 
 class ChunkedCheckpointStore(CheckpointStore):

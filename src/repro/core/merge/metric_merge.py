@@ -74,14 +74,28 @@ def metric_driven_merge(
     time_budget_seconds: float | None = None,
     message: str = "",
     seed: int = 0,
+    workers: int = 1,
 ):
-    """Run the merge and return a :class:`repro.core.repository.MergeOutcome`."""
+    """Run the merge and return a :class:`repro.core.repository.MergeOutcome`.
+
+    ``workers > 1`` evaluates several candidate leaves concurrently via the
+    parallel engine (:func:`repro.engine.run_parallel_search`) — ordered
+    searches only; the exhaustive depth-first walk is inherently
+    sequential (its in-traversal pruning mutates the tree as it descends).
+    """
     from ..repository import MergeOutcome
 
     if mode not in MERGE_MODES:
         raise MergeError(f"unknown merge mode {mode!r}; pick one of {MERGE_MODES}")
     if search not in SEARCH_METHODS:
         raise MergeError(f"unknown search {search!r}; pick one of {SEARCH_METHODS}")
+    if workers < 1:
+        raise MergeError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and search == "exhaustive":
+        raise MergeError(
+            "the exhaustive search is sequential; use search='prioritized' "
+            "or 'random' with workers > 1"
+        )
 
     head = repo.head_commit(pipeline, head_branch)
     merge_head = repo.head_commit(pipeline, merge_head_branch)
@@ -107,6 +121,20 @@ def metric_driven_merge(
     context = ExecutionContext(seed=seed, metric=repo.metric)
     if search == "exhaustive":
         evaluations = execute_tree(root, scope, executor, context)
+    elif workers > 1:
+        from ...engine import run_parallel_search
+
+        evaluations = run_parallel_search(
+            root,
+            scope,
+            executor,
+            context,
+            method=search,
+            workers=workers,
+            budget=budget,
+            time_budget_seconds=time_budget_seconds,
+            seed=seed,
+        )
     else:
         evaluations = run_ordered_search(
             root,

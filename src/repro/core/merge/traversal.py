@@ -47,6 +47,35 @@ def path_key_of(leaf: TreeNode) -> str:
     return "/".join(node.identifier for node in leaf.path_from_root())
 
 
+def run_candidate(
+    leaf: TreeNode,
+    scope: MergeScope,
+    executor: Executor,
+    context: ExecutionContext,
+) -> RunReport:
+    """Run a leaf's walking path as a pipeline instance — the execution
+    half of ``executeNodeList``, free of tree mutation so parallel merge
+    workers can call it concurrently (tree state is committed separately,
+    in draw order, by :func:`apply_candidate_result`)."""
+    components = candidate_components(leaf)
+    instance = PipelineInstance(spec=scope.spec, components=components)
+    return executor.run(instance, context)
+
+
+def apply_candidate_result(leaf: TreeNode, report: RunReport) -> None:
+    """Push one run's execution state back onto the tree nodes (lines
+    16-19 of Algorithm 2). Must be called by one thread at a time — the
+    sequential search's loop body, or the parallel driver's committer."""
+    if report.failed:
+        return
+    for node in leaf.path_from_root():
+        node.executed = True
+        stage_report = report.stage(node.stage)
+        if stage_report.output_ref:
+            node.output_ref = stage_report.output_ref
+    leaf.score = report.score
+
+
 def execute_candidate(
     leaf: TreeNode,
     scope: MergeScope,
@@ -55,16 +84,8 @@ def execute_candidate(
 ) -> RunReport:
     """``executeNodeList``: run the walking path as a pipeline instance and
     push execution state back onto the tree nodes."""
-    components = candidate_components(leaf)
-    instance = PipelineInstance(spec=scope.spec, components=components)
-    report = executor.run(instance, context)
-    if not report.failed:
-        for node in leaf.path_from_root():
-            node.executed = True
-            stage_report = report.stage(node.stage)
-            if stage_report.output_ref:
-                node.output_ref = stage_report.output_ref
-        leaf.score = report.score
+    report = run_candidate(leaf, scope, executor, context)
+    apply_candidate_result(leaf, report)
     return report
 
 

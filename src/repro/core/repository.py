@@ -290,6 +290,25 @@ class MLCask:
         context = ExecutionContext(seed=self.seed, metric=self.metric)
         return self.executor.run(instance, context)
 
+    def run_head(
+        self, pipeline: str, branch: str = MASTER, workers: int = 1
+    ) -> RunReport:
+        """Re-run the branch head's pipeline against the checkpoint store.
+
+        With warm checkpoints every stage is a reuse (the paper's "can be
+        reused" guarantee); after a GC or on a fresh clone it recomputes
+        what is missing. ``workers > 1`` executes independent DAG stages
+        concurrently via the parallel engine.
+        """
+        instance = self.instance_for(self.head_commit(pipeline, branch))
+        context = ExecutionContext(seed=self.seed, metric=self.metric)
+        if workers > 1:
+            from ..engine import ParallelExecutor
+
+            engine = ParallelExecutor.from_executor(self.executor, workers=workers)
+            return engine.run(instance, context)
+        return self.executor.run(instance, context)
+
     def head_commit(self, pipeline: str, branch: str = MASTER) -> PipelineCommit:
         return self.graph.get(self.branches.head(pipeline, branch))
 
@@ -320,6 +339,7 @@ class MLCask:
         time_budget_seconds: float | None = None,
         message: str = "",
         seed: int | None = None,
+        workers: int = 1,
     ) -> MergeOutcome:
         """Merge ``merge_head_branch`` into ``head_branch``.
 
@@ -330,6 +350,9 @@ class MLCask:
         ``search`` picks ``"exhaustive"``, ``"prioritized"``, or
         ``"random"``; ``budget`` caps evaluated candidates and
         ``time_budget_seconds`` caps wall-clock for the ordered searches.
+        ``workers > 1`` evaluates several candidates concurrently through
+        the parallel engine (ordered searches only; single-flight
+        checkpointing keeps each component execution at-most-once).
         """
         if self.branches.is_fast_forward(self.graph, pipeline, head_branch, merge_head_branch):
             return self._fast_forward(pipeline, head_branch, merge_head_branch, message)
@@ -346,6 +369,7 @@ class MLCask:
             time_budget_seconds=time_budget_seconds,
             message=message,
             seed=self.seed if seed is None else seed,
+            workers=workers,
         )
 
     # --------------------------------------------------------- retrospection

@@ -1,0 +1,37 @@
+"""Parallel execution engine: DAG-parallel stage scheduling, multi-worker
+merge search, and single-flight checkpoint deduplication.
+
+The sequential :class:`~repro.core.executor.Executor` stays the reference
+implementation; everything here is differential-tested against it — any
+divergence in stage output refs, metrics, scores, reuse flags, or failure
+stages between worker counts is a bug in this package.
+
+Entry points:
+
+* :class:`ParallelExecutor` — drop-in executor running independent DAG
+  stages concurrently (work-stealing pool) with single-flight reuse;
+* :func:`run_parallel_search` — multi-worker prioritized/random merge
+  search preserving the paper's pick order via a fixed-window,
+  commit-in-draw-order protocol;
+* :class:`SingleFlight` — at-most-once computation per ``(component
+  fingerprint, input ref)`` pair across concurrent runs;
+* :class:`DagScheduler` — the generic work-stealing task pool.
+"""
+
+from .executor import ParallelExecutor
+from .merge_driver import run_parallel_search
+from .scheduler import DagScheduler, DagResult, SchedulerError
+from .single_flight import COMPUTED, HIT, JOINED, FlightStats, SingleFlight
+
+__all__ = [
+    "ParallelExecutor",
+    "run_parallel_search",
+    "DagScheduler",
+    "DagResult",
+    "SchedulerError",
+    "SingleFlight",
+    "FlightStats",
+    "COMPUTED",
+    "HIT",
+    "JOINED",
+]

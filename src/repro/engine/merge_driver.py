@@ -1,0 +1,282 @@
+"""Multi-worker prioritized merge search (paper section VII-E, parallel).
+
+The sequential :func:`~repro.core.merge.prioritized.run_ordered_search`
+alternates strictly: pick a leaf, execute it, propagate its score, pick
+the next. The parallel driver keeps several candidates in flight while
+preserving the paper's pick semantics through a fixed-window protocol:
+
+* **One draw stream.** A single coordinator state (tree, RNG, run set)
+  issues draws in order ``j = 0, 1, 2, ...`` under a lock — workers
+  *draw from the same* ``pick_prioritized_leaf`` *stream*, they never
+  pick independently.
+* **Commit in draw order.** Finished candidates park their reports in a
+  result buffer; results commit (tree marks, ``leaf.score``, score
+  propagation, the evaluation record) strictly in draw order.
+* **Fixed lookahead window.** With ``workers = W``, draw ``j`` is issued
+  only once results ``0 .. j-W`` have committed, and result ``i`` commits
+  only once draw ``i+W-1`` has been issued (or drawing has stopped). The
+  picker's view at draw ``j`` is therefore *exactly* the scores of the
+  first ``j-W+1`` results — independent of thread timing — so a search is
+  deterministic for a given ``(seed, workers)`` pair, and ``workers=1``
+  degenerates to the sequential search: same RNG stream, same draw
+  sequence, same evaluations.
+
+With ``workers > 1`` the draw *sequence* may differ from sequential (the
+picker sees scores ``W-1`` draws late — the price of concurrency), but
+every executed candidate is still deterministic: output refs are
+content-addressed, and the shared single-flight layer guarantees each
+``(component fingerprint, input ref)`` pair executes at most once even
+when two in-flight candidates race to a shared prefix — the later one
+blocks and records a reuse, so an unbudgeted parallel search reaches
+identical final scores, stage output refs, and total executed/reused
+counts as the sequential search.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..core.context import ExecutionContext
+from ..core.executor import Executor
+from ..core.merge.prioritized import (
+    RunSet,
+    pick_prioritized_leaf,
+    pick_random_leaf,
+    propagate_leaf_score,
+    refresh_scores,
+)
+from ..core.merge.search_space import MergeScope
+from ..core.merge.traversal import (
+    CandidateEvaluation,
+    apply_candidate_result,
+    path_key_of,
+    run_candidate,
+)
+from ..core.merge.tree import TreeNode
+from .executor import ParallelExecutor
+from .single_flight import SingleFlight
+
+_PICKERS = {"prioritized": pick_prioritized_leaf, "random": pick_random_leaf}
+
+
+def run_parallel_search(
+    root: TreeNode,
+    scope: MergeScope,
+    executor: Executor | ParallelExecutor,
+    context: ExecutionContext,
+    method: str = "prioritized",
+    workers: int = 2,
+    budget: int | None = None,
+    time_budget_seconds: float | None = None,
+    seed: int = 0,
+    flight: SingleFlight | None = None,
+) -> list[CandidateEvaluation]:
+    """Execute candidates in prioritized or random order on ``workers``
+    threads; same contract and return shape as
+    :func:`~repro.core.merge.prioritized.run_ordered_search`.
+
+    ``executor`` supplies the checkpoint store, metric, and reuse policy;
+    candidate paths are chains, so each candidate runs sequentially
+    within itself while candidates run concurrently with each other.
+    """
+    if method not in _PICKERS:
+        raise ValueError(f"unknown search method {method!r}")
+    if time_budget_seconds is not None and time_budget_seconds < 0:
+        raise ValueError("time_budget_seconds must be non-negative")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    picker = _PICKERS[method]
+    engine = ParallelExecutor.from_executor(executor, flight=flight)
+    coordinator = _Coordinator(
+        root,
+        scope,
+        engine,
+        context,
+        picker=picker,
+        propagate=method == "prioritized",
+        workers=workers,
+        budget=budget,
+        time_budget_seconds=time_budget_seconds,
+        seed=seed,
+    )
+    return coordinator.search()
+
+
+class _Coordinator:
+    """The draw stream, result buffer, and commit logic behind one search."""
+
+    def __init__(
+        self,
+        root: TreeNode,
+        scope: MergeScope,
+        engine: ParallelExecutor,
+        context: ExecutionContext,
+        picker,
+        propagate: bool,
+        workers: int,
+        budget: int | None,
+        time_budget_seconds: float | None,
+        seed: int,
+    ) -> None:
+        self.root = root
+        self.scope = scope
+        self.engine = engine
+        self.context = context
+        self.picker = picker
+        self.propagate = propagate
+        self.workers = workers
+        self.budget = budget
+        self.time_budget_seconds = time_budget_seconds
+
+        self._cond = threading.Condition()
+        self._rng = np.random.default_rng(seed)
+        refresh_scores(root)
+        self._run = RunSet(root)
+        self._drawn = 0
+        self._committed = 0
+        self._results: dict[int, tuple] = {}
+        self._drawing_done = False
+        self._crash: BaseException | None = None
+        self._evaluations: list[CandidateEvaluation] = []
+        self._clock_start = time.perf_counter()
+
+    # ------------------------------------------------------------- protocol
+    def search(self) -> list[CandidateEvaluation]:
+        if self.workers == 1:
+            self._worker()
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._worker, name=f"repro-merge-{i}", daemon=True
+                )
+                for i in range(self.workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if self._crash is not None:
+            raise self._crash
+        return self._evaluations
+
+    def _worker(self) -> None:
+        try:
+            while True:
+                with self._cond:
+                    self._drain_commits()
+                    if self._finished():
+                        self._cond.notify_all()
+                        return
+                    drew = self._try_draw()
+                    if drew is None:
+                        if self._finished():
+                            self._cond.notify_all()
+                            return
+                        self._cond.wait()
+                        continue
+                    index, leaf = drew
+                    if leaf is None:
+                        continue  # drawing just stopped; loop to drain/exit
+                # Execute outside the lock: this is the parallelism.
+                report = run_candidate(leaf, self.scope, self.engine, self.context)
+                with self._cond:
+                    self._results[index] = ("run", leaf, report)
+                    self._drain_commits()
+                    self._cond.notify_all()
+        except BaseException as error:  # noqa: BLE001 - surfaced to caller
+            with self._cond:
+                if self._crash is None:
+                    self._crash = error
+                self._cond.notify_all()
+
+    def _finished(self) -> bool:
+        return self._crash is not None or (
+            self._drawing_done and self._committed == self._drawn
+        )
+
+    def _try_draw(self):
+        """Issue the next draw if the window allows; returns ``None`` when
+        the caller must wait, ``(index, None)`` when drawing stopped, and
+        ``(index, leaf)`` for an executable draw. History-scored leaves
+        are buffered as free results immediately. Runs under the lock."""
+        if self._drawing_done:
+            return None
+        j = self._drawn
+        if j >= self.workers and self._committed < j - self.workers + 1:
+            return None
+        if self.budget is not None and j >= self.budget:
+            self._drawing_done = True
+            self._cond.notify_all()
+            return (j, None)
+        if (
+            self.time_budget_seconds is not None
+            and self._evaluations
+            and time.perf_counter() - self._clock_start >= self.time_budget_seconds
+        ):
+            self._drawing_done = True
+            self._cond.notify_all()
+            return (j, None)
+        leaf = self.picker(self.root, self._run, self._rng)
+        if leaf is None:
+            self._drawing_done = True
+            self._cond.notify_all()
+            return (j, None)
+        self._drawn += 1
+        self._run.add(id(leaf))
+        if leaf.score is not None and leaf.executed:
+            # History-trained candidate: score known, nothing to execute.
+            self._results[j] = ("history", leaf)
+            self._drain_commits()
+            self._cond.notify_all()
+            return (j, None)
+        return (j, leaf)
+
+    def _drain_commits(self) -> None:
+        """Commit buffered results in draw order while the window (or the
+        end of drawing) allows. Runs under the lock — this is the only
+        place the tree mutates during a search."""
+        while True:
+            i = self._committed
+            if i not in self._results:
+                return
+            if not self._drawing_done and self._drawn < i + self.workers:
+                return
+            entry = self._results.pop(i)
+            elapsed = time.perf_counter() - self._clock_start
+            if entry[0] == "history":
+                leaf = entry[1]
+                self._evaluations.append(
+                    CandidateEvaluation(
+                        index=len(self._evaluations),
+                        path_key=path_key_of(leaf),
+                        components={
+                            n.stage: n.component for n in leaf.path_from_root()
+                        },
+                        report=None,
+                        score=leaf.score,
+                        elapsed_seconds=elapsed,
+                    )
+                )
+            else:
+                _, leaf, report = entry
+                if report.failed:
+                    leaf.score = None
+                apply_candidate_result(leaf, report)
+                self._evaluations.append(
+                    CandidateEvaluation(
+                        index=len(self._evaluations),
+                        path_key=path_key_of(leaf),
+                        components={
+                            n.stage: n.component for n in leaf.path_from_root()
+                        },
+                        report=report,
+                        score=None if report.failed else report.score,
+                        elapsed_seconds=elapsed,
+                    )
+                )
+                if self.propagate:
+                    propagate_leaf_score(leaf)
+            self._committed += 1

@@ -1,0 +1,206 @@
+"""Work-stealing DAG scheduler: independent stages run concurrently.
+
+The sequential :class:`~repro.core.executor.Executor` walks a pipeline's
+topological order one stage at a time; for DAG-shaped specs (a single
+dataset feeding several independent feature branches that join at the
+model) that leaves every core but one idle. This scheduler executes a
+task DAG with a small pool of worker threads using the classic
+work-stealing discipline:
+
+* each worker owns a deque; finishing a task pushes its newly-enabled
+  successors onto the *owner's* front (LIFO — depth-first locality, the
+  data a successor consumes is hot);
+* an idle worker steals from the *back* of a victim's deque (FIFO —
+  stealing the oldest, widest work).
+
+Failure policy mirrors the sequential executor's ``break``: when a task
+fails, every task at-or-after it in topological order is cancelled (tasks
+strictly earlier keep running — they cannot depend on the failure, and
+completing them keeps the earliest-failure choice deterministic; see
+:mod:`repro.engine.executor`). Successors of a failed or cancelled task
+are transitively cancelled.
+
+The scheduler is deliberately generic — tasks are opaque names with a
+fixed topological index — so tests can drive it with scripted tasks and
+the executor stays the only place that knows what a "stage" is.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import MLCaskError
+
+#: Task terminal states.
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+
+class SchedulerError(MLCaskError):
+    """A worker raised outside the task protocol (a bug, not a task failure)."""
+
+
+@dataclass
+class DagResult:
+    """What happened to every task of one :meth:`DagScheduler.run`."""
+
+    status: dict[str, str] = field(default_factory=dict)
+    #: Execution trace as (worker index, task) in completion order.
+    trace: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def failed(self) -> list[str]:
+        return [t for t, s in self.status.items() if s == FAILED]
+
+    @property
+    def cancelled(self) -> list[str]:
+        return [t for t, s in self.status.items() if s == CANCELLED]
+
+
+class DagScheduler:
+    """Executes one task DAG; construct per run (holds per-run state).
+
+    ``order`` is the full task list in topological order; ``deps`` maps a
+    task to the tasks it consumes. ``execute(task) -> bool`` runs one task
+    on a worker thread and returns success; it must contain its own
+    failures (an escaping exception aborts the whole run and re-raises on
+    the caller's thread).
+    """
+
+    def __init__(self, order: list[str], deps: dict[str, list[str]], workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.order = list(order)
+        self.index = {task: i for i, task in enumerate(self.order)}
+        self.deps = {task: list(deps.get(task, ())) for task in self.order}
+        self.successors: dict[str, list[str]] = {task: [] for task in self.order}
+        for task, task_deps in self.deps.items():
+            for dep in task_deps:
+                self.successors[dep].append(task)
+        self.workers = min(workers, max(1, len(self.order)))
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._deques: list[deque[str]] = [deque() for _ in range(self.workers)]
+        self._pending = {task: len(task_deps) for task, task_deps in self.deps.items()}
+        self._settled = 0
+        self._cancel_bar: int | None = None  # min topo index of any failure
+        self._crash: BaseException | None = None
+        self.result = DagResult()
+
+    # ------------------------------------------------------------- running
+    def run(self, execute) -> DagResult:
+        for i, task in enumerate(t for t in self.order if self._pending[t] == 0):
+            self._deques[i % self.workers].appendleft(task)
+        if self.workers == 1:
+            self._worker(0, execute)
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._worker,
+                    args=(i, execute),
+                    name=f"repro-dag-{i}",
+                    daemon=True,
+                )
+                for i in range(self.workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if self._crash is not None:
+            raise self._crash
+        return self.result
+
+    # ------------------------------------------------------------- workers
+    def _worker(self, worker_id: int, execute) -> None:
+        try:
+            while True:
+                with self._work:
+                    task = self._next_task(worker_id)
+                    while task is None:
+                        if self._settled >= len(self.order) or self._crash is not None:
+                            return
+                        self._work.wait()
+                        task = self._next_task(worker_id)
+                success = execute(task)
+                with self._work:
+                    self.result.trace.append((worker_id, task))
+                    self._settle(worker_id, task, DONE if success else FAILED)
+                    self._work.notify_all()
+        except BaseException as error:  # noqa: BLE001 - surfaced to caller
+            with self._work:
+                if self._crash is None:
+                    self._crash = error
+                self._work.notify_all()
+
+    def _next_task(self, worker_id: int) -> str | None:
+        """Pop own work (LIFO) or steal the oldest task from a victim."""
+        own = self._deques[worker_id]
+        while own:
+            task = own.popleft()
+            if self.result.status.get(task) != CANCELLED:
+                return task
+        for offset in range(1, self.workers):
+            victim = self._deques[(worker_id + offset) % self.workers]
+            while victim:
+                task = victim.pop()
+                if self.result.status.get(task) != CANCELLED:
+                    return task
+        return None
+
+    # ------------------------------------------------------------ settling
+    def _settle(self, worker_id: int, task: str, status: str) -> None:
+        if self.result.status.get(task) == CANCELLED:
+            # Raced with a cancellation that landed while running; the
+            # cancellation already settled it.
+            return
+        self.result.status[task] = status
+        self._settled += 1
+        if status == DONE:
+            for succ in self.successors[task]:
+                if self.result.status.get(succ) == CANCELLED:
+                    continue
+                self._pending[succ] -= 1
+                if self._pending[succ] == 0 and not self._past_bar(succ):
+                    self._deques[worker_id].appendleft(succ)
+        else:  # FAILED
+            bar = self.index[task]
+            if self._cancel_bar is None or bar < self._cancel_bar:
+                self._cancel_bar = bar
+            for other in self.order:
+                if (
+                    self.index[other] >= bar
+                    and other != task
+                    and self.result.status.get(other) is None
+                    and not self._running_somewhere(other)
+                ):
+                    self._cancel(other)
+            self._cancel_descendants(task)
+
+    def _past_bar(self, task: str) -> bool:
+        blocked = self._cancel_bar is not None and self.index[task] >= self._cancel_bar
+        if blocked and self.result.status.get(task) is None:
+            self._cancel(task)
+        return blocked
+
+    def _cancel(self, task: str) -> None:
+        self.result.status[task] = CANCELLED
+        self._settled += 1
+
+    def _cancel_descendants(self, task: str) -> None:
+        stack = list(self.successors[task])
+        while stack:
+            succ = stack.pop()
+            if self.result.status.get(succ) is None:
+                self._cancel(succ)
+                stack.extend(self.successors[succ])
+
+    def _running_somewhere(self, task: str) -> bool:
+        """A task not in any deque and not settled is running on a worker."""
+        return all(task not in dq for dq in self._deques) and self._pending[
+            task
+        ] == 0 and self.result.status.get(task) is None

@@ -1,0 +1,149 @@
+"""Work-stealing DAG scheduler tests."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.scheduler import CANCELLED, DONE, FAILED, DagScheduler
+
+
+def diamond():
+    order = ["dataset", "a", "b", "model"]
+    deps = {"a": ["dataset"], "b": ["dataset"], "model": ["a", "b"]}
+    return order, deps
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_dependencies_complete_before_dependents_start(self, workers):
+        order, deps = diamond()
+        started: dict[str, set] = {}
+        completed: set[str] = set()
+        lock = threading.Lock()
+
+        def execute(task):
+            with lock:
+                started[task] = set(completed)
+            time.sleep(0.005)
+            with lock:
+                completed.add(task)
+            return True
+
+        result = DagScheduler(order, deps, workers).run(execute)
+        assert all(status == DONE for status in result.status.values())
+        for task in order:
+            assert set(deps.get(task, ())) <= started[task], task
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_every_task_runs_exactly_once(self, workers):
+        order = [f"t{i}" for i in range(20)]
+        deps = {f"t{i}": [f"t{i-1}"] for i in range(1, 20, 3)}
+        counts: dict[str, int] = {}
+        lock = threading.Lock()
+
+        def execute(task):
+            with lock:
+                counts[task] = counts.get(task, 0) + 1
+            return True
+
+        result = DagScheduler(order, deps, workers).run(execute)
+        assert counts == {t: 1 for t in order}
+        assert len(result.trace) == len(order)
+
+
+class TestWorkStealing:
+    @pytest.mark.timeout(60)
+    def test_independent_sleeps_overlap(self):
+        """8 independent 30ms tasks on 4 workers: wall clock far below the
+        240ms sequential sum proves concurrent execution (sleeps release
+        the GIL, so this holds on a single core)."""
+        order = [f"t{i}" for i in range(8)]
+
+        def execute(task):
+            time.sleep(0.03)
+            return True
+
+        start = time.perf_counter()
+        result = DagScheduler(order, {}, 4).run(execute)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.18, elapsed
+        # All four workers normally participate; a loaded CI box may stall
+        # a thread long enough for its seeded tasks to be stolen, so only
+        # genuine concurrency (>= 2 workers in the trace) is asserted.
+        assert len({worker for worker, _ in result.trace}) >= 2
+
+    def test_idle_workers_steal_a_deep_backlog(self):
+        """Seeding puts one ready root on one worker; the chain it enables
+        plus the fan-out behind it must still spread across workers."""
+        order = ["root"] + [f"leaf{i}" for i in range(6)]
+        deps = {f"leaf{i}": ["root"] for i in range(6)}
+
+        def execute(task):
+            time.sleep(0.02)
+            return True
+
+        result = DagScheduler(order, deps, 3).run(execute)
+        workers_used = {worker for worker, task in result.trace if task != "root"}
+        assert len(workers_used) >= 2, result.trace
+
+
+class TestFailure:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failure_cancels_topo_later_tasks(self, workers):
+        order, deps = diamond()
+
+        def execute(task):
+            return task != "a"
+
+        result = DagScheduler(order, deps, workers).run(execute)
+        assert result.status["dataset"] == DONE
+        assert result.status["a"] == FAILED
+        assert result.status["model"] == CANCELLED
+        assert result.failed == ["a"]
+
+    def test_tasks_before_the_failure_still_run(self):
+        """The failure bar only cancels at-or-after the failed index —
+        earlier independent work completes (what makes the executor's
+        earliest-failure choice deterministic)."""
+        order = ["slow_early", "failing", "late"]
+        deps = {"late": ["failing"]}
+        ran = []
+        lock = threading.Lock()
+
+        def execute(task):
+            if task == "slow_early":
+                time.sleep(0.05)
+            with lock:
+                ran.append(task)
+            return task != "failing"
+
+        result = DagScheduler(order, deps, 2).run(execute)
+        assert result.status["slow_early"] == DONE
+        assert result.status["failing"] == FAILED
+        assert result.status["late"] == CANCELLED
+        assert "slow_early" in ran
+
+    def test_descendants_of_failure_cancelled_transitively(self):
+        order = ["a", "b", "c", "d"]
+        deps = {"b": ["a"], "c": ["b"], "d": ["c"]}
+        result = DagScheduler(order, deps, 2).run(lambda task: task != "b")
+        assert result.status == {"a": DONE, "b": FAILED, "c": CANCELLED, "d": CANCELLED}
+
+
+class TestProtocol:
+    def test_workers_below_one_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            DagScheduler(["a"], {}, 0)
+
+    def test_worker_count_capped_by_task_count(self):
+        scheduler = DagScheduler(["a", "b"], {}, 16)
+        assert scheduler.workers == 2
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_escaping_exception_reraises_on_caller(self, workers):
+        def execute(task):
+            raise RuntimeError("scheduler bug probe")
+
+        with pytest.raises(RuntimeError, match="scheduler bug probe"):
+            DagScheduler(["a", "b"], {}, workers).run(execute)

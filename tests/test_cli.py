@@ -80,3 +80,94 @@ class TestExperimentCommand:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             run_cli([])
+
+
+def build_two_branch_repo_dir(path: str) -> None:
+    """An on-disk readmission repository with diverged master/dev tips."""
+    from repro.core.repository import MLCask
+    from repro.workloads import ALL_WORKLOADS, apply_nonlinear_history, nonlinear_script
+
+    workload = ALL_WORKLOADS["readmission"](scale=0.3, seed=0)
+    repo = MLCask(metric=workload.metric, seed=0)
+    apply_nonlinear_history(repo, nonlinear_script(workload))
+    repo.save_dir(path)
+
+
+REBIND = ["--workload", "readmission", "--scale", "0.3", "--seed", "0"]
+
+
+class TestRunCommand:
+    def test_runs_head_with_warm_checkpoints(self, tmp_path):
+        repo_dir = str(tmp_path / "repo")
+        build_two_branch_repo_dir(repo_dir)
+        code, text = run_cli(["run", repo_dir, *REBIND])
+        assert code == 0
+        assert "score" in text and "4 reused" in text
+
+    def test_workers_flag_accepted(self, tmp_path):
+        repo_dir = str(tmp_path / "repo")
+        build_two_branch_repo_dir(repo_dir)
+        code, text = run_cli(["run", repo_dir, "--workers", "4", *REBIND])
+        assert code == 0
+        assert "4 worker(s)" in text
+
+    def test_dev_branch_runnable(self, tmp_path):
+        repo_dir = str(tmp_path / "repo")
+        build_two_branch_repo_dir(repo_dir)
+        code, text = run_cli(["run", repo_dir, "--branch", "dev", *REBIND])
+        assert code == 0
+        assert "ran readmission:dev" in text
+
+    def test_missing_workload_hints_rebind(self, tmp_path):
+        repo_dir = str(tmp_path / "repo")
+        build_two_branch_repo_dir(repo_dir)
+        code, text = run_cli(["run", repo_dir])
+        assert code == 1
+        assert "--workload" in text
+
+
+class TestMergeCommand:
+    def test_parallel_merge_commits_winner(self, tmp_path):
+        repo_dir = str(tmp_path / "repo")
+        build_two_branch_repo_dir(repo_dir)
+        code, text = run_cli(
+            ["merge", repo_dir, "master", "dev", "--workers", "4", *REBIND]
+        )
+        assert code == 0
+        assert "metric-driven merge" in text
+        assert "winner: master.0.2" in text
+        # The merge persisted: the new head runs (and is fully reused).
+        code, text = run_cli(["run", repo_dir, *REBIND])
+        assert code == 0
+        assert "4 reused" in text
+
+    def test_sequential_default_matches_parallel_winner(self, tmp_path):
+        scores = {}
+        for label, extra in (("seq", []), ("par", ["--workers", "4"])):
+            repo_dir = str(tmp_path / label)
+            build_two_branch_repo_dir(repo_dir)
+            code, text = run_cli(["merge", repo_dir, "master", "dev", *extra, *REBIND])
+            assert code == 0
+            scores[label] = next(
+                line for line in text.splitlines() if "score" in line
+            )
+        assert scores["seq"] == scores["par"]
+
+    def test_budget_flag_accepted(self, tmp_path):
+        repo_dir = str(tmp_path / "repo")
+        build_two_branch_repo_dir(repo_dir)
+        code, text = run_cli(
+            ["merge", repo_dir, "master", "dev", "--budget", "3", *REBIND]
+        )
+        assert code == 0
+        assert "3 evaluated" in text
+
+    def test_exhaustive_with_workers_rejected(self, tmp_path):
+        repo_dir = str(tmp_path / "repo")
+        build_two_branch_repo_dir(repo_dir)
+        code, text = run_cli(
+            ["merge", repo_dir, "master", "dev",
+             "--search", "exhaustive", "--workers", "2", *REBIND]
+        )
+        assert code == 1
+        assert "exhaustive" in text

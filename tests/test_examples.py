@@ -15,6 +15,7 @@ FAST_EXAMPLES = [
     "retrospective_audit.py",
     "readmission_collaboration.py",
     "remote_collaboration.py",
+    "parallel_merge.py",
 ]
 
 
