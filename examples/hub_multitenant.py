@@ -1,0 +1,97 @@
+"""Two tenants, one hub: shared storage, separate namespaces.
+
+Ana's and Ben's teams both track the readmission pipeline. Each pushes
+its history to its own ``{tenant}/{repo}`` namespace on one
+RepositoryHub — authenticated by bearer token, rate-limited, and
+quota-accounted per tenant — while the hub stores the overlapping
+content once in its shared chunk backend. A third, under-provisioned
+tenant shows what a typed admission denial looks like: the push is
+refused before any repository state is touched.
+
+Run:  python examples/hub_multitenant.py
+"""
+
+from repro import MLCask
+from repro.errors import AuthenticationError, QuotaExceededError
+from repro.hub import RepositoryHub
+from repro.remote import clone_repository
+from repro.workloads import readmission_workload
+
+
+def build_team_repo(workload, author):
+    repo = MLCask(metric=workload.metric, seed=7, author=author)
+    repo.create_pipeline(
+        workload.spec, workload.initial_components(), message="initial pipeline"
+    )
+    repo.commit(
+        workload.name,
+        {"model": workload.model_version(1)},
+        message=f"{author}: model v1",
+    )
+    return repo
+
+
+def main() -> None:
+    workload = readmission_workload(scale=0.4, seed=7)
+
+    # ---- the operator provisions the hub ------------------------------
+    hub = RepositoryHub()  # pass a directory to persist across restarts
+    hub.add_tenant("ana", tokens=["ana-secret"], quota_bytes=50_000_000)
+    hub.add_tenant("ben", tokens=["ben-secret"], quota_bytes=50_000_000)
+
+    # ---- both teams push the same upstream history --------------------
+    ana = build_team_repo(workload, "ana")
+    ben = build_team_repo(workload, "ben")
+    ana.add_remote("hub", hub.local_transport("ana", "pipelines", "ana-secret"))
+    ben.add_remote("hub", hub.local_transport("ben", "pipelines", "ben-secret"))
+    ana.remote("hub").push(workload.name)
+    ben.remote("hub").push(workload.name)
+
+    stats = hub.stats()
+    logical = sum(stats["tenant_usage"].values())
+    print(
+        f"ana is charged {stats['tenant_usage']['ana']:,} bytes, "
+        f"ben {stats['tenant_usage']['ben']:,} bytes"
+    )
+    print(
+        f"the hub stores {stats['physical_bytes']:,} bytes physically — "
+        f"{logical / stats['physical_bytes']:.1f}x less than the "
+        f"{logical:,} logical bytes charged (cross-tenant dedup)"
+    )
+
+    # ---- namespaces stay isolated -------------------------------------
+    clone = clone_repository(
+        hub.local_transport("ana", "pipelines", "ana-secret"),
+        registry=ana.registry,
+    )
+    print(f"ana's clone sees {len(clone.graph)} commits of her own history")
+    try:
+        clone_repository(hub.local_transport("ben", "pipelines", "ana-secret"))
+    except Exception as error:
+        print(f"ana's token in ben's namespace: {type(error).__name__}")
+
+    # ---- admission denials are typed and non-destructive --------------
+    try:
+        MLCask().add_remote(
+            "hub", hub.local_transport("ana", "pipelines", "stolen")
+        ).manifest()
+    except AuthenticationError as error:
+        print(f"bad token: AuthenticationError ({error})")
+
+    hub.add_tenant("cramped", tokens=["tiny-secret"], quota_bytes=1_000)
+    cramped = build_team_repo(workload, "cramped")
+    cramped.add_remote(
+        "hub", hub.local_transport("cramped", "pipelines", "tiny-secret")
+    )
+    try:
+        cramped.remote("hub").push(workload.name)
+    except QuotaExceededError:
+        print(
+            "over-quota push: QuotaExceededError — and the tenant is "
+            f"still charged {hub.tenant_usage('cramped')} bytes "
+            "(nothing landed)"
+        )
+
+
+if __name__ == "__main__":
+    main()

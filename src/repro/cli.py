@@ -14,14 +14,24 @@ Usage::
     python -m repro clone SRC DEST                     # SRC: URL or repo dir
     python -m repro push REPO REMOTE                   # fast-forward publish
     python -m repro pull REPO REMOTE                   # sync (+merge) back
+    python -m repro gc REPO                            # sweep dead chunks
 
     python -m repro run REPO --workload readmission    # run the branch head
     python -m repro merge REPO master dev --workers 4  # metric-driven merge
 
+    python -m repro hub init HUB                       # multi-tenant hub dir
+    python -m repro hub add-tenant HUB ana --token SECRET --quota-bytes 10000000
+    python -m repro hub serve HUB --port 8321          # serve every repo
+    # then, from any client:
+    python -m repro push REPO http://host:8321 --tenant ana/proj --token SECRET
+
 Remotes are either ``http://host:port`` endpoints (a running ``serve``)
 or plain repository-directory paths, synced in-process through the same
-wire protocol. ``--scale`` resizes workloads (1.0 = the benchmark
-default), ``--seed`` fixes all randomness.
+wire protocol; hub-hosted repositories are addressed as
+``http://host:port/t/<tenant>/<repo>`` (or a base URL plus
+``--tenant tenant/repo``) with a ``--token`` bearer credential.
+``--scale`` resizes workloads (1.0 = the benchmark default), ``--seed``
+fixes all randomness.
 """
 
 from __future__ import annotations
@@ -158,6 +168,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-pack-bytes", type=_positive_int, default=None,
         help="chunk payload window per wire message (default 4 MiB)",
     )
+    _add_hub_client_arguments(clone)
 
     push = sub.add_parser("push", help="publish a branch to a remote")
     push.add_argument("repo", help="local repository directory")
@@ -168,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-pack-bytes", type=_positive_int, default=None,
         help="chunk payload window per wire message (default 4 MiB)",
     )
+    _add_hub_client_arguments(push)
 
     pull = sub.add_parser("pull", help="sync a branch from a remote")
     pull.add_argument("repo", help="local repository directory")
@@ -177,6 +189,89 @@ def _build_parser() -> argparse.ArgumentParser:
     pull.add_argument(
         "--max-pack-bytes", type=_positive_int, default=None,
         help="chunk payload window per wire message (default 4 MiB)",
+    )
+    _add_hub_client_arguments(pull)
+
+    gc = sub.add_parser(
+        "gc", help="sweep chunks no commit references from a repository directory"
+    )
+    gc.add_argument("repo", help="repository directory (see `repro init`)")
+    gc.add_argument(
+        "--keep-checkpoints", action="store_true",
+        help="treat archived checkpoint records as live roots too "
+        "(default: prune records whose output no commit references)",
+    )
+
+    hub = sub.add_parser(
+        "hub", help="multi-tenant repository hub (many repos, one process)"
+    )
+    hub_sub = hub.add_subparsers(dest="hub_command", required=True)
+
+    hub_init = hub_sub.add_parser("init", help="create an empty hub directory")
+    hub_init.add_argument("root", help="hub directory to create")
+
+    hub_tenant = hub_sub.add_parser(
+        "add-tenant", help="register (or reconfigure) a tenant"
+    )
+    hub_tenant.add_argument("root", help="hub directory")
+    hub_tenant.add_argument("name", help="tenant name")
+    hub_tenant.add_argument(
+        "--token", action="append", required=True, dest="tokens",
+        help="bearer token for this tenant (repeatable; replaces prior set)",
+    )
+    hub_tenant.add_argument(
+        "--quota-bytes", type=_positive_int, default=None,
+        help="cap on tenant-logical reachable bytes (default: unlimited)",
+    )
+    hub_tenant.add_argument(
+        "--rate", type=float, default=None,
+        help="requests per second before throttling (default: unlimited)",
+    )
+    hub_tenant.add_argument(
+        "--burst", type=float, default=None,
+        help="token-bucket burst capacity (default: max(1, rate))",
+    )
+
+    hub_create = hub_sub.add_parser(
+        "create-repo", help="create an empty repository in a tenant namespace"
+    )
+    hub_create.add_argument("root", help="hub directory")
+    hub_create.add_argument("slug", help="tenant/repo")
+    hub_create.add_argument("--metric", default=None)
+    hub_create.add_argument("--seed", type=int, default=None)
+
+    hub_gc = hub_sub.add_parser(
+        "gc", help="sweep a hosted repository's unreferenced content"
+    )
+    hub_gc.add_argument("root", help="hub directory")
+    hub_gc.add_argument("slug", help="tenant/repo")
+
+    hub_serve = hub_sub.add_parser(
+        "serve", help="serve every hosted repository over HTTP"
+    )
+    hub_serve.add_argument("root", help="hub directory")
+    hub_serve.add_argument("--host", default="127.0.0.1")
+    hub_serve.add_argument("--port", type=int, default=8321)
+    hub_serve.add_argument(
+        "--requests", type=int, default=None,
+        help="exit after handling N requests (default: serve forever)",
+    )
+    hub_serve.add_argument(
+        "--max-loaded-repos", type=_positive_int, default=None,
+        help="repositories kept resident before LRU eviction (default 16)",
+    )
+    hub_serve.add_argument(
+        "--max-pack-bytes", type=_positive_int, default=None,
+        help="chunk payload window per get_chunks response (default 4 MiB)",
+    )
+    hub_serve.add_argument(
+        "--cache-entries", type=int, default=128,
+        help="per-repo read-response cache slots (0 disables)",
+    )
+    hub_serve.add_argument(
+        "--max-request-bytes", type=_positive_int, default=256 * 1024 * 1024,
+        help="reject request bodies above this size with HTTP 413 "
+        "(default 256 MiB)",
     )
     pull.add_argument(
         "--workload", choices=["readmission", "dpm", "sa", "autolearn"],
@@ -188,6 +283,19 @@ def _build_parser() -> argparse.ArgumentParser:
     pull.add_argument("--scale", type=float, default=0.5)
     pull.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _add_hub_client_arguments(parser) -> None:
+    """Options the remote verbs need to talk to a multi-tenant hub."""
+    parser.add_argument(
+        "--token", default=None,
+        help="bearer token for a multi-tenant hub remote",
+    )
+    parser.add_argument(
+        "--tenant", default=None, metavar="TENANT/REPO",
+        help="address a hub-hosted repository: the remote URL is taken as "
+        "the hub base and TENANT/REPO is appended as /t/TENANT/REPO",
+    )
 
 
 def _add_rebind_arguments(parser) -> None:
@@ -371,19 +479,42 @@ def _cmd_experiment(args, out) -> int:
 
 
 # ------------------------------------------------------------ remote verbs
-def _transport_for(target: str, persist: bool = False):
+def _resolve_remote_target(target: str, tenant: str | None) -> str:
+    """Append a ``--tenant tenant/repo`` slug to a hub base URL."""
+    from .errors import RemoteError
+
+    if tenant is None:
+        return target
+    if not target.startswith(("http://", "https://")):
+        raise RemoteError(
+            "--tenant addresses a hub over HTTP; the remote must be an "
+            "http(s) base URL"
+        )
+    parts = tenant.split("/")
+    if len(parts) != 2 or not all(parts):
+        raise RemoteError(
+            f"--tenant expects TENANT/REPO, got {tenant!r}"
+        )
+    return f"{target.rstrip('/')}/t/{parts[0]}/{parts[1]}"
+
+
+def _transport_for(target: str, persist: bool = False, token: str | None = None):
     """A transport to ``target``: HTTP URL or repository-directory path.
 
     Directory remotes are loaded and served in-process over the same wire
     protocol as HTTP; with ``persist`` the directory is rewritten after
     every state-mutating request (i.e. a received push sticks).
+    ``token`` rides as a bearer credential on HTTP remotes (hubs).
     """
     from .core.repository import MLCask
+    from .errors import RemoteError
     from .remote.server import RepositoryServer
     from .remote.transport import HttpTransport, LocalTransport
 
     if target.startswith(("http://", "https://")):
-        return HttpTransport(target)
+        return HttpTransport(target, token=token)
+    if token is not None:
+        raise RemoteError("--token only applies to http(s) remotes")
     on_change = (lambda repo: repo.save_dir(target)) if persist else None
     return LocalTransport(
         RepositoryServer(MLCask.load_dir(target), on_change=on_change)
@@ -489,7 +620,8 @@ def _cmd_clone(args, out) -> int:
         not os.path.isdir(args.dest) or os.listdir(args.dest)
     ):
         raise RemoteError(f"destination {args.dest!r} exists and is not empty")
-    transport = _transport_for(args.source)
+    source = _resolve_remote_target(args.source, args.tenant)
+    transport = _transport_for(source, token=args.token)
     try:
         repo = MLCask.clone(transport, max_pack_bytes=args.max_pack_bytes)
     finally:
@@ -514,7 +646,11 @@ def _cmd_push(args, out) -> int:
     pipeline = _only_pipeline(repo, args.pipeline)
     remote = repo.add_remote(
         "origin",
-        _transport_for(args.remote, persist=True),
+        _transport_for(
+            _resolve_remote_target(args.remote, args.tenant),
+            persist=True,
+            token=args.token,
+        ),
         max_pack_bytes=args.max_pack_bytes,
     )
     try:
@@ -539,7 +675,9 @@ def _cmd_pull(args, out) -> int:
     pipeline = _only_pipeline(repo, args.pipeline)
     remote = repo.add_remote(
         "origin",
-        _transport_for(args.remote),
+        _transport_for(
+            _resolve_remote_target(args.remote, args.tenant), token=args.token
+        ),
         max_pack_bytes=args.max_pack_bytes,
     )
     if args.workload is not None:
@@ -577,6 +715,149 @@ def _cmd_pull(args, out) -> int:
     return 0
 
 
+def _cmd_gc(args, out) -> int:
+    from .core.persistence import gc_repository_dir
+
+    report, pruned_records = gc_repository_dir(
+        args.repo, keep_checkpoints=args.keep_checkpoints
+    )
+    print(
+        f"gc {args.repo}: swept {report.swept_chunks} chunks "
+        f"({report.swept_bytes} bytes), kept {report.live_chunks} live chunks "
+        f"across {report.live_blobs} live blobs, "
+        f"pruned {pruned_records} checkpoint records",
+        file=out,
+    )
+    return 0
+
+
+# --------------------------------------------------------------- hub verbs
+def _hub_for(args, **kwargs):
+    from .hub import RepositoryHub
+
+    return RepositoryHub(args.root, **kwargs)
+
+
+def _cmd_hub_init(args, out) -> int:
+    hub = _hub_for(args)
+    print(
+        f"initialized hub at {args.root} "
+        f"({len(hub.authenticator.tenants())} tenants); next: "
+        f"`repro hub add-tenant {args.root} NAME --token SECRET`",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_hub_add_tenant(args, out) -> int:
+    hub = _hub_for(args)
+    config = hub.add_tenant(
+        args.name,
+        tokens=args.tokens,
+        quota_bytes=args.quota_bytes,
+        rate_per_second=args.rate,
+        burst=args.burst,
+    )
+    quota = "unlimited" if config.quota_bytes is None else str(config.quota_bytes)
+    rate = (
+        "unlimited"
+        if config.rate_per_second is None
+        else f"{config.rate_per_second:g}/s"
+    )
+    print(
+        f"tenant {config.name!r}: {len(config.tokens)} token(s), "
+        f"quota {quota} bytes, rate {rate}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_hub_create_repo(args, out) -> int:
+    from .errors import RemoteError
+
+    parts = args.slug.split("/")
+    if len(parts) != 2 or not all(parts):
+        raise RemoteError(f"expected TENANT/REPO, got {args.slug!r}")
+    hub = _hub_for(args)
+    hosted = hub.create_repo(parts[0], parts[1], metric=args.metric, seed=args.seed)
+    repo = hosted.server.repo
+    print(
+        f"created {parts[0]}/{parts[1]} "
+        f"(metric {repo.metric!r}, seed {repo.seed})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_hub_gc(args, out) -> int:
+    from .errors import RemoteError
+
+    parts = args.slug.split("/")
+    if len(parts) != 2 or not all(parts):
+        raise RemoteError(f"expected TENANT/REPO, got {args.slug!r}")
+    hub = _hub_for(args)
+    report = hub.gc_repo(parts[0], parts[1])
+    print(
+        f"gc {parts[0]}/{parts[1]}: swept {report.swept_chunks} chunks "
+        f"({report.swept_bytes} bytes), kept {report.live_chunks} live "
+        f"chunks across {report.live_blobs} live blobs; tenant "
+        f"{parts[0]!r} now uses {hub.tenant_usage(parts[0])} bytes",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_hub_serve(args, out) -> int:
+    from .hub import serve_hub
+
+    kwargs = {}
+    if args.max_loaded_repos is not None:
+        kwargs["max_loaded_repos"] = args.max_loaded_repos
+    if args.max_pack_bytes is not None:
+        kwargs["max_pack_bytes"] = args.max_pack_bytes
+    hub = _hub_for(args, cache_entries=args.cache_entries, **kwargs)
+    server = serve_hub(
+        hub,
+        host=args.host,
+        port=args.port,
+        max_request_bytes=args.max_request_bytes,
+        # See _cmd_serve: bounded serving needs a short idle timeout so
+        # server_close() can join handler threads promptly.
+        idle_timeout=5.0 if args.requests is not None else None,
+    )
+    tenants = ", ".join(c.name for c in hub.authenticator.tenants()) or "none"
+    print(
+        f"serving hub {args.root} at {server.url}/t/<tenant>/<repo>/rpc "
+        f"(tenants: {tenants})",
+        file=out,
+    )
+    try:
+        if args.requests is not None:
+            server.daemon_threads = False
+            server.timeout = 0.2
+            server.request_limit = args.requests
+            while hub.requests_handled < args.requests:
+                server.handle_request()
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_hub(args, out) -> int:
+    handler = {
+        "init": _cmd_hub_init,
+        "add-tenant": _cmd_hub_add_tenant,
+        "create-repo": _cmd_hub_create_repo,
+        "gc": _cmd_hub_gc,
+        "serve": _cmd_hub_serve,
+    }[args.hub_command]
+    return handler(args, out)
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     from .errors import MLCaskError
@@ -587,7 +868,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_workloads(out)
     if args.command == "demo":
         return _cmd_demo(args, out)
-    if args.command in ("init", "serve", "clone", "push", "pull", "run", "merge"):
+    if args.command in (
+        "init", "serve", "clone", "push", "pull", "run", "merge", "gc", "hub"
+    ):
         handler = {
             "init": _cmd_init,
             "serve": _cmd_serve,
@@ -596,6 +879,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             "pull": _cmd_pull,
             "run": _cmd_run,
             "merge": _cmd_merge,
+            "gc": _cmd_gc,
+            "hub": _cmd_hub,
         }[args.command]
         try:
             return handler(args, out)

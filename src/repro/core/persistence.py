@@ -49,6 +49,17 @@ RECIPES_FILE = "recipes.json"
 CHECKPOINTS_FILE = "checkpoints.json"
 
 
+def write_json_atomic(path: str, payload: dict, **dump_kwargs) -> None:
+    """Write-to-temp + rename, like the chunk store's object files: a
+    crashed writer must never leave a truncated metadata file under its
+    real name — loaders would fail on it and the repository (or a whole
+    hub) would be unreadable until repaired by hand."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, **dump_kwargs)
+    os.replace(tmp, path)
+
+
 # ------------------------------------------------------------- dict codecs
 def commit_to_dict(commit: PipelineCommit) -> dict:
     return {
@@ -264,6 +275,72 @@ def save_repository_dir(repo, path: str | os.PathLike[str]) -> None:
 
 def is_repository_dir(path: str | os.PathLike[str]) -> bool:
     return os.path.isfile(os.path.join(os.fspath(path), STATE_FILE))
+
+
+def gc_repository_dir(
+    path: str | os.PathLike[str], keep_checkpoints: bool = False
+) -> tuple["GCReport", int]:
+    """Sweep a repository *directory* in place, without loading chunks.
+
+    Live roots are computed from the persisted commit graph (every stage
+    output a commit references); with ``keep_checkpoints`` the archived
+    checkpoint records count as roots too (preserving reuse for outputs
+    no commit kept, e.g. losing merge candidates). Everything else —
+    chunk files, dead recipes, and (unless kept) orphaned checkpoint
+    records — is removed, and the metadata files are rewritten to match.
+
+    Unlike ``MLCask.load_dir() -> repo.gc() -> save_dir()``, this works
+    directly against the on-disk :class:`FileChunkStore`, so peak memory
+    is the metadata, never the content. Returns ``(report,
+    pruned_records)``.
+    """
+    from ..storage.gc import GCReport, collect_garbage  # noqa: F401
+    from ..storage.object_store import ObjectStore
+
+    root = os.fspath(path)
+    if not is_repository_dir(root):
+        raise RepositoryError(f"not a repository directory: {root}")
+    with open(os.path.join(root, STATE_FILE)) as fh:
+        state = json.load(fh)
+
+    live: set[str] = set()
+    for entry in state.get("commits", []):
+        live.update(entry.get("stage_outputs", {}).values())
+
+    record_entries: list[dict] = []
+    checkpoints_path = os.path.join(root, CHECKPOINTS_FILE)
+    if os.path.isfile(checkpoints_path):
+        with open(checkpoints_path) as fh:
+            record_entries = json.load(fh)["records"]
+    if keep_checkpoints:
+        live.update(entry["output_ref"] for entry in record_entries)
+    kept_records = [
+        entry for entry in record_entries if entry["output_ref"] in live
+    ]
+
+    objects = ObjectStore(
+        chunk_store=FileChunkStore(os.path.join(root, OBJECTS_DIR))
+    )
+    recipes_path = os.path.join(root, RECIPES_FILE)
+    if os.path.isfile(recipes_path):
+        with open(recipes_path) as fh:
+            for entry in json.load(fh)["recipes"]:
+                objects.add_recipe(recipe_from_dict(entry))
+
+    report = collect_garbage(objects, live)
+
+    # Atomic rewrites: the chunk files are already gone, so a truncated
+    # recipes/checkpoints file here would leave the repo unreadable.
+    write_json_atomic(
+        recipes_path,
+        {"recipes": [recipe_to_dict(r) for r in objects.recipes()]},
+        indent=2,
+        sort_keys=True,
+    )
+    write_json_atomic(
+        checkpoints_path, {"records": kept_records}, indent=2, sort_keys=True
+    )
+    return report, len(record_entries) - len(kept_records)
 
 
 def load_repository_dir(path: str | os.PathLike[str], registry=None):

@@ -123,11 +123,15 @@ class MLCask:
         seed: int = 0,
         checkpoints: CheckpointStore | None = None,
         author: str = "mlcask",
+        objects: ObjectStore | None = None,
     ):
         self.metric = metric
         self.seed = seed
         self.author = author
-        self.objects = ObjectStore()
+        # ``objects`` is injectable so hosts can back a repository with a
+        # shared chunk store (the multi-tenant hub's cross-tenant dedup);
+        # by default each repository owns an isolated in-memory store.
+        self.objects = objects if objects is not None else ObjectStore()
         self.checkpoints = checkpoints or ChunkedCheckpointStore(self.objects)
         self.executor = Executor(self.checkpoints, metric=metric, reuse=True)
         self.graph = CommitGraph()

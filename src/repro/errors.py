@@ -141,6 +141,60 @@ class PushRejectedError(RemoteError):
         self.reason = reason
 
 
+class HubError(RemoteError):
+    """A multi-tenant repository hub rejected or failed a request.
+
+    Hub denials are *admission* failures — they happen before the request
+    touches any repository state, so a rejected operation is guaranteed
+    not to have mutated the target repo. Each subclass travels over the
+    wire as a typed error response (see
+    :func:`repro.remote.protocol.raise_remote_error`) so clients can
+    distinguish "retry with credentials" from "buy more quota" from
+    "back off".
+    """
+
+
+class AuthenticationError(HubError):
+    """The request carried no token, or a token the hub does not know."""
+
+    def __init__(self, message: str = "missing or invalid bearer token"):
+        super().__init__(message)
+
+
+class AuthorizationError(HubError):
+    """A valid token tried to act outside its tenant's namespace."""
+
+    def __init__(self, message: str = "token does not grant access to this tenant"):
+        super().__init__(message)
+
+
+class QuotaExceededError(HubError):
+    """A write would push the tenant's *logical* usage past its quota.
+
+    Quotas charge reachable bytes per tenant (every chunk a tenant holds
+    counted in full) even though the hub stores each chunk once
+    deployment-wide — cross-tenant dedup is the operator's saving, not
+    the tenant's.
+    """
+
+    def __init__(self, message: str = "tenant storage quota exceeded"):
+        super().__init__(message)
+
+
+class RateLimitedError(HubError):
+    """The tenant's token bucket is empty; retry after it refills."""
+
+    def __init__(self, message: str = "tenant request rate limit exceeded"):
+        super().__init__(message)
+
+
+class RepositoryNotFoundError(HubError):
+    """The addressed {tenant}/{repo} does not exist on the hub."""
+
+    def __init__(self, message: str = "no such repository on this hub"):
+        super().__init__(message)
+
+
 class NotFittedError(MLCaskError):
     """An estimator was used before ``fit`` (mirrors sklearn semantics)."""
 

@@ -1,0 +1,774 @@
+"""RepositoryHub: many repositories, many tenants, one process.
+
+The hub is the piece that turns a single-repo ``RepositoryServer`` into
+a hosting service: it routes ``{tenant}/{repo}`` addresses to per-repo
+servers, keeps only a bounded working set of them loaded (LRU-evicting
+idle repos back to disk), shares one chunk backend across every
+repository it hosts, and runs an admission pipeline — authentication,
+rate limiting, quota — in front of every request.
+
+Request path (:meth:`RepositoryHub.handle_request`)::
+
+    token ──authorize──▶ tenant ──token bucket──▶ decode op
+        reads:  route to the loaded server, concurrent per repo
+        writes: per-tenant serialization ▶ quota pre-check ▶ server
+
+The quota check happens *before* the repository server sees the
+request, and every admission denial is raised before any state is
+touched — a rejected push leaves the target repo bit-identical, which
+the hub tests assert. Inside a repository, the PR-2 reader-writer lock
+and response cache still apply unchanged; the hub adds nothing to the
+per-repo hot path beyond one dict lookup and a token-bucket tick.
+
+Persistence layout (``root`` directory)::
+
+    <root>/hub.json                      tenant registry (tokens, quotas)
+    <root>/chunks/ab/cdef...             the shared chunk backend (bytes,
+                                         stored once deployment-wide)
+    <root>/tenants/<t>/<r>/state.json    per-repo version-control state
+    <root>/tenants/<t>/<r>/recipes.json  blob digest -> chunk digests
+    <root>/tenants/<t>/<r>/checkpoints.json
+    <root>/tenants/<t>/<r>/chunks.json   holdings manifest: [digest, size]
+                                         pairs — the repo's membership in
+                                         the shared backend
+
+A repository directory holds *no* chunk bytes of its own: the holdings
+manifest is the per-repo claim on the shared backend, and backend
+refcounts are rebuilt from these manifests at startup. With
+``root=None`` the hub is fully in-memory (tests, examples): eviction is
+disabled and nothing persists.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+
+from ..core.persistence import (
+    CHECKPOINTS_FILE,
+    RECIPES_FILE,
+    STATE_FILE,
+    load_repository,
+    recipe_from_dict,
+    recipe_to_dict,
+    record_from_dict,
+    record_to_dict,
+    repository_state,
+    write_json_atomic,
+)
+from ..core.repository import MLCask
+from ..errors import (
+    HubError,
+    QuotaExceededError,
+    RateLimitedError,
+    RemoteProtocolError,
+    RepositoryNotFoundError,
+)
+from ..remote import pack
+from ..remote.protocol import WRITE_OPS, decode_message, error_response
+from ..remote.server import RepositoryServer
+from ..remote.transport import Transport
+from ..storage.chunk_store import FileChunkStore
+from ..storage.object_store import ObjectStore
+from .auth import TenantConfig, TokenAuthenticator, validate_name
+from .backend import SharedChunkBackend, TenantChunkStore
+from .quota import TokenBucket, incoming_new_bytes
+
+HUB_CONFIG_FILE = "hub.json"
+CHUNKS_DIR = "chunks"
+TENANTS_DIR = "tenants"
+HOLDINGS_FILE = "chunks.json"
+HUB_FORMAT_VERSION = 1
+
+#: Default bound on simultaneously loaded repositories. Sized for "many
+#: repos, few hot": a hub serving hundreds of repos keeps only the
+#: working set resident, everything else lives as metadata + shared
+#: chunks on disk until a request touches it.
+DEFAULT_MAX_LOADED_REPOS = 16
+
+#: Read operations a push performs *before* its first write. A missing
+#: repository answers these with empty-repo semantics (served from an
+#: ephemeral, never-registered instance) so "push to a repo that does
+#: not exist yet" bootstraps naturally; content reads (``fetch``,
+#: ``get_chunks``) on a missing repo stay a typed not-found, so a
+#: typo'd clone fails loudly instead of yielding an empty repository.
+PREFLIGHT_OPS = frozenset({"manifest", "known_commits", "missing_chunks"})
+
+
+class HostedRepository:
+    """One loaded repository: its server, its backend view, its traffic."""
+
+    __slots__ = (
+        "tenant", "name", "view", "server", "inflight",
+        "adopt_config", "provisional",
+    )
+
+    def __init__(self, tenant: str, name: str, view: TenantChunkStore):
+        self.tenant = tenant
+        self.name = name
+        self.view = view
+        self.server: RepositoryServer | None = None
+        #: Requests currently executing against this repo; an LRU victim
+        #: must be idle (inflight == 0) so eviction never persists a repo
+        #: mid-mutation.
+        self.inflight = 0
+        #: True only for repos auto-created by an incoming push: those
+        #: adopt the pusher's metric/seed on first contact. Repos an
+        #: operator created explicitly (``create_repo``) or that were
+        #: loaded from disk keep their configuration.
+        self.adopt_config = False
+        #: An auto-created repo stays provisional until something lands
+        #: in it; a provisional repo that goes idle while still empty is
+        #: discarded (see :meth:`RepositoryHub._release`) so a denied or
+        #: rejected creating push never squats the name.
+        self.provisional = False
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.tenant, self.name)
+
+
+class RepositoryHub:
+    """Multi-tenant repository host over one shared chunk backend."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str] | None = None,
+        *,
+        authenticator: TokenAuthenticator | None = None,
+        backend: SharedChunkBackend | None = None,
+        max_loaded_repos: int = DEFAULT_MAX_LOADED_REPOS,
+        max_pack_bytes: int = pack.DEFAULT_MAX_PACK_BYTES,
+        cache_entries: int = 128,
+        default_metric: str = "accuracy",
+        default_seed: int = 0,
+        clock=time.monotonic,
+    ):
+        self.root = os.fspath(root) if root is not None else None
+        self.authenticator = authenticator or TokenAuthenticator()
+        if backend is not None:
+            self.backend = backend
+        elif self.root is not None:
+            self.backend = SharedChunkBackend(
+                FileChunkStore(os.path.join(self.root, CHUNKS_DIR))
+            )
+        else:
+            self.backend = SharedChunkBackend()
+        self.max_loaded_repos = max(1, max_loaded_repos)
+        self.max_pack_bytes = max_pack_bytes
+        self.cache_entries = cache_entries
+        self.default_metric = default_metric
+        self.default_seed = default_seed
+        self.clock = clock
+
+        self._lock = threading.RLock()
+        self._loaded: OrderedDict[tuple[str, str], HostedRepository] = OrderedDict()
+        #: Logical bytes of *unloaded* persisted repos, keyed (tenant,
+        #: repo); loaded repos report live through their views instead.
+        #: ``_persisted_by_tenant`` is the per-tenant aggregate of the
+        #: same numbers, so the quota check on every write costs O(the
+        #: tenant's *loaded* repos), never a hub-wide scan.
+        self._persisted_usage: dict[tuple[str, str], int] = {}
+        self._persisted_by_tenant: dict[str, int] = {}
+        #: Keys currently being loaded from or persisted to disk. The
+        #: I/O itself runs *outside* the hub lock (a cold load must not
+        #: stall every tenant's traffic); requests racing the same key
+        #: wait on its event and retry.
+        self._pending: dict[tuple[str, str], threading.Event] = {}
+        self._tenant_locks: dict[str, threading.Lock] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self.requests_handled = 0
+        self.evictions = 0
+        self.loads = 0
+
+        if self.root is not None:
+            os.makedirs(self.root, exist_ok=True)
+            self._load_config()
+            self._scan_persisted()
+
+    # ----------------------------------------------------------- tenants
+    def add_tenant(
+        self,
+        name: str,
+        tokens=(),
+        quota_bytes: int | None = None,
+        rate_per_second: float | None = None,
+        burst: float | None = None,
+    ) -> TenantConfig:
+        """Register (or reconfigure) a tenant; persists when disk-backed.
+
+        Re-adding an existing tenant *replaces* its config — that is how
+        tokens rotate and quotas change."""
+        config = TenantConfig(
+            name=name,
+            tokens=tuple(tokens),
+            quota_bytes=quota_bytes,
+            rate_per_second=rate_per_second,
+            burst=burst,
+        )
+        with self._lock:
+            self.authenticator.add_tenant(config)
+            self._buckets.pop(name, None)  # rebuilt from the new terms
+            self._save_config()
+        return config
+
+    def _bucket_for(self, config: TenantConfig) -> TokenBucket | None:
+        if config.rate_per_second is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(config.name)
+            if bucket is None:
+                burst = (
+                    config.burst
+                    if config.burst is not None
+                    else max(1.0, config.rate_per_second)
+                )
+                bucket = TokenBucket(
+                    config.rate_per_second, burst, clock=self.clock
+                )
+                self._buckets[config.name] = bucket
+            return bucket
+
+    def _tenant_lock(self, tenant: str) -> threading.Lock:
+        with self._lock:
+            lock = self._tenant_locks.get(tenant)
+            if lock is None:
+                lock = self._tenant_locks[tenant] = threading.Lock()
+            return lock
+
+    # ------------------------------------------------------------ config
+    def _config_path(self) -> str:
+        return os.path.join(self.root, HUB_CONFIG_FILE)
+
+    def _save_config(self) -> None:
+        if self.root is None:
+            return
+        state = {
+            "format": HUB_FORMAT_VERSION,
+            "tenants": {
+                config.name: config.to_dict()
+                for config in self.authenticator.tenants()
+            },
+        }
+        write_json_atomic(
+            self._config_path(), state, indent=2, sort_keys=True
+        )
+
+    def _load_config(self) -> None:
+        path = self._config_path()
+        if not os.path.isfile(path):
+            return
+        with open(path) as fh:
+            state = json.load(fh)
+        if state.get("format") != HUB_FORMAT_VERSION:
+            raise HubError(
+                f"unsupported hub config format {state.get('format')!r}"
+            )
+        for name, entry in state.get("tenants", {}).items():
+            self.authenticator.add_tenant(TenantConfig.from_dict(name, entry))
+
+    # ------------------------------------------------------- persistence
+    def _repo_dir(self, tenant: str, name: str) -> str:
+        return os.path.join(self.root, TENANTS_DIR, tenant, name)
+
+    def _scan_persisted(self) -> None:
+        """Rebuild backend refcounts and usage from on-disk manifests."""
+        tenants_root = os.path.join(self.root, TENANTS_DIR)
+        if not os.path.isdir(tenants_root):
+            return
+        for tenant in sorted(os.listdir(tenants_root)):
+            tenant_dir = os.path.join(tenants_root, tenant)
+            if not os.path.isdir(tenant_dir):
+                continue
+            for name in sorted(os.listdir(tenant_dir)):
+                repo_dir = os.path.join(tenant_dir, name)
+                if not os.path.isfile(os.path.join(repo_dir, STATE_FILE)):
+                    continue
+                holdings = self._read_holdings(repo_dir)
+                self.backend.register_holdings(holdings)
+                self._record_persisted_locked(
+                    (tenant, name), sum(holdings.values())
+                )
+
+    def _record_persisted_locked(self, key: tuple[str, str], size: int) -> None:
+        self._forget_persisted_locked(key)
+        self._persisted_usage[key] = size
+        self._persisted_by_tenant[key[0]] = (
+            self._persisted_by_tenant.get(key[0], 0) + size
+        )
+
+    def _forget_persisted_locked(self, key: tuple[str, str]) -> None:
+        size = self._persisted_usage.pop(key, None)
+        if size is not None:
+            self._persisted_by_tenant[key[0]] -= size
+
+    @staticmethod
+    def _read_holdings(repo_dir: str) -> dict[str, int]:
+        path = os.path.join(repo_dir, HOLDINGS_FILE)
+        if not os.path.isfile(path):
+            return {}
+        with open(path) as fh:
+            return {
+                digest: size for digest, size in json.load(fh)["chunks"]
+            }
+
+    def _persist_hosted(self, hosted: HostedRepository) -> None:
+        """Write a repo's metadata + holdings manifest (bytes already
+        live in the shared backend, written at request time)."""
+        if self.root is None:
+            return
+        repo = hosted.server.repo
+        repo_dir = self._repo_dir(hosted.tenant, hosted.name)
+        os.makedirs(repo_dir, exist_ok=True)
+        write_json_atomic(
+            os.path.join(repo_dir, STATE_FILE),
+            repository_state(repo),
+            sort_keys=True,
+        )
+        write_json_atomic(
+            os.path.join(repo_dir, RECIPES_FILE),
+            {"recipes": [recipe_to_dict(r) for r in repo.objects.recipes()]},
+            sort_keys=True,
+        )
+        write_json_atomic(
+            os.path.join(repo_dir, CHECKPOINTS_FILE),
+            {"records": [record_to_dict(r) for r in repo.checkpoints.records()]},
+            sort_keys=True,
+        )
+        write_json_atomic(
+            os.path.join(repo_dir, HOLDINGS_FILE),
+            {"chunks": sorted(hosted.view.holdings().items())},
+            sort_keys=True,
+        )
+
+    # ------------------------------------------------------- repo lookup
+    def _new_hosted(
+        self,
+        tenant: str,
+        name: str,
+        metric: str,
+        seed: int,
+        holdings: dict[str, int] | None = None,
+    ) -> HostedRepository:
+        view = TenantChunkStore(self.backend, holdings)
+        hosted = HostedRepository(tenant, name, view)
+        repo = MLCask(
+            metric=metric, seed=seed, objects=ObjectStore(chunk_store=view)
+        )
+        hosted.server = RepositoryServer(
+            repo,
+            on_change=lambda _repo: self._persist_hosted(hosted),
+            max_pack_bytes=self.max_pack_bytes,
+            cache_entries=self.cache_entries,
+        )
+        return hosted
+
+    def _load_repo(self, tenant: str, name: str) -> HostedRepository:
+        repo_dir = self._repo_dir(tenant, name)
+        state_path = os.path.join(repo_dir, STATE_FILE)
+        with open(state_path) as fh:
+            state = json.load(fh)
+        holdings = self._read_holdings(repo_dir)
+        hosted = self._new_hosted(
+            tenant, name, state["metric"], state["seed"], holdings
+        )
+        repo = hosted.server.repo
+        load_repository(state_path, repo=repo)
+        recipes_path = os.path.join(repo_dir, RECIPES_FILE)
+        if os.path.isfile(recipes_path):
+            with open(recipes_path) as fh:
+                for entry in json.load(fh)["recipes"]:
+                    repo.objects.add_recipe(recipe_from_dict(entry))
+        checkpoints_path = os.path.join(repo_dir, CHECKPOINTS_FILE)
+        if os.path.isfile(checkpoints_path):
+            with open(checkpoints_path) as fh:
+                for entry in json.load(fh)["records"]:
+                    repo.checkpoints.import_record(record_from_dict(entry))
+        self.loads += 1
+        return hosted
+
+    def create_repo(
+        self,
+        tenant: str,
+        name: str,
+        metric: str | None = None,
+        seed: int | None = None,
+    ) -> HostedRepository:
+        """Explicitly create an empty repository in a tenant's namespace.
+
+        Pushes to a missing repo auto-create it (adopting the pushing
+        client's metric/seed), so this exists for operators who want the
+        repo configured before first contact."""
+        validate_name("tenant", tenant)
+        validate_name("repository", name)
+        if not self.authenticator.has_tenant(tenant):
+            raise HubError(f"unknown tenant {tenant!r}; add the tenant first")
+        key = (tenant, name)
+        with self._lock:
+            if (
+                key in self._loaded
+                or key in self._persisted_usage
+                or key in self._pending
+            ):
+                raise HubError(f"repository {tenant}/{name} already exists")
+            hosted = self._new_hosted(
+                tenant,
+                name,
+                metric if metric is not None else self.default_metric,
+                seed if seed is not None else self.default_seed,
+            )
+            self._loaded[key] = hosted
+            # Pin through the initial persist: the inflight count keeps
+            # eviction off the brand-new repo, the pending event keeps
+            # concurrent requests (whose on_change would race this very
+            # persist on the same files) waiting until it is complete.
+            hosted.inflight += 1
+            event = self._pending[key] = threading.Event()
+            victims = self._select_victims_locked()
+        try:
+            self._persist_hosted(hosted)
+        finally:
+            with self._lock:
+                hosted.inflight -= 1
+                del self._pending[key]
+            event.set()
+        self._persist_victims(victims)
+        return hosted
+
+    def _acquire(self, tenant: str, name: str, create: bool) -> HostedRepository:
+        """The loaded repo for ``key``, loading or creating as needed.
+
+        Disk I/O (cold load, eviction persist) runs outside the hub
+        lock; concurrent requests for a key mid-I/O wait on its pending
+        event and retry.
+        """
+        key = (tenant, name)
+        while True:
+            with self._lock:
+                pending = self._pending.get(key)
+                if pending is None:
+                    hosted = self._loaded.get(key)
+                    if hosted is not None:
+                        self._loaded.move_to_end(key)
+                        hosted.inflight += 1
+                        return hosted
+                    load = key in self._persisted_usage
+                    if not load and not create:
+                        raise RepositoryNotFoundError(
+                            f"no repository {tenant}/{name} on this hub"
+                        )
+                    event = self._pending[key] = threading.Event()
+            if pending is not None:
+                pending.wait()
+                continue
+            # This thread owns the slot: do the I/O unlocked.
+            try:
+                if load:
+                    hosted = self._load_repo(tenant, name)
+                else:
+                    hosted = self._new_hosted(
+                        tenant, name, self.default_metric, self.default_seed
+                    )
+                    hosted.adopt_config = True
+                    hosted.provisional = True
+            except BaseException:
+                with self._lock:
+                    del self._pending[key]
+                event.set()
+                raise
+            with self._lock:
+                self._loaded[key] = hosted
+                self._forget_persisted_locked(key)
+                hosted.inflight += 1
+                del self._pending[key]
+                victims = self._select_victims_locked()
+            event.set()
+            self._persist_victims(victims)
+            return hosted
+
+    def _release(self, hosted: HostedRepository) -> None:
+        with self._lock:
+            hosted.inflight -= 1
+            if not hosted.provisional or hosted.inflight:
+                return
+            # An auto-created repo that goes idle without anything having
+            # landed in it (denied push, server-side rejection, plain
+            # probe) must not outlive its requests: a phantom empty repo
+            # would shadow RepositoryNotFoundError for every later read
+            # and squat the name forever. Checked at *every* release so
+            # a concurrent reader overlapping the creating request only
+            # defers the discard to whichever request finishes last.
+            repo = hosted.server.repo
+            if len(repo.graph) or repo.branches.pipelines() or hosted.view.held_bytes:
+                hosted.provisional = False  # something landed: keep it
+                return
+            if self._loaded.get(hosted.key) is hosted:
+                del self._loaded[hosted.key]
+
+    def _select_victims_locked(self) -> list[HostedRepository]:
+        """Pop idle LRU repos beyond capacity; caller persists them
+        *outside* the hub lock (:meth:`_persist_victims`).
+
+        Selection already moves each victim's usage to the persisted
+        table (its holdings cannot change while idle and pending), so
+        quota arithmetic never sees a gap; the pending event keeps
+        re-acquisition of the key waiting until its files are complete.
+        """
+        if self.root is None:
+            return []  # nowhere to persist evicted state; keep resident
+        victims = []
+        while len(self._loaded) > self.max_loaded_repos:
+            victim = next(
+                (h for h in self._loaded.values() if h.inflight == 0), None
+            )
+            if victim is None:
+                break  # everything is mid-request; retry on a later call
+            del self._loaded[victim.key]
+            self._record_persisted_locked(victim.key, victim.view.held_bytes)
+            self._pending[victim.key] = threading.Event()
+            self.evictions += 1
+            victims.append(victim)
+        return victims
+
+    def _persist_victims(self, victims: list[HostedRepository]) -> None:
+        for victim in victims:
+            try:
+                self._persist_hosted(victim)
+            except Exception:  # noqa: BLE001 - eviction is asynchronous to
+                # the request that triggered it; failing *that* client (and
+                # leaking its inflight count) for an unrelated repo's disk
+                # problem would be wrong. Keep the victim resident instead
+                # of pointing the persisted table at incomplete files — the
+                # failure resurfaces on the next push's on_change persist,
+                # which reports to the right client.
+                with self._lock:
+                    self._forget_persisted_locked(victim.key)
+                    self._loaded[victim.key] = victim
+                    self._loaded.move_to_end(victim.key, last=False)
+                    event = self._pending.pop(victim.key)
+                event.set()
+            else:
+                with self._lock:
+                    event = self._pending.pop(victim.key)
+                event.set()
+
+    def loaded_repos(self) -> list[tuple[str, str]]:
+        with self._lock:
+            return list(self._loaded)
+
+    def list_repos(self, tenant: str) -> list[str]:
+        with self._lock:
+            names = {r for (t, r) in self._loaded if t == tenant}
+            names.update(r for (t, r) in self._persisted_usage if t == tenant)
+            return sorted(names)
+
+    # ------------------------------------------------------- maintenance
+    def gc_repo(self, tenant: str, name: str):
+        """Sweep a hosted repository's unreferenced content.
+
+        The hub-side mirror of ``repro gc``: live roots are the stage
+        outputs of every commit, everything else the repo holds —
+        orphan chunks from interrupted streamed pushes included — is
+        released from the shared backend (physically reclaimed only when
+        the last holding repo lets go) and the tenant's logical usage
+        shrinks accordingly. Runs under the repo's exclusive lock and
+        re-persists, so readers never observe a half-swept store.
+        Returns the :class:`~repro.storage.gc.GCReport`.
+        """
+        from ..storage.gc import collect_garbage, live_digests_of_repo
+
+        hosted = self._acquire(tenant, name, create=False)
+        try:
+            with self._tenant_lock(tenant):
+                with hosted.server.maintenance() as repo:
+                    live = live_digests_of_repo(repo)
+                    repo.checkpoints.prune(live)
+                    report = collect_garbage(repo.objects, live)
+                self._persist_hosted(hosted)
+                return report
+        finally:
+            self._release(hosted)
+
+    # -------------------------------------------------------- accounting
+    def tenant_usage(self, tenant: str) -> int:
+        """Tenant-logical reachable bytes across all of its repos —
+        what the quota is checked against.
+
+        O(loaded repos), which ``max_loaded_repos`` bounds: unloaded
+        repos are pre-aggregated per tenant, so the per-write quota
+        check never scans the hub-wide repo table."""
+        with self._lock:
+            usage = self._persisted_by_tenant.get(tenant, 0)
+            usage += sum(
+                hosted.view.held_bytes
+                for (t, _), hosted in self._loaded.items()
+                if t == tenant
+            )
+            return usage
+
+    def stats(self) -> dict:
+        """Hub-wide numbers the benchmark and tests read."""
+        with self._lock:
+            return {
+                "physical_bytes": self.backend.physical_bytes,
+                "chunks": self.backend.chunk_count(),
+                "loaded_repos": len(self._loaded),
+                "requests_handled": self.requests_handled,
+                "evictions": self.evictions,
+                "loads": self.loads,
+                "tenant_usage": {
+                    config.name: self.tenant_usage(config.name)
+                    for config in self.authenticator.tenants()
+                },
+            }
+
+    # --------------------------------------------------------- admission
+    def count_request(self) -> None:
+        with self._lock:
+            self.requests_handled += 1
+
+    def _enforce_quota(
+        self,
+        config: TenantConfig,
+        hosted: HostedRepository,
+        op: str,
+        meta: dict,
+        blobs: list,
+    ) -> None:
+        if config.quota_bytes is None:
+            return
+        digests = meta.get("chunk_digests" if op == "push" else "digests", [])
+        if not isinstance(digests, list):
+            digests = []  # malformed; the server rejects it after us
+        new_bytes = incoming_new_bytes(hosted.view, digests, blobs)
+        usage = self.tenant_usage(config.name)
+        if usage + new_bytes > config.quota_bytes:
+            raise QuotaExceededError(
+                f"tenant {config.name!r} is using {usage} of "
+                f"{config.quota_bytes} quota bytes; this write would add "
+                f"{new_bytes} more — have the operator sweep unreferenced "
+                "content (repro hub gc) or raise the quota"
+            )
+
+    @staticmethod
+    def _maybe_adopt_config(hosted: HostedRepository, meta: dict) -> None:
+        """First push into a still-empty *auto-created* repo fixes its
+        metric/seed. Repos configured explicitly (``create_repo
+        --metric/--seed``) or loaded from disk are never overwritten —
+        the operator's configuration wins over the pusher's."""
+        repo = hosted.server.repo
+        if not hosted.adopt_config:
+            return
+        if len(repo.graph) or repo.branches.pipelines():
+            return
+        config = meta.get("repo_config")
+        if not isinstance(config, dict):
+            return
+        metric = config.get("metric")
+        seed = config.get("seed")
+        if isinstance(metric, str) and metric:
+            repo.metric = metric
+            repo.executor.metric = metric
+        if isinstance(seed, int) and not isinstance(seed, bool):
+            repo.seed = seed
+
+    def handle_request(
+        self,
+        tenant: str,
+        repo: str,
+        token: str | None,
+        payload: bytes,
+    ) -> bytes:
+        """Admit and execute one wire request; never raises.
+
+        Denials (auth, rate, quota, unknown repo) are answered as typed
+        error responses *before* the repository server — and therefore
+        any repository state — is touched."""
+        self.count_request()
+        try:
+            validate_name("tenant", tenant)
+            validate_name("repository", repo)
+            config = self.authenticator.authorize(token, tenant)
+            bucket = self._bucket_for(config)
+            if bucket is not None and not bucket.try_acquire():
+                raise RateLimitedError(
+                    f"tenant {tenant!r} exceeded "
+                    f"{config.rate_per_second:g} requests/s "
+                    f"(burst {bucket.burst:g}); retry after a pause"
+                )
+            meta, blobs = decode_message(payload)
+            op = meta.get("op")
+            write = op in WRITE_OPS
+            try:
+                hosted = self._acquire(tenant, repo, create=write)
+            except RepositoryNotFoundError:
+                if op not in PREFLIGHT_OPS:
+                    raise
+                ephemeral = self._new_hosted(
+                    tenant, repo, self.default_metric, self.default_seed
+                )
+                return ephemeral.server.handle_bytes(
+                    payload, decoded=(meta, blobs)
+                )
+            try:
+                if write:
+                    # Per-tenant serialization makes the quota check
+                    # race-free across a tenant's repositories; writes of
+                    # different tenants still run concurrently.
+                    with self._tenant_lock(tenant):
+                        self._enforce_quota(config, hosted, op, meta, blobs)
+                        if op == "push":
+                            self._maybe_adopt_config(hosted, meta)
+                        return hosted.server.handle_bytes(
+                            payload, decoded=(meta, blobs)
+                        )
+                return hosted.server.handle_bytes(payload, decoded=(meta, blobs))
+            finally:
+                # Auto-created repos are kept only if something landed
+                # in them (the provisional check in _release).
+                self._release(hosted)
+        except HubError as error:
+            return error_response(error)
+        except RemoteProtocolError as error:
+            return error_response(error)
+        except Exception as error:  # noqa: BLE001 - last-resort containment
+            return error_response(
+                RemoteProtocolError(
+                    f"internal hub error: {type(error).__name__}: {error}"
+                )
+            )
+
+    # --------------------------------------------------------- transports
+    def local_transport(
+        self, tenant: str, repo: str, token: str | None = None
+    ) -> "HubLocalTransport":
+        return HubLocalTransport(self, tenant, repo, token)
+
+
+class HubLocalTransport(Transport):
+    """In-process transport addressing one ``{tenant}/{repo}`` on a hub.
+
+    The local twin of pointing an :class:`HttpTransport` at
+    ``http://host/t/<tenant>/<repo>`` with a bearer token: same admission
+    pipeline, no socket."""
+
+    def __init__(
+        self,
+        hub: RepositoryHub,
+        tenant: str,
+        repo: str,
+        token: str | None = None,
+    ):
+        super().__init__()
+        self.hub = hub
+        self.tenant = tenant
+        self.repo = repo
+        self.token = token
+
+    def _call(self, payload: bytes) -> bytes:
+        return self.hub.handle_request(
+            self.tenant, self.repo, self.token, payload
+        )

@@ -1,0 +1,125 @@
+"""HTTP front of the hub: path-routed, bearer-authenticated RPC.
+
+One endpoint per hosted repository::
+
+    POST /t/<tenant>/<repo>/rpc        Authorization: Bearer <token>
+
+The handler is deliberately thin: it extracts (tenant, repo, token,
+body) and hands them to :meth:`RepositoryHub.handle_request`, which owns
+admission and routing and *never raises* — so every application-level
+outcome, including auth/quota/rate denials, travels as an HTTP 200 with
+a typed error body the client maps back onto the exception hierarchy
+(:func:`repro.remote.protocol.raise_remote_error`). HTTP status codes
+are reserved for transport-level problems: unknown paths (404), bad
+framing (400), oversized bodies (413), handler crashes (500).
+
+Connection discipline mirrors :mod:`repro.remote.server`: HTTP/1.1
+keep-alive, Nagle disabled, idle timeout, and bounded serving via a
+request budget — ``repro hub serve --requests N`` works exactly like the
+single-repo ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import http.server
+import re
+
+from ..remote.server import BaseRPCHandler
+from .auth import NAME_FRAGMENT
+from .hub import RepositoryHub
+
+#: /t/<tenant>/<repo> with an optional /rpc suffix (HttpTransport always
+#: appends one). Composed from the one authoritative name grammar.
+ROUTE = re.compile(
+    f"^/t/(?P<tenant>{NAME_FRAGMENT})/(?P<repo>{NAME_FRAGMENT})(?:/rpc)?/?$"
+)
+
+
+def bearer_token(header_value: str | None) -> str | None:
+    """The token of an ``Authorization: Bearer ...`` header, else None."""
+    if not header_value:
+        return None
+    scheme, _, credential = header_value.partition(" ")
+    if scheme.lower() != "bearer" or not credential.strip():
+        return None
+    return credential.strip()
+
+
+class _HubHandler(BaseRPCHandler):
+    """Path-routed multi-repository endpoint: tenant, repo, and bearer
+    token are extracted here; admission and execution live in
+    :meth:`RepositoryHub.handle_request`. All hardened HTTP plumbing
+    (body validation, 413, short-read teardown, 500 mapping, bounded
+    serving) is inherited from :class:`BaseRPCHandler`."""
+
+    server_version = "mlcask-hub/1"
+    unknown_endpoint_message = "unknown endpoint (expected /t/<tenant>/<repo>/rpc)"
+    internal_error_prefix = "internal hub error"
+
+    def route_request(self):
+        route = ROUTE.match(self.path)
+        if route is None:
+            return None
+        hub: RepositoryHub = self.server.hub
+        token = bearer_token(self.headers.get("Authorization"))
+        return lambda payload: hub.handle_request(
+            route["tenant"], route["repo"], token, payload
+        )
+
+    def count_request(self) -> None:
+        self.server.hub.count_request()
+
+    def requests_handled(self) -> int:
+        return self.server.hub.requests_handled
+
+
+class HubHTTPServer(http.server.ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`RepositoryHub`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address,
+        hub: RepositoryHub,
+        verbose: bool = False,
+        max_request_bytes: int | None = None,
+        idle_timeout: float | None = None,
+    ):
+        super().__init__(address, _HubHandler)
+        self.hub = hub
+        self.verbose = verbose
+        self.max_request_bytes = max_request_bytes
+        self.idle_timeout = idle_timeout
+        # When set, handlers stop honouring keep-alive once this many
+        # requests have been handled (bounded serving, see the CLI).
+        self.request_limit: int | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def repo_url(self, tenant: str, repo: str) -> str:
+        """The clone/push/pull URL of one hosted repository."""
+        return f"{self.url}/t/{tenant}/{repo}"
+
+
+def serve_hub(
+    hub: RepositoryHub,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    max_request_bytes: int | None = None,
+    idle_timeout: float | None = None,
+) -> HubHTTPServer:
+    """Expose every repository of ``hub`` at
+    ``http://host:port/t/<tenant>/<repo>/rpc``; returns the server
+    (caller drives the loop, ``port=0`` binds an ephemeral port)."""
+    return HubHTTPServer(
+        (host, port),
+        hub,
+        verbose=verbose,
+        max_request_bytes=max_request_bytes,
+        idle_timeout=idle_timeout,
+    )

@@ -268,6 +268,11 @@ class Remote:
         push_meta["refs"] = {
             pipeline: {branch: {"old": observed, "new": head}}
         }
+        # Advisory repository configuration: a multi-tenant hub receiving
+        # the first push into an auto-created (still-empty) repository
+        # adopts it, so later clones bootstrap with the right metric/seed.
+        # Plain servers ignore the key (schema-additive, no version bump).
+        push_meta["repo_config"] = {"metric": repo.metric, "seed": repo.seed}
         meta, _ = self._call(push_meta, push_blobs)
         return PushResult(
             commits_sent=len(commits),

@@ -27,7 +27,17 @@ from __future__ import annotations
 import json
 import struct
 
-from ..errors import PushRejectedError, RemoteError, RemoteProtocolError
+from ..errors import (
+    AuthenticationError,
+    AuthorizationError,
+    HubError,
+    PushRejectedError,
+    QuotaExceededError,
+    RateLimitedError,
+    RemoteError,
+    RemoteProtocolError,
+    RepositoryNotFoundError,
+)
 
 MAGIC = b"MLCR"
 #: v2: windowed ``get_chunks`` (``remaining`` count, server-enforced
@@ -112,6 +122,23 @@ def error_response(error: Exception) -> bytes:
     return encode_message({"error": payload})
 
 
+#: Error types that reconstruct client-side from their message alone.
+#: Hub admission denials live here: a client must be able to tell an
+#: auth failure from a quota denial from a rate limit programmatically,
+#: not by parsing prose.
+TYPED_ERRORS = {
+    cls.__name__: cls
+    for cls in (
+        AuthenticationError,
+        AuthorizationError,
+        HubError,
+        QuotaExceededError,
+        RateLimitedError,
+        RepositoryNotFoundError,
+    )
+}
+
+
 def raise_remote_error(meta: dict) -> None:
     """Re-raise a server-reported error client-side, typed when possible."""
     error = meta.get("error")
@@ -127,4 +154,7 @@ def raise_remote_error(meta: dict) -> None:
         raise RemoteProtocolError(
             f"remote rejected request: {error.get('message')}"
         )
+    typed = TYPED_ERRORS.get(error.get("type"))
+    if typed is not None:
+        raise typed(error.get("message", "rejected by the remote hub"))
     raise RemoteError(f"remote error: {error.get('type')}: {error.get('message')}")

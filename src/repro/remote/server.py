@@ -314,18 +314,41 @@ class RepositoryServer:
         with self._count_lock:
             self.requests_handled += 1
 
+    @contextlib.contextmanager
+    def maintenance(self):
+        """Exclusive access to the repository outside the protocol.
+
+        Hosts use this for maintenance that mutates repository state
+        without a wire request — garbage collection, offline pruning —
+        so it cannot interleave with in-flight reads or pushes. The
+        response cache is invalidated on exit (the revision tokens catch
+        most mutations; the wholesale clear catches all)."""
+        with self._rwlock.write_locked():
+            try:
+                yield self.repo
+            finally:
+                self.cache.invalidate()
+
     # ------------------------------------------------------------ dispatch
-    def handle_bytes(self, payload: bytes) -> bytes:
+    def handle_bytes(self, payload: bytes, decoded=None) -> bytes:
         """Decode one request, run it, encode the response.
 
         Never raises: library errors travel back as typed error messages
         (the client re-raises them locally), and unexpected failures are
         wrapped as :class:`RemoteProtocolError` responses so a malformed
         request can never kill the handler thread serving it.
+
+        ``decoded`` (optional) is the ``(meta, blobs)`` pair for
+        ``payload`` when the caller already decoded it — a hub inspects
+        every request for admission and must not pay the blob-slicing
+        cost twice. ``payload`` is still required: cache keys hash the
+        raw bytes.
         """
         self.count_request()
         try:
-            meta, blobs = decode_message(payload)
+            meta, blobs = (
+                decoded if decoded is not None else decode_message(payload)
+            )
             op = meta.get("op")
             if op not in OPS:
                 raise RemoteProtocolError(f"unknown operation {op!r}")
@@ -576,15 +599,24 @@ class RepositoryServer:
 
 
 # ------------------------------------------------------------- HTTP serve
-class _Handler(http.server.BaseHTTPRequestHandler):
-    """Minimal single-endpoint RPC handler over the stdlib HTTP server.
+class BaseRPCHandler(http.server.BaseHTTPRequestHandler):
+    """Shared, hardened RPC-over-POST plumbing.
 
     Keep-alive discipline: a handled request — even one that produced a
     typed error response — leaves the connection reusable. Anything that
     puts the connection in an unknowable state (truncated body, a failure
-    outside :meth:`RepositoryServer.handle_bytes`, a write error) closes
-    it, and internal failures are reported as HTTP 500 with an encoded
-    error body the client surfaces instead of a bare dropped socket.
+    outside the dispatch callable, a write error) closes it, and internal
+    failures are reported as HTTP 500 with an encoded error body the
+    client surfaces instead of a bare dropped socket.
+
+    Subclasses contribute only the routing surface: :meth:`route_request`
+    maps the request path to a ``callable(payload) -> response bytes``
+    (or None for a 404), plus the request counter hooks the bounded-serve
+    budget reads. Everything else — Content-Length validation, the
+    ``max_request_bytes`` 413, short-read teardown, the last-resort 500,
+    and the ``request_limit`` keep-alive cutoff — lives here exactly
+    once, so a hardening fix can never reach one endpoint and miss the
+    other.
     """
 
     server_version = "mlcask-repro/1"
@@ -596,8 +628,11 @@ class _Handler(http.server.BaseHTTPRequestHandler):
     #: Socket read timeout: an idle keep-alive connection is dropped after
     #: this many seconds (the client transparently reconnects), so handler
     #: threads never wait forever on a silent peer. Overridden per server
-    #: by ``SyncHTTPServer(idle_timeout=...)``.
+    #: by the server's ``idle_timeout``.
     timeout = 60.0
+
+    unknown_endpoint_message = "unknown endpoint"
+    internal_error_prefix = "internal server error"
 
     def setup(self):
         idle_timeout = getattr(self.server, "idle_timeout", None)
@@ -605,25 +640,36 @@ class _Handler(http.server.BaseHTTPRequestHandler):
             self.timeout = idle_timeout
         super().setup()
 
+    # -------------------------------------------------- subclass surface
+    def route_request(self):
+        """A ``callable(payload) -> bytes`` for this request's path, or
+        None for an unknown endpoint (the base answers the 404)."""
+        raise NotImplementedError
+
+    def count_request(self) -> None:
+        raise NotImplementedError
+
+    def requests_handled(self) -> int:
+        raise NotImplementedError
+
+    # --------------------------------------------------- shared plumbing
     def do_POST(self):  # noqa: N802 - http.server naming convention
-        count_request = self.server.repository_server.count_request
-        if self.path.rstrip("/") != RPC_PATH:
-            count_request()
-            self.send_error(404, "unknown endpoint")
+        dispatch = self.route_request()
+        if dispatch is None:
+            self.count_request()
+            self.send_error(404, self.unknown_endpoint_message)
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
-            count_request()
-            self.send_error(400, "bad Content-Length")
-            return
+            length = -1
         if length < 0:
-            count_request()
+            self.count_request()
             self.send_error(400, "bad Content-Length")
             return
         limit = getattr(self.server, "max_request_bytes", None)
         if limit is not None and length > limit:
-            count_request()
+            self.count_request()
             self.send_error(413, "request exceeds the server's size limit")
             return
         try:
@@ -636,28 +682,26 @@ class _Handler(http.server.BaseHTTPRequestHandler):
             # The peer hung up (or stalled) mid-body; there is no request
             # to answer and no sane way to keep framing on this socket —
             # but it still spends one unit of a bounded-serve budget.
-            count_request()
+            self.count_request()
             self.close_connection = True
             return
         try:
             status = 200
-            response = self.server.repository_server.handle_bytes(payload)
-        except Exception as error:  # noqa: BLE001 - handle_bytes contains its
+            response = dispatch(payload)
+        except Exception as error:  # noqa: BLE001 - dispatch contains its
             # own failures; this is the last-resort mapping to HTTP 500.
             status = 500
             response = error_response(
                 RemoteProtocolError(
-                    f"internal server error: {type(error).__name__}: {error}"
+                    f"{self.internal_error_prefix}: "
+                    f"{type(error).__name__}: {error}"
                 )
             )
         # Bounded serving (request_limit): once the budget is spent, stop
         # honouring keep-alive so an active pipelining client cannot keep
         # its handler thread alive past the limit.
         limit = getattr(self.server, "request_limit", None)
-        spent = (
-            limit is not None
-            and self.server.repository_server.requests_handled >= limit
-        )
+        spent = limit is not None and self.requests_handled() >= limit
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/octet-stream")
@@ -675,6 +719,22 @@ class _Handler(http.server.BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
+
+
+class _Handler(BaseRPCHandler):
+    """Single-repository endpoint: every POST to ``/rpc`` is dispatched
+    to the server's one :class:`RepositoryServer`."""
+
+    def route_request(self):
+        if self.path.rstrip("/") != RPC_PATH:
+            return None
+        return self.server.repository_server.handle_bytes
+
+    def count_request(self) -> None:
+        self.server.repository_server.count_request()
+
+    def requests_handled(self) -> int:
+        return self.server.repository_server.requests_handled
 
 
 class SyncHTTPServer(http.server.ThreadingHTTPServer):

@@ -96,7 +96,9 @@ class HttpTransport(Transport):
     be re-established — a server restart shows up here, not as a failure.
     """
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    def __init__(
+        self, url: str, timeout: float = 30.0, token: str | None = None
+    ):
         super().__init__()
         parsed = urllib.parse.urlparse(url)
         if parsed.scheme not in ("http", "https"):
@@ -113,6 +115,10 @@ class HttpTransport(Transport):
             path = path[: -len(RPC_PATH)]
         self.path = path + RPC_PATH
         self.timeout = timeout
+        # Bearer token for multi-tenant hubs; plain servers ignore it.
+        self._headers = {"Content-Type": "application/octet-stream"}
+        if token is not None:
+            self._headers["Authorization"] = f"Bearer {token}"
         self.reconnects = 0
         self._connection: http.client.HTTPConnection | None = None
         # One request in flight per connection: callers sharing a Remote
@@ -183,10 +189,7 @@ class HttpTransport(Transport):
                     self._connection = self._open()
                 connection = self._connection
                 connection.request(
-                    "POST",
-                    self.path,
-                    body=payload,
-                    headers={"Content-Type": "application/octet-stream"},
+                    "POST", self.path, body=payload, headers=self._headers
                 )
             except (OSError, http.client.HTTPException) as error:
                 # The server may have answered-and-closed without reading

@@ -46,6 +46,12 @@ class ChunkStore(ABC):
     def digests(self) -> list[str]:
         """All digests currently held (for audits and garbage accounting)."""
 
+    def _size(self, digest: str) -> int:
+        """Size of a held chunk. Backends override when they can answer
+        without materializing the content (a GC sweep of gigabytes of
+        dead chunks must not read them just to count them)."""
+        return len(self._read(digest))
+
     def put(self, data: bytes) -> str:
         """Store ``data``; return its digest. Duplicate content is free."""
         digest = sha256_hex(data)
@@ -79,7 +85,7 @@ class ChunkStore(ABC):
         """
         if not self._contains(digest):
             return 0
-        size = len(self._read(digest))
+        size = self._size(digest)
         self._delete(digest)
         self.stats.record_physical(-size)
         self.revision += 1
@@ -180,6 +186,9 @@ class FileChunkStore(ChunkStore):
     def _read(self, digest: str) -> bytes:
         with open(self._path(digest), "rb") as fh:
             return fh.read()
+
+    def _size(self, digest: str) -> int:
+        return os.path.getsize(self._path(digest))
 
     def _delete(self, digest: str) -> None:
         path = self._path(digest)

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .chunk_store import MemoryChunkStore
 from .object_store import ObjectStore
 
 
@@ -29,15 +28,14 @@ class GCReport:
 def collect_garbage(store: ObjectStore, live_blob_digests: set[str]) -> GCReport:
     """Drop chunks unreachable from ``live_blob_digests``.
 
-    Only memory-backed chunk stores support in-place sweeping (file-backed
-    stores would need directory surgery; they raise to avoid silently
-    doing nothing).
+    The sweep speaks only the :class:`ChunkStore` interface
+    (``digests()``/``discard()``), so every backend sweeps in place:
+    memory stores drop dict entries, :class:`FileChunkStore` unlinks
+    object files (and empty fan-out directories), and a hub tenant view
+    releases its refcounts on the shared backend — the bytes disappear
+    deployment-wide only when the last tenant's sweep lets go.
     """
     chunks = store.chunks
-    if not isinstance(chunks, MemoryChunkStore):
-        raise NotImplementedError(
-            "garbage collection currently supports MemoryChunkStore only"
-        )
 
     live_chunks: set[str] = set()
     live_blobs = 0
@@ -51,10 +49,8 @@ def collect_garbage(store: ObjectStore, live_blob_digests: set[str]) -> GCReport
     swept_bytes = 0
     for digest in list(chunks.digests()):
         if digest not in live_chunks:
-            swept_bytes += len(chunks._chunks[digest])
-            del chunks._chunks[digest]
+            swept_bytes += chunks.discard(digest)
             swept_chunks += 1
-    chunks.stats.physical_bytes -= swept_bytes
 
     # Drop dead recipes so future GC runs stay linear in live data.
     dead_recipes = [

@@ -156,3 +156,19 @@ def build_fig3_history(repo: MLCask | None = None, qualities: dict | None = None
         branch="master",
     )
     return repo
+
+
+def build_workload_repo(workload, commits: int = 1, metric=None, seed: int = 0) -> MLCask:
+    """A repository seeded with a real workload history (for hub/remote
+    tests that need content-bearing pushes, not scripted components)."""
+    repo = MLCask(metric=metric or workload.metric, seed=seed)
+    repo.create_pipeline(
+        workload.spec, workload.initial_components(), message="initial pipeline"
+    )
+    for idx in range(1, commits + 1):
+        repo.commit(
+            workload.name,
+            {"model": workload.model_version(idx)},
+            message=f"model v{idx}",
+        )
+    return repo

@@ -1,0 +1,27 @@
+"""Shared fixtures for hub tests: a workload, a seeded local repo, a hub."""
+
+import pytest
+
+from repro.hub import RepositoryHub
+from repro.workloads import ALL_WORKLOADS
+
+from helpers import build_workload_repo
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ALL_WORKLOADS["readmission"](scale=0.3, seed=0)
+
+
+@pytest.fixture
+def local_repo(workload):
+    return build_workload_repo(workload)
+
+
+@pytest.fixture
+def hub():
+    """In-memory hub with two tenants, generous terms."""
+    hub = RepositoryHub()
+    hub.add_tenant("ana", tokens=["tok-ana"])
+    hub.add_tenant("ben", tokens=["tok-ben", "tok-ben-ci"])
+    return hub

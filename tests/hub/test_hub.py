@@ -1,0 +1,388 @@
+"""RepositoryHub: routing, admission, dedup accounting, LRU lifecycle."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    HubError,
+    QuotaExceededError,
+    RateLimitedError,
+    RepositoryNotFoundError,
+)
+from repro.hub import RepositoryHub
+from repro.remote import clone_repository
+
+from helpers import build_workload_repo as build_local_repo
+
+
+def push_to(hub, local, workload, tenant, repo, token):
+    remote = local.add_remote(
+        f"{tenant}-{repo}", hub.local_transport(tenant, repo, token)
+    )
+    return remote.push(workload.name)
+
+
+class TestRoutingAndAuth:
+    def test_push_then_clone_roundtrip(self, hub, local_repo, workload):
+        result = push_to(hub, local_repo, workload, "ana", "proj", "tok-ana")
+        assert result.commits_sent == 2
+        clone = clone_repository(
+            hub.local_transport("ana", "proj", "tok-ana"),
+            registry=local_repo.registry,
+        )
+        assert len(clone.graph) == 2
+        assert clone.head_commit(workload.name).commit_id == (
+            local_repo.head_commit(workload.name).commit_id
+        )
+
+    def test_two_tenants_route_to_distinct_repos(self, hub, workload):
+        ana = build_local_repo(workload, commits=1)
+        ben = build_local_repo(workload, commits=3)
+        push_to(hub, ana, workload, "ana", "proj", "tok-ana")
+        push_to(hub, ben, workload, "ben", "proj", "tok-ben")
+        clone_a = clone_repository(hub.local_transport("ana", "proj", "tok-ana"))
+        clone_b = clone_repository(hub.local_transport("ben", "proj", "tok-ben"))
+        assert len(clone_a.graph) == 2
+        assert len(clone_b.graph) == 4
+
+    def test_missing_token_rejected(self, hub, local_repo, workload):
+        with pytest.raises(AuthenticationError):
+            push_to(hub, local_repo, workload, "ana", "proj", None)
+
+    def test_unknown_token_rejected(self, hub, local_repo, workload):
+        with pytest.raises(AuthenticationError):
+            push_to(hub, local_repo, workload, "ana", "proj", "nope")
+
+    def test_cross_tenant_token_rejected_even_for_reads(
+        self, hub, local_repo, workload
+    ):
+        push_to(hub, local_repo, workload, "ana", "proj", "tok-ana")
+        with pytest.raises(AuthorizationError):
+            clone_repository(hub.local_transport("ana", "proj", "tok-ben"))
+
+    def test_second_token_of_a_tenant_works(self, hub, local_repo, workload):
+        push_to(hub, local_repo, workload, "ben", "proj", "tok-ben-ci")
+        clone = clone_repository(hub.local_transport("ben", "proj", "tok-ben"))
+        assert len(clone.graph) == 2
+
+    def test_clone_of_missing_repo_is_typed_not_found(self, hub):
+        with pytest.raises(RepositoryNotFoundError):
+            clone_repository(hub.local_transport("ana", "ghost", "tok-ana"))
+
+    def test_path_hostile_names_rejected(self, hub, local_repo, workload):
+        with pytest.raises(HubError):
+            push_to(hub, local_repo, workload, "../../etc", "x", "tok-ana")
+
+    def test_auto_created_repo_adopts_pushers_config(self, hub, workload):
+        local = build_local_repo(workload, metric="f1", seed=9)
+        push_to(hub, local, workload, "ana", "tuned", "tok-ana")
+        clone = clone_repository(hub.local_transport("ana", "tuned", "tok-ana"))
+        assert clone.metric == "f1"
+        assert clone.seed == 9
+
+    def test_operator_created_repo_keeps_its_config(self, hub, workload):
+        """create_repo --metric wins over the first pusher's repo_config."""
+        hub.create_repo("ana", "tuned", metric="operator-metric", seed=42)
+        local = build_local_repo(workload, metric="f1", seed=9)
+        push_to(hub, local, workload, "ana", "tuned", "tok-ana")
+        clone = clone_repository(hub.local_transport("ana", "tuned", "tok-ana"))
+        assert clone.metric == "operator-metric"
+        assert clone.seed == 42
+
+    def test_duplicate_token_across_tenants_rejected(self, hub):
+        with pytest.raises(HubError, match="unique across tenants"):
+            hub.add_tenant("carl", tokens=["tok-ana"])
+        # re-adding the same tenant with its own token still works
+        hub.add_tenant("ana", tokens=["tok-ana"], quota_bytes=123)
+        assert hub.authenticator.tenant("ana").quota_bytes == 123
+
+
+class TestDedupAccounting:
+    def test_identical_pushes_store_physical_bytes_once(self, hub, workload):
+        local = build_local_repo(workload)
+        push_to(hub, local, workload, "ana", "proj", "tok-ana")
+        push_to(hub, local, workload, "ben", "proj", "tok-ben")
+        stats = hub.stats()
+        usage_a = stats["tenant_usage"]["ana"]
+        usage_b = stats["tenant_usage"]["ben"]
+        assert usage_a == usage_b > 0
+        # both tenants charged in full, bytes stored once
+        assert stats["physical_bytes"] == usage_a
+
+    def test_divergent_content_adds_physical_bytes(self, hub, workload):
+        push_to(hub, build_local_repo(workload, commits=1), workload,
+                "ana", "proj", "tok-ana")
+        before = hub.stats()["physical_bytes"]
+        push_to(hub, build_local_repo(workload, commits=3), workload,
+                "ben", "proj", "tok-ben")
+        after = hub.stats()
+        assert after["physical_bytes"] > before
+        # shared prefix still dedups: ben pays full logical usage but the
+        # deployment stores less than the sum
+        total_logical = sum(after["tenant_usage"].values())
+        assert after["physical_bytes"] < total_logical
+
+
+class TestQuota:
+    def test_over_quota_push_rejected_without_mutation(self, workload):
+        hub = RepositoryHub()
+        hub.add_tenant("tiny", tokens=["tok"], quota_bytes=64)
+        local = build_local_repo(workload)
+        with pytest.raises(QuotaExceededError):
+            push_to(hub, local, workload, "tiny", "proj", "tok")
+        assert hub.tenant_usage("tiny") == 0
+        assert hub.backend.physical_bytes == 0
+        # the denied push did not leave a phantom repo squatting the name
+        with pytest.raises(RepositoryNotFoundError):
+            clone_repository(hub.local_transport("tiny", "proj", "tok"))
+        # ...though push preflight reads still answer empty-repo semantics
+        assert local.remote("tiny-proj").manifest()["refs"] == {}
+
+    def test_quota_rejection_leaves_existing_history_intact(self, workload):
+        hub = RepositoryHub()
+        local = build_local_repo(workload)
+        hub.add_tenant("t", tokens=["tok"], quota_bytes=None)
+        push_to(hub, local, workload, "t", "proj", "tok")
+        usage = hub.tenant_usage("t")
+        head = clone_repository(
+            hub.local_transport("t", "proj", "tok")
+        ).head_commit(workload.name).commit_id
+
+        # shrink the quota to current usage, then try to push more
+        hub.add_tenant("t", tokens=["tok"], quota_bytes=usage)
+        local.commit(
+            workload.name,
+            {"model": workload.model_version(7)},
+            message="over the line",
+        )
+        with pytest.raises(QuotaExceededError):
+            local.remote("t-proj").push(workload.name)
+        assert hub.tenant_usage("t") == usage
+        clone = clone_repository(hub.local_transport("t", "proj", "tok"))
+        assert clone.head_commit(workload.name).commit_id == head
+
+    def test_quota_spans_all_repos_of_a_tenant(self, workload):
+        hub = RepositoryHub()
+        local = build_local_repo(workload)
+        hub.add_tenant("t", tokens=["tok"])
+        push_to(hub, local, workload, "t", "one", "tok")
+        usage_one = hub.tenant_usage("t")
+        # same content into a second repo: logical usage doubles...
+        push_to(hub, local, workload, "t", "two", "tok")
+        assert hub.tenant_usage("t") == 2 * usage_one
+        # ...while the deployment stores it once
+        assert hub.backend.physical_bytes == usage_one
+
+    def test_within_quota_push_admitted(self, workload):
+        hub = RepositoryHub()
+        hub.add_tenant("t", tokens=["tok"], quota_bytes=500_000_000)
+        result = push_to(
+            hub, build_local_repo(workload), workload, "t", "proj", "tok"
+        )
+        assert result.commits_sent == 2
+        assert 0 < hub.tenant_usage("t") <= 500_000_000
+
+
+class TestHubGC:
+    def test_gc_reclaims_orphans_and_frees_quota(self, hub, workload):
+        """Chunks pre-seeded by a push that never completed (put_chunks
+        orphans) charge the tenant until the operator sweeps them."""
+        from repro.remote.protocol import (
+            decode_message,
+            encode_message,
+            raise_remote_error,
+        )
+
+        local = build_local_repo(workload)
+        push_to(hub, local, workload, "ana", "proj", "tok-ana")
+        usage_after_push = hub.tenant_usage("ana")
+
+        # simulate an interrupted streamed push: orphan chunks land,
+        # the final ref update never arrives
+        transport = hub.local_transport("ana", "proj", "tok-ana")
+        orphan = b"orphan-bytes" * 1000
+        from repro.storage.hashing import sha256_hex
+
+        meta, _ = decode_message(
+            transport.call(
+                encode_message(
+                    {"op": "put_chunks", "digests": [sha256_hex(orphan)]},
+                    [orphan],
+                )
+            )
+        )
+        raise_remote_error(meta)
+        assert hub.tenant_usage("ana") == usage_after_push + len(orphan)
+
+        report = hub.gc_repo("ana", "proj")
+        assert report.swept_bytes >= len(orphan)
+        assert hub.tenant_usage("ana") <= usage_after_push
+        # history still serves after the sweep
+        clone = clone_repository(hub.local_transport("ana", "proj", "tok-ana"))
+        assert len(clone.graph) == 2
+
+    def test_gc_shared_chunks_survive_for_other_tenants(self, hub, workload):
+        local = build_local_repo(workload)
+        push_to(hub, local, workload, "ana", "proj", "tok-ana")
+        push_to(hub, local, workload, "ben", "proj", "tok-ben")
+        physical = hub.backend.physical_bytes
+        # everything ana holds is commit-reachable: nothing to sweep,
+        # and ben's identical content is untouched either way
+        report = hub.gc_repo("ana", "proj")
+        assert report.swept_chunks == 0
+        assert hub.backend.physical_bytes == physical
+        clone = clone_repository(hub.local_transport("ben", "proj", "tok-ben"))
+        assert len(clone.graph) == 2
+
+    def test_gc_missing_repo_is_typed(self, hub):
+        with pytest.raises(RepositoryNotFoundError):
+            hub.gc_repo("ana", "ghost")
+
+
+class TestRateLimit:
+    def test_bucket_exhaustion_is_typed_denial(self, workload):
+        ticks = [0.0]
+        hub = RepositoryHub(clock=lambda: ticks[0])
+        hub.add_tenant("t", tokens=["tok"], rate_per_second=1.0, burst=3)
+        transport = hub.local_transport("t", "proj", "tok")
+        local = build_local_repo(workload)
+        remote = local.add_remote("hub", transport)
+        with pytest.raises(RateLimitedError):
+            for _ in range(4):
+                remote.manifest()
+        # time heals the bucket
+        ticks[0] += 10.0
+        assert remote.manifest()["refs"] == {}
+
+    def test_rate_limits_are_per_tenant(self, workload):
+        ticks = [0.0]
+        hub = RepositoryHub(clock=lambda: ticks[0])
+        hub.add_tenant("slow", tokens=["s"], rate_per_second=1.0, burst=1)
+        hub.add_tenant("fast", tokens=["f"])
+        local = build_local_repo(workload)
+        slow = local.add_remote("slow", hub.local_transport("slow", "r", "s"))
+        fast = local.add_remote("fast", hub.local_transport("fast", "r", "f"))
+        slow.manifest()
+        with pytest.raises(RateLimitedError):
+            slow.manifest()
+        for _ in range(5):
+            fast.manifest()  # unaffected
+
+
+class TestLifecycle:
+    def test_eviction_persists_and_reload_serves(self, tmp_path, workload):
+        hub = RepositoryHub(tmp_path / "hub", max_loaded_repos=1)
+        hub.add_tenant("ana", tokens=["a"])
+        hub.add_tenant("ben", tokens=["b"])
+        local = build_local_repo(workload)
+        push_to(hub, local, workload, "ana", "proj", "a")
+        push_to(hub, local, workload, "ben", "proj", "b")  # evicts ana's
+        assert hub.evictions >= 1
+        assert hub.loaded_repos() == [("ben", "proj")]
+        repo_dir = tmp_path / "hub" / "tenants" / "ana" / "proj"
+        assert (repo_dir / "state.json").is_file()
+        assert (repo_dir / "chunks.json").is_file()
+        # usage survives eviction
+        assert hub.tenant_usage("ana") == hub.tenant_usage("ben") > 0
+        # reloading serves the same history (and evicts ben's in turn)
+        clone = clone_repository(hub.local_transport("ana", "proj", "a"))
+        assert len(clone.graph) == 2
+        assert hub.loads >= 1
+
+    def test_repo_dir_holds_no_chunk_bytes(self, tmp_path, workload):
+        hub = RepositoryHub(tmp_path / "hub")
+        hub.add_tenant("ana", tokens=["a"])
+        push_to(hub, build_local_repo(workload), workload, "ana", "proj", "a")
+        # force persistence of the loaded repo
+        hub._persist_hosted(hub._loaded[("ana", "proj")])
+        repo_dir = tmp_path / "hub" / "tenants" / "ana" / "proj"
+        names = {p.name for p in repo_dir.iterdir()}
+        assert names == {
+            "state.json", "recipes.json", "checkpoints.json", "chunks.json"
+        }
+        with open(repo_dir / "chunks.json") as fh:
+            holdings = json.load(fh)["chunks"]
+        assert holdings and all(
+            isinstance(d, str) and isinstance(s, int) for d, s in holdings
+        )
+
+    def test_restart_rebuilds_refcounts_usage_and_tenants(
+        self, tmp_path, workload
+    ):
+        root = tmp_path / "hub"
+        hub = RepositoryHub(root)
+        hub.add_tenant("ana", tokens=["a"], quota_bytes=10**9)
+        hub.add_tenant("ben", tokens=["b"])
+        local = build_local_repo(workload)
+        push_to(hub, local, workload, "ana", "proj", "a")
+        push_to(hub, local, workload, "ben", "proj", "b")
+        snapshot = hub.stats()
+
+        restarted = RepositoryHub(root)
+        stats = restarted.stats()
+        assert stats["physical_bytes"] == snapshot["physical_bytes"]
+        assert stats["tenant_usage"] == snapshot["tenant_usage"]
+        assert restarted.list_repos("ana") == ["proj"]
+        # quota survives the restart too
+        assert restarted.authenticator.tenant("ana").quota_bytes == 10**9
+        clone = clone_repository(restarted.local_transport("ben", "proj", "b"))
+        assert len(clone.graph) == 2
+
+    def test_push_to_reloaded_repo_continues_history(self, tmp_path, workload):
+        root = tmp_path / "hub"
+        hub = RepositoryHub(root)
+        hub.add_tenant("ana", tokens=["a"])
+        local = build_local_repo(workload)
+        push_to(hub, local, workload, "ana", "proj", "a")
+
+        restarted = RepositoryHub(root)
+        local.commit(
+            workload.name,
+            {"model": workload.model_version(5)},
+            message="after restart",
+        )
+        remote = local.add_remote(
+            "again", restarted.local_transport("ana", "proj", "a")
+        )
+        result = remote.push(workload.name)
+        assert result.commits_sent == 1  # incremental, not a re-upload
+        clone = clone_repository(restarted.local_transport("ana", "proj", "a"))
+        assert len(clone.graph) == 3
+
+    def test_create_repo_conflicts_and_unknown_tenant(self, tmp_path):
+        hub = RepositoryHub(tmp_path / "hub")
+        hub.add_tenant("ana", tokens=["a"])
+        hub.create_repo("ana", "proj")
+        with pytest.raises(HubError):
+            hub.create_repo("ana", "proj")
+        with pytest.raises(HubError):
+            hub.create_repo("ghost", "proj")
+
+    def test_denied_creating_push_leaves_no_phantom_repo(self, hub, workload):
+        """An auth/quota-denied push to a new name must not register (or
+        later persist) an empty repo that would shadow not-found."""
+        hub.add_tenant("tiny", tokens=["tok-tiny"], quota_bytes=16)
+        local = build_local_repo(workload)
+        with pytest.raises(QuotaExceededError):
+            push_to(hub, local, workload, "tiny", "newrepo", "tok-tiny")
+        assert hub.loaded_repos() == []
+        assert hub.list_repos("tiny") == []
+        # the name is still free for an explicit create
+        hub.create_repo("tiny", "newrepo")
+        assert hub.list_repos("tiny") == ["newrepo"]
+
+    def test_successful_creating_push_is_kept(self, hub, workload):
+        local = build_local_repo(workload)
+        push_to(hub, local, workload, "ana", "kept", "tok-ana")
+        assert ("ana", "kept") in hub.loaded_repos()
+
+    def test_memory_hub_never_evicts(self, hub, workload):
+        hub.max_loaded_repos = 1
+        local = build_local_repo(workload)
+        push_to(hub, local, workload, "ana", "one", "tok-ana")
+        push_to(hub, local, workload, "ana", "two", "tok-ana")
+        assert hub.evictions == 0
+        assert len(hub.loaded_repos()) == 2

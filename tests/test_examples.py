@@ -16,6 +16,7 @@ FAST_EXAMPLES = [
     "readmission_collaboration.py",
     "remote_collaboration.py",
     "parallel_merge.py",
+    "hub_multitenant.py",
 ]
 
 
