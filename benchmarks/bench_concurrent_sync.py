@@ -15,14 +15,24 @@ Each reader replays the clone-shaped read mix — ``manifest`` plus a full
 invalidating the cache). Target (ISSUE 2): with 4+ readers, aggregate
 read throughput of the concurrent server is >= 2x the baseline, and a
 malformed push answered mid-storm leaves the server serving.
+
+Telemetry riders (ISSUE 6): after the storm the server's own ``stats``
+op must report an effective cache (hit rate asserted, not inferred from
+wall clock), and a third storm against an *uninstrumented* server
+(null registry/tracer) bounds the metrics overhead at <= 5% of read
+throughput. The instrumented run's registry snapshot is dumped to
+``results/obs_concurrent_sync_metrics.json``.
 """
 
+import json
 import threading
 import time
 
 from conftest import BENCH_SCALE, BENCH_SEED, BENCH_SMOKE, write_result
 
 from repro.core.repository import MLCask
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER
 from repro.remote import HttpTransport, clone_repository, serve
 from repro.remote.protocol import decode_message, encode_message
 from repro.workloads import ALL_WORKLOADS
@@ -51,8 +61,15 @@ def build_shared_repo(workload, seed):
     return repo
 
 
-def run_scenario(exclusive: bool, cache_entries: int) -> dict:
-    """One readers-plus-writer storm; returns throughput and checks."""
+def run_scenario(
+    exclusive: bool, cache_entries: int, registry=None, tracer=None
+) -> dict:
+    """One readers-plus-writer storm; returns throughput and checks.
+
+    ``registry``/``tracer`` pass through to :func:`serve` — None means
+    the instrumented default, the null singletons mean bare metal (the
+    overhead comparison's other arm).
+    """
     workload = ALL_WORKLOADS["readmission"](scale=BENCH_SCALE, seed=BENCH_SEED)
     shared = build_shared_repo(workload, BENCH_SEED)
     server = serve(
@@ -61,6 +78,8 @@ def run_scenario(exclusive: bool, cache_entries: int) -> dict:
         port=0,
         cache_entries=cache_entries,
         exclusive=exclusive,
+        registry=registry,
+        tracer=tracer,
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -149,6 +168,10 @@ def run_scenario(exclusive: bool, cache_entries: int) -> dict:
         assert bad_meta["error"]["type"] == "RemoteProtocolError"
         ok_meta, _ = decode_message(probe.call(encode_message({"op": "manifest"})))
         assert "refs" in ok_meta
+
+        # The server's own telemetry readout, over the wire: the stats
+        # op is how effectiveness is asserted rather than inferred.
+        stats_meta, _ = decode_message(probe.call(encode_message({"op": "stats"})))
         probe.close()
 
         reads = N_READERS * N_READS
@@ -157,6 +180,8 @@ def run_scenario(exclusive: bool, cache_entries: int) -> dict:
             "reads": reads,
             "throughput": reads / elapsed,
             "cache_hits": server.repository_server.cache.hits,
+            "stats": stats_meta["stats"],
+            "metrics": server.metrics_registry.snapshot(),
         }
     finally:
         server.shutdown()
@@ -167,8 +192,16 @@ def run_scenario(exclusive: bool, cache_entries: int) -> dict:
 def test_concurrent_read_throughput():
     baseline = run_scenario(exclusive=True, cache_entries=0)
     concurrent = run_scenario(exclusive=False, cache_entries=128)
+    # Same concurrent configuration with the null registry/tracer: the
+    # bare-metal arm of the instrumentation-overhead comparison.
+    bare = run_scenario(
+        exclusive=False, cache_entries=128,
+        registry=NULL_REGISTRY, tracer=NULL_TRACER,
+    )
     speedup = concurrent["throughput"] / baseline["throughput"]
+    overhead_ratio = concurrent["throughput"] / bare["throughput"]
 
+    cache_stats = concurrent["stats"]["cache"]
     lines = [
         f"{N_READERS} readers x {N_READS} iterations, {N_PUSHES} pushes "
         f"(history {N_HISTORY + 1} commits, scale {BENCH_SCALE}, "
@@ -178,13 +211,33 @@ def test_concurrent_read_throughput():
         f"rwlock + cache        {concurrent['throughput']:>9.1f} reads/s  "
         f"({concurrent['elapsed'] * 1000:.0f} ms, "
         f"{concurrent['cache_hits']} cache hits)",
+        f"uninstrumented        {bare['throughput']:>9.1f} reads/s  "
+        f"(instrumented/bare ratio {overhead_ratio:.3f})",
         f"aggregate speedup     {speedup:>9.2f}x",
+        f"stats op: cache hit rate {cache_stats['hit_rate']:.1%} "
+        f"({cache_stats['hits']} hits / {cache_stats['misses']} misses)",
         "malformed push during storm: typed error, server kept serving",
     ]
     write_result("concurrent_sync.txt", "\n".join(lines))
+    write_result(
+        "obs_concurrent_sync_metrics.json",
+        json.dumps(concurrent["metrics"], indent=2, sort_keys=True),
+    )
 
     assert concurrent["cache_hits"] > 0
+    # Cache effectiveness asserted through the server's own stats op.
+    assert cache_stats["hits"] == concurrent["cache_hits"]
+    assert cache_stats["hit_rate"] > 0
+    # The instrumented server's registry saw the storm.
+    requests = concurrent["metrics"]["repro_requests_total"]["series"]
+    assert sum(s["value"] for s in requests) > 0
+    assert bare["metrics"] == {}  # null registry: nothing recorded
     if not BENCH_SMOKE:
         # ISSUE 2 acceptance: >= 2x aggregate read throughput with 4+
         # concurrent readers vs. the single-lock baseline.
         assert speedup >= 2.0, speedup
+        # ISSUE 6 acceptance: identical reads, mostly identical state —
+        # the cache should be absorbing the storm.
+        assert cache_stats["hit_rate"] >= 0.5, cache_stats
+        # ISSUE 6 acceptance: instrumentation costs <= 5% read throughput.
+        assert overhead_ratio >= 0.95, overhead_ratio

@@ -17,10 +17,18 @@ full logical usage; an unauthenticated and an over-quota push are both
 rejected with typed protocol errors and leave the target repo
 untouched. Also measured: concurrent per-tenant read throughput over
 HTTP (each tenant fetching its own repo while the others do the same).
+
+Telemetry rider (ISSUE 6): while the read storm's server is still live,
+``GET /metrics`` is scraped over HTTP and must expose the deployment's
+vital signs — request counts and latency buckets, cache hits, the
+admission denials provoked by :func:`probe_admission`, and chunk bytes
+attributed per tenant. The scrape is persisted verbatim to
+``results/obs_hub_scrape.txt`` (CI greps it).
 """
 
 import threading
 import time
+import urllib.request
 
 from conftest import BENCH_SCALE, BENCH_SEED, BENCH_SMOKE, write_result
 
@@ -143,6 +151,11 @@ def run_read_storm(hub, tokens, registry):
         for t in threads:
             t.join()
         elapsed = time.perf_counter() - started
+        # Scrape the live endpoint the way an operator's Prometheus
+        # would — over HTTP, while the server still serves.
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=30) as resp:
+            assert resp.status == 200
+            scrape = resp.read().decode("utf-8")
     finally:
         server.shutdown()
         server.server_close()
@@ -151,7 +164,43 @@ def run_read_storm(hub, tokens, registry):
     expected = {len(set(commits)) for commits in commits_seen.values()}
     assert expected == {1}, "every tenant must see a stable history"
     total_reads = N_READS * len(tokens)
-    return total_reads, elapsed
+    return total_reads, elapsed, scrape
+
+
+def series_total(scrape: str, name: str) -> float:
+    """Sum every sample of one metric family in a Prometheus scrape."""
+    total = 0.0
+    prefixes = (f"{name} ", f"{name}{{")
+    for line in scrape.splitlines():
+        if line.startswith(prefixes):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def check_scrape(scrape, tokens):
+    """ISSUE 6 acceptance: one scrape covers the deployment's vitals."""
+    vital = (
+        "repro_requests_total",          # request counts per op
+        "repro_request_seconds_bucket",  # latency histogram
+        "repro_cache_hits_total",        # response-cache effectiveness
+        "repro_admission_denied_total",  # the probe's auth/quota denials
+        "repro_chunk_written_bytes_total",  # chunk bytes per tenant
+    )
+    for name in vital:
+        assert series_total(scrape, name) > 0, f"{name} absent or zero"
+    # Denials carry their classified reasons, not a catch-all bucket.
+    assert 'reason="auth"' in scrape and 'reason="quota"' in scrape
+    # Chunk accounting is attributed: every pushing tenant has its own
+    # written-bytes series, and they all pushed the same history.
+    written = {
+        tenant: series_total(
+            scrape, f'repro_chunk_written_bytes_total{{tenant="{tenant}",'
+            f'repo="pipelines"}}'
+        )
+        for tenant in tokens
+    }
+    assert all(v > 0 for v in written.values()), written
+    assert len(set(written.values())) == 1, written
 
 
 def main():
@@ -182,7 +231,11 @@ def main():
     )
 
     probe_admission(hub, tokens, workload, team_repo)
-    total_reads, elapsed = run_read_storm(hub, tokens, team_repo.registry)
+    total_reads, elapsed, scrape = run_read_storm(
+        hub, tokens, team_repo.registry
+    )
+    check_scrape(scrape, tokens)
+    write_result("obs_hub_scrape.txt", scrape)
 
     lines = [
         "Multi-tenant hub: physical storage and admission "
@@ -207,6 +260,10 @@ def main():
         f"concurrent per-tenant reads: {total_reads} full fetches across "
         f"{N_TENANTS} tenants in {elapsed:.2f}s "
         f"({total_reads / elapsed:.1f} fetches/s aggregate over HTTP)",
+        "",
+        "metrics-scrape OK: live GET /metrics covered requests, latency "
+        "buckets, cache hits, admission denials (auth + quota), and "
+        "per-tenant chunk bytes (see obs_hub_scrape.txt)",
     ]
     write_result("hub_multitenant.txt", "\n".join(lines))
 

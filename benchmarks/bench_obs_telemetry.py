@@ -1,0 +1,128 @@
+"""Telemetry: one traced push is one correlated span tree (ISSUE 6).
+
+The tracing acceptance check for the observability subsystem: a single
+push admitted by the hub must come out the other side as a tree of at
+least four spans sharing one ``trace_id`` — hub admission, the server
+operation, the write-lock wait, and the chunk import — parented so an
+operator can read the request's life story from the buffer:
+
+    hub.request
+    ├── hub.admission
+    └── server.push
+        ├── lock.write
+        └── storage.import
+
+Deterministic (no timing thresholds), so everything here is asserted in
+smoke mode too. The winning trace's spans are dumped to
+``results/obs_trace_spans.json`` for inspection.
+"""
+
+import json
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_result
+
+from repro.core.repository import MLCask
+from repro.hub import RepositoryHub
+from repro.obs.trace import Tracer
+from repro.workloads import ALL_WORKLOADS
+
+N_HISTORY = 3  # commits in the pushed history (cheap; tracing is the point)
+
+
+def build_repo(workload):
+    repo = MLCask(metric=workload.metric, seed=BENCH_SEED)
+    repo.create_pipeline(
+        workload.spec, workload.initial_components(), message="initial pipeline"
+    )
+    for idx in range(1, N_HISTORY + 1):
+        repo.commit(
+            workload.name,
+            {workload.model_stage: workload.model_version(idx)},
+            message=f"update {idx}",
+        )
+    return repo
+
+
+def traced_push():
+    """Push once through a traced hub; return every finished span."""
+    workload = ALL_WORKLOADS["readmission"](scale=BENCH_SCALE, seed=BENCH_SEED)
+    team_repo = build_repo(workload)
+    hub = RepositoryHub(tracer=Tracer())
+    hub.add_tenant("team0", tokens=["tok-0"])
+    remote = team_repo.add_remote(
+        "hub", hub.local_transport("team0", "pipelines", "tok-0")
+    )
+    remote.push(workload.name)
+    return hub.tracer.drain()
+
+
+def push_trace(spans):
+    """The span tree of the push request (there is exactly one push)."""
+    (push,) = [s for s in spans if s["name"] == "server.push"]
+    trace = [s for s in spans if s["trace_id"] == push["trace_id"]]
+    return push, trace
+
+
+def check_trace(push, trace):
+    by_name = {}
+    for span in trace:
+        by_name.setdefault(span["name"], []).append(span)
+
+    # ISSUE 6 acceptance: >= 4 correlated spans for one traced push.
+    assert len(trace) >= 4, [s["name"] for s in trace]
+    assert {s["trace_id"] for s in trace} == {push["trace_id"]}
+    for name in ("hub.request", "hub.admission", "server.push",
+                 "lock.write", "storage.import"):
+        assert name in by_name, (name, sorted(by_name))
+
+    # Parenting tells the request's story: admission and the operation
+    # hang off the hub root; the lock wait and chunk import hang off the
+    # operation.
+    (root,) = by_name["hub.request"]
+    assert root["parent_id"] is None
+    assert by_name["hub.admission"][0]["parent_id"] == root["span_id"]
+    assert push["parent_id"] == root["span_id"]
+    for child in ("lock.write", "storage.import"):
+        assert by_name[child][0]["parent_id"] == push["span_id"], child
+
+    # The root saw the whole request and recorded the admission outcome.
+    assert root["status"] == "ok"
+    assert root["attrs"]["outcome"] == "allowed"
+    assert root["seconds"] >= push["seconds"]
+    imported = by_name["storage.import"][0]["attrs"]
+    assert imported["chunks"] > 0 and imported["bytes"] > 0
+    return root
+
+
+def main():
+    spans = traced_push()
+    push, trace = push_trace(spans)
+    root = check_trace(push, trace)
+
+    names = sorted({s["name"] for s in trace})
+    lines = [
+        f"One traced push through the hub (scale={BENCH_SCALE}, "
+        f"seed={BENCH_SEED})",
+        "",
+        f"trace {root['trace_id']}: {len(trace)} correlated spans "
+        f"(assert >= 4)",
+        f"span names: {', '.join(names)}",
+        f"hub.request: {root['seconds'] * 1000:.2f} ms, "
+        f"outcome={root['attrs']['outcome']}",
+        f"total spans recorded across the push conversation: {len(spans)}",
+        "",
+        "span tree dumped to obs_trace_spans.json",
+    ]
+    write_result("obs_telemetry.txt", "\n".join(lines))
+    write_result(
+        "obs_trace_spans.json",
+        json.dumps(sorted(trace, key=lambda s: s["start"]), indent=2),
+    )
+
+
+def test_traced_push_span_tree():
+    main()
+
+
+if __name__ == "__main__":
+    main()

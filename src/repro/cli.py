@@ -14,6 +14,7 @@ Usage::
     python -m repro clone SRC DEST                     # SRC: URL or repo dir
     python -m repro push REPO REMOTE                   # fast-forward publish
     python -m repro pull REPO REMOTE                   # sync (+merge) back
+    python -m repro stats REMOTE                       # telemetry readout
     python -m repro gc REPO                            # sweep dead chunks
 
     python -m repro run REPO --workload readmission    # run the branch head
@@ -191,6 +192,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="chunk payload window per wire message (default 4 MiB)",
     )
     _add_hub_client_arguments(pull)
+
+    stats = sub.add_parser(
+        "stats",
+        help="read a server's telemetry (request counts, cache hit rate, "
+        "storage bytes) over the wire",
+    )
+    stats.add_argument("target", help="http:// URL or repository directory")
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit the raw stats object as one JSON document",
+    )
+    _add_hub_client_arguments(stats)
 
     gc = sub.add_parser(
         "gc", help="sweep chunks no commit references from a repository directory"
@@ -587,6 +600,19 @@ def _cmd_serve(args, out) -> int:
         idle_timeout=5.0 if args.requests is not None else None,
     )
     print(f"serving {args.repo} at {server.url}/rpc", file=out)
+    # One machine-parseable readiness line after the human one: tests and
+    # supervisors wait on the event instead of sleeping or scraping prose.
+    from .obs.events import emit
+
+    emit(
+        "serve.ready",
+        stream=out,
+        endpoint=f"{server.url}/rpc",
+        repo=args.repo,
+        commits=len(repo.graph),
+        request_budget=args.requests,
+        max_request_bytes=args.max_request_bytes,
+    )
     try:
         if args.requests is not None:
             # Bounded serving counts handled *requests*, not accepted
@@ -715,6 +741,42 @@ def _cmd_pull(args, out) -> int:
     return 0
 
 
+def _cmd_stats(args, out) -> int:
+    """The ``stats`` op as a verb: one server's counters, human or JSON."""
+    import json
+
+    from .remote.client import Remote
+
+    target = _resolve_remote_target(args.target, args.tenant)
+    transport = _transport_for(target, token=args.token)
+    try:
+        # repo=None: stats is pure readout, no local repository involved
+        # (the same probe shape clone uses for the manifest).
+        stats = Remote(repo=None, transport=transport).stats()
+    finally:
+        transport.close()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True), file=out)
+        return 0
+    cache = stats.get("cache", {})
+    storage = stats.get("storage", {})
+    repository = stats.get("repository", {})
+    print(
+        f"requests handled: {stats.get('requests_handled', 0)}\n"
+        f"cache: {cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses "
+        f"(hit rate {cache.get('hit_rate', 0.0):.1%}; "
+        f"{cache.get('entries', 0)} entries, {cache.get('bytes', 0)} bytes)\n"
+        f"storage: {storage.get('logical_bytes', 0)} logical bytes, "
+        f"{storage.get('physical_bytes', 0)} physical, "
+        f"{storage.get('read_bytes', 0)} read back\n"
+        f"repository: {repository.get('commits', 0)} commits, "
+        f"{repository.get('pipelines', 0)} pipelines, "
+        f"{repository.get('checkpoints', 0)} checkpoint records",
+        file=out,
+    )
+    return 0
+
+
 def _cmd_gc(args, out) -> int:
     from .core.persistence import gc_repository_dir
 
@@ -831,6 +893,21 @@ def _cmd_hub_serve(args, out) -> int:
         f"(tenants: {tenants})",
         file=out,
     )
+    from .obs.events import emit
+
+    emit(
+        "hub.ready",
+        stream=out,
+        endpoint=f"{server.url}/t/<tenant>/<repo>/rpc",
+        root=args.root,
+        tenants=len(hub.authenticator.tenants()),
+        repos=sum(
+            len(hub.list_repos(c.name)) for c in hub.authenticator.tenants()
+        ),
+        max_loaded_repos=hub.max_loaded_repos,
+        request_budget=args.requests,
+        max_request_bytes=args.max_request_bytes,
+    )
     try:
         if args.requests is not None:
             server.daemon_threads = False
@@ -869,7 +946,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if args.command == "demo":
         return _cmd_demo(args, out)
     if args.command in (
-        "init", "serve", "clone", "push", "pull", "run", "merge", "gc", "hub"
+        "init", "serve", "clone", "push", "pull", "stats", "run", "merge",
+        "gc", "hub",
     ):
         handler = {
             "init": _cmd_init,
@@ -877,6 +955,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
             "clone": _cmd_clone,
             "push": _cmd_push,
             "pull": _cmd_pull,
+            "stats": _cmd_stats,
             "run": _cmd_run,
             "merge": _cmd_merge,
             "gc": _cmd_gc,

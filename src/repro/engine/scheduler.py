@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import MLCaskError
+from ..obs import metrics as obs_metrics
 
 #: Task terminal states.
 DONE = "done"
@@ -70,7 +71,13 @@ class DagScheduler:
     the caller's thread).
     """
 
-    def __init__(self, order: list[str], deps: dict[str, list[str]], workers: int):
+    def __init__(
+        self,
+        order: list[str],
+        deps: dict[str, list[str]],
+        workers: int,
+        registry=None,
+    ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.order = list(order)
@@ -91,10 +98,37 @@ class DagScheduler:
         self._crash: BaseException | None = None
         self.result = DagResult()
 
+        #: Tasks an idle worker took from a victim's deque — the
+        #: work-stealing effectiveness number tests and dashboards read.
+        self.steals = 0
+        # Metric children resolved once (the default registry is null
+        # unless installed, so an unobserved run pays empty calls).
+        registry = (
+            registry if registry is not None else obs_metrics.default_registry()
+        )
+        tasks_total = registry.counter(
+            "repro_scheduler_tasks_total",
+            "DAG tasks settled, by terminal status",
+            ("status",),
+        )
+        self._m_tasks = {
+            status: tasks_total.labels(status=status)
+            for status in (DONE, FAILED, CANCELLED)
+        }
+        self._m_steals = registry.counter(
+            "repro_scheduler_steals_total",
+            "Tasks taken from another worker's deque",
+        )
+        self._m_depth = registry.gauge(
+            "repro_scheduler_queue_depth",
+            "Runnable tasks currently queued across worker deques",
+        )
+
     # ------------------------------------------------------------- running
     def run(self, execute) -> DagResult:
         for i, task in enumerate(t for t in self.order if self._pending[t] == 0):
             self._deques[i % self.workers].appendleft(task)
+        self._m_depth.set(sum(len(dq) for dq in self._deques))
         if self.workers == 1:
             self._worker(0, execute)
         else:
@@ -149,6 +183,10 @@ class DagScheduler:
             while victim:
                 task = victim.pop()
                 if self.result.status.get(task) != CANCELLED:
+                    # Callers hold the scheduler condition, so the plain
+                    # increment is race-free.
+                    self.steals += 1
+                    self._m_steals.inc()
                     return task
         return None
 
@@ -160,6 +198,7 @@ class DagScheduler:
             return
         self.result.status[task] = status
         self._settled += 1
+        self._m_tasks[status].inc()
         if status == DONE:
             for succ in self.successors[task]:
                 if self.result.status.get(succ) == CANCELLED:
@@ -167,6 +206,7 @@ class DagScheduler:
                 self._pending[succ] -= 1
                 if self._pending[succ] == 0 and not self._past_bar(succ):
                     self._deques[worker_id].appendleft(succ)
+            self._m_depth.set(sum(len(dq) for dq in self._deques))
         else:  # FAILED
             bar = self.index[task]
             if self._cancel_bar is None or bar < self._cancel_bar:
@@ -190,6 +230,7 @@ class DagScheduler:
     def _cancel(self, task: str) -> None:
         self.result.status[task] = CANCELLED
         self._settled += 1
+        self._m_tasks[CANCELLED].inc()
 
     def _cancel_descendants(self, task: str) -> None:
         stack = list(self.successors[task])

@@ -61,12 +61,16 @@ from ..core.persistence import (
 )
 from ..core.repository import MLCask
 from ..errors import (
+    AuthenticationError,
+    AuthorizationError,
     HubError,
     QuotaExceededError,
     RateLimitedError,
     RemoteProtocolError,
     RepositoryNotFoundError,
 )
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..remote import pack
 from ..remote.protocol import WRITE_OPS, decode_message, error_response
 from ..remote.server import RepositoryServer
@@ -78,6 +82,26 @@ from .backend import SharedChunkBackend, TenantChunkStore
 from .quota import TokenBucket, incoming_new_bytes
 
 HUB_CONFIG_FILE = "hub.json"
+
+#: Admission-denial reasons, as the ``repro_admission_denied_total``
+#: ``reason`` label reports them; keyed by most-specific error type.
+_DENIAL_REASONS = (
+    (AuthenticationError, "auth"),
+    (AuthorizationError, "auth"),
+    (QuotaExceededError, "quota"),
+    (RateLimitedError, "rate"),
+    (RepositoryNotFoundError, "not_found"),
+    (HubError, "hub"),
+    (RemoteProtocolError, "protocol"),
+)
+
+
+def _denial_reason(error: Exception) -> str:
+    for cls, reason in _DENIAL_REASONS:
+        if isinstance(error, cls):
+            return reason
+    return "internal"
+
 CHUNKS_DIR = "chunks"
 TENANTS_DIR = "tenants"
 HOLDINGS_FILE = "chunks.json"
@@ -146,6 +170,8 @@ class RepositoryHub:
         default_metric: str = "accuracy",
         default_seed: int = 0,
         clock=time.monotonic,
+        registry=None,
+        tracer=None,
     ):
         self.root = os.fspath(root) if root is not None else None
         self.authenticator = authenticator or TokenAuthenticator()
@@ -183,6 +209,35 @@ class RepositoryHub:
         self.requests_handled = 0
         self.evictions = 0
         self.loads = 0
+
+        # Telemetry: a hub defaults to *real* instruments (it fronts the
+        # /metrics endpoint), one registry/tracer shared by every hosted
+        # RepositoryServer so per-repo series land in one scrape and a
+        # request's spans — admission, op, lock wait, chunk import —
+        # share one trace. Pass the null singletons to opt out.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._m_admission = self.registry.counter(
+            "repro_admission_total",
+            "Hub admission decisions, by tenant and outcome",
+            ("tenant", "outcome"),
+        )
+        self._m_denied = self.registry.counter(
+            "repro_admission_denied_total",
+            "Hub admission denials, by tenant and reason",
+            ("tenant", "reason"),
+        )
+        self._m_loaded = self.registry.gauge(
+            "repro_hub_loaded_repos",
+            "Repositories currently resident in the hub's working set",
+        )
+        self._m_loads = self.registry.counter(
+            "repro_hub_loads_total", "Cold repository loads from disk"
+        )
+        self._m_evictions = self.registry.counter(
+            "repro_hub_evictions_total",
+            "Idle repositories evicted back to disk",
+        )
 
         if self.root is not None:
             os.makedirs(self.root, exist_ok=True)
@@ -363,6 +418,9 @@ class RepositoryHub:
             on_change=lambda _repo: self._persist_hosted(hosted),
             max_pack_bytes=self.max_pack_bytes,
             cache_entries=self.cache_entries,
+            registry=self.registry,
+            tracer=self.tracer,
+            metric_labels={"tenant": tenant, "repo": name},
         )
         return hosted
 
@@ -388,6 +446,7 @@ class RepositoryHub:
                 for entry in json.load(fh)["records"]:
                     repo.checkpoints.import_record(record_from_dict(entry))
         self.loads += 1
+        self._m_loads.inc()
         return hosted
 
     def create_repo(
@@ -428,6 +487,7 @@ class RepositoryHub:
             hosted.inflight += 1
             event = self._pending[key] = threading.Event()
             victims = self._select_victims_locked()
+            self._m_loaded.set(len(self._loaded))
         try:
             self._persist_hosted(hosted)
         finally:
@@ -485,6 +545,7 @@ class RepositoryHub:
                 hosted.inflight += 1
                 del self._pending[key]
                 victims = self._select_victims_locked()
+                self._m_loaded.set(len(self._loaded))
             event.set()
             self._persist_victims(victims)
             return hosted
@@ -507,6 +568,7 @@ class RepositoryHub:
                 return
             if self._loaded.get(hosted.key) is hosted:
                 del self._loaded[hosted.key]
+                self._m_loaded.set(len(self._loaded))
 
     def _select_victims_locked(self) -> list[HostedRepository]:
         """Pop idle LRU repos beyond capacity; caller persists them
@@ -530,7 +592,9 @@ class RepositoryHub:
             self._record_persisted_locked(victim.key, victim.view.held_bytes)
             self._pending[victim.key] = threading.Event()
             self.evictions += 1
+            self._m_evictions.inc()
             victims.append(victim)
+        self._m_loaded.set(len(self._loaded))
         return victims
 
     def _persist_victims(self, victims: list[HostedRepository]) -> None:
@@ -549,6 +613,7 @@ class RepositoryHub:
                     self._loaded[victim.key] = victim
                     self._loaded.move_to_end(victim.key, last=False)
                     event = self._pending.pop(victim.key)
+                    self._m_loaded.set(len(self._loaded))
                 event.set()
             else:
                 with self._lock:
@@ -686,60 +751,85 @@ class RepositoryHub:
 
         Denials (auth, rate, quota, unknown repo) are answered as typed
         error responses *before* the repository server — and therefore
-        any repository state — is touched."""
+        any repository state — is touched.
+
+        Telemetry: the whole request runs under a ``hub.request`` root
+        span (admission itself under a ``hub.admission`` child, the
+        hosted server's op/lock/storage spans nest below via the
+        shared tracer), and every decision lands in the admission
+        counters — ``repro_admission_total{tenant,outcome}`` plus, for
+        denials, ``repro_admission_denied_total{tenant,reason}``."""
         self.count_request()
-        try:
-            validate_name("tenant", tenant)
-            validate_name("repository", repo)
-            config = self.authenticator.authorize(token, tenant)
-            bucket = self._bucket_for(config)
-            if bucket is not None and not bucket.try_acquire():
-                raise RateLimitedError(
-                    f"tenant {tenant!r} exceeded "
-                    f"{config.rate_per_second:g} requests/s "
-                    f"(burst {bucket.burst:g}); retry after a pause"
-                )
-            meta, blobs = decode_message(payload)
-            op = meta.get("op")
-            write = op in WRITE_OPS
+        with self.tracer.span("hub.request", tenant=tenant, repo=repo) as root:
             try:
-                hosted = self._acquire(tenant, repo, create=write)
-            except RepositoryNotFoundError:
-                if op not in PREFLIGHT_OPS:
-                    raise
-                ephemeral = self._new_hosted(
-                    tenant, repo, self.default_metric, self.default_seed
-                )
-                return ephemeral.server.handle_bytes(
-                    payload, decoded=(meta, blobs)
-                )
-            try:
-                if write:
-                    # Per-tenant serialization makes the quota check
-                    # race-free across a tenant's repositories; writes of
-                    # different tenants still run concurrently.
-                    with self._tenant_lock(tenant):
-                        self._enforce_quota(config, hosted, op, meta, blobs)
-                        if op == "push":
-                            self._maybe_adopt_config(hosted, meta)
-                        return hosted.server.handle_bytes(
+                with self.tracer.span("hub.admission", tenant=tenant):
+                    validate_name("tenant", tenant)
+                    validate_name("repository", repo)
+                    config = self.authenticator.authorize(token, tenant)
+                    bucket = self._bucket_for(config)
+                    if bucket is not None and not bucket.try_acquire():
+                        raise RateLimitedError(
+                            f"tenant {tenant!r} exceeded "
+                            f"{config.rate_per_second:g} requests/s "
+                            f"(burst {bucket.burst:g}); retry after a pause"
+                        )
+                    meta, blobs = decode_message(payload)
+                    op = meta.get("op")
+                    write = op in WRITE_OPS
+                try:
+                    hosted = self._acquire(tenant, repo, create=write)
+                except RepositoryNotFoundError:
+                    if op not in PREFLIGHT_OPS:
+                        raise
+                    ephemeral = self._new_hosted(
+                        tenant, repo, self.default_metric, self.default_seed
+                    )
+                    self._note_admitted(root, tenant)
+                    return ephemeral.server.handle_bytes(
+                        payload, decoded=(meta, blobs)
+                    )
+                try:
+                    if write:
+                        # Per-tenant serialization makes the quota check
+                        # race-free across a tenant's repositories; writes
+                        # of different tenants still run concurrently.
+                        with self._tenant_lock(tenant):
+                            self._enforce_quota(config, hosted, op, meta, blobs)
+                            if op == "push":
+                                self._maybe_adopt_config(hosted, meta)
+                            response = hosted.server.handle_bytes(
+                                payload, decoded=(meta, blobs)
+                            )
+                    else:
+                        response = hosted.server.handle_bytes(
                             payload, decoded=(meta, blobs)
                         )
-                return hosted.server.handle_bytes(payload, decoded=(meta, blobs))
-            finally:
-                # Auto-created repos are kept only if something landed
-                # in them (the provisional check in _release).
-                self._release(hosted)
-        except HubError as error:
-            return error_response(error)
-        except RemoteProtocolError as error:
-            return error_response(error)
-        except Exception as error:  # noqa: BLE001 - last-resort containment
-            return error_response(
-                RemoteProtocolError(
-                    f"internal hub error: {type(error).__name__}: {error}"
+                finally:
+                    # Auto-created repos are kept only if something landed
+                    # in them (the provisional check in _release).
+                    self._release(hosted)
+                self._note_admitted(root, tenant)
+                return response
+            except (HubError, RemoteProtocolError) as error:
+                self._note_denied(root, tenant, error)
+                return error_response(error)
+            except Exception as error:  # noqa: BLE001 - last-resort containment
+                self._note_denied(root, tenant, error)
+                return error_response(
+                    RemoteProtocolError(
+                        f"internal hub error: {type(error).__name__}: {error}"
+                    )
                 )
-            )
+
+    def _note_admitted(self, span, tenant: str) -> None:
+        self._m_admission.labels(tenant=tenant, outcome="allowed").inc()
+        span.set(outcome="allowed")
+
+    def _note_denied(self, span, tenant: str, error: Exception) -> None:
+        reason = _denial_reason(error)
+        self._m_admission.labels(tenant=tenant, outcome="denied").inc()
+        self._m_denied.labels(tenant=tenant, reason=reason).inc()
+        span.set(outcome="denied", reason=reason)
 
     # --------------------------------------------------------- transports
     def local_transport(

@@ -91,6 +91,9 @@ class HubHTTPServer(http.server.ThreadingHTTPServer):
         self.verbose = verbose
         self.max_request_bytes = max_request_bytes
         self.idle_timeout = idle_timeout
+        # GET /metrics renders the hub's registry: admission outcomes,
+        # per-repo request/latency series, chunk bytes — one scrape.
+        self.metrics_registry = hub.registry
         # When set, handlers stop honouring keep-alive once this many
         # requests have been handled (bounded serving, see the CLI).
         self.request_limit: int | None = None

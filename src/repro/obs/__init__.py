@@ -1,0 +1,40 @@
+"""repro.obs: the unified telemetry subsystem.
+
+Three small, dependency-free pieces:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges, and histograms with label sets, rendered in
+  Prometheus text format (``GET /metrics`` on both HTTP endpoints) and
+  as plain-dict snapshots (the ``stats`` RPC op, benchmark dumps);
+* :mod:`repro.obs.trace` — a span :class:`Tracer` whose context
+  propagates hub admission → server op → lock wait → chunk I/O, so one
+  push yields one correlated trace exportable as JSON events;
+* :mod:`repro.obs.events` — structured one-line JSON log events
+  (startup readiness, transport reconnect warnings).
+
+Both metrics and tracing follow the same null-default discipline:
+library code resolves its sink via ``default_registry()`` /
+``default_tracer()``, which return shared no-op singletons unless the
+process :func:`installed <repro.obs.metrics.install>` real ones — so an
+uninstrumented run pays near-zero overhead, and nothing anywhere needs
+an ``if registry is not None`` guard.
+"""
+
+from .events import emit
+from .metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    default_registry,
+)
+from .trace import NULL_TRACER, Span, Tracer, default_tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "default_registry",
+    "default_tracer",
+    "emit",
+]

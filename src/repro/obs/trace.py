@@ -1,0 +1,224 @@
+"""Lightweight request tracing: spans whose context follows the request.
+
+One traced operation is a tree of :class:`Span`\\ s sharing a
+``trace_id``: a hub request opens the root, admission/operation/lock/
+storage work open children, and the parent of each new span is whatever
+span is *current* on this thread of control when it starts. Currency is
+a :mod:`contextvars` variable, so the propagation — hub admission →
+server op → lock wait → chunk import — costs one context set/reset per
+span and needs no plumbing through call signatures.
+
+Finished spans land in a bounded in-memory buffer as plain dicts (and
+optionally stream to an ``on_span`` callback); :meth:`Tracer.drain`
+hands them over as structured JSON-ready events, newest last. There is
+no sampling and no clock coordination — this is single-process tracing
+for correlating one push's admission, lock wait, and chunk I/O, not a
+distributed system.
+
+Null default: code resolves its tracer via :func:`default_tracer`,
+which returns the no-op :data:`NULL_TRACER` unless :func:`install` was
+called. A null span is a shared singleton whose ``__enter__``/
+``__exit__`` do nothing, so uninstrumented hot paths pay an attribute
+lookup and two empty calls.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from collections import deque
+
+_current: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One timed unit of work; a context manager.
+
+    Attributes are free-form key/values (kept JSON-serializable by
+    convention). An exception escaping the ``with`` body marks the span
+    ``status="error"`` and records the exception before re-raising.
+    """
+
+    __slots__ = (
+        "tracer", "name", "attrs", "trace_id", "span_id", "parent_id",
+        "start", "seconds", "status", "_t0", "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
+        self.start: float | None = None
+        self.seconds: float | None = None
+        self.status = "ok"
+        self._t0: float | None = None
+        self._token = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to a live span; returns the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        parent = _current.get()
+        self.trace_id = parent.trace_id if parent is not None else _new_id()
+        self.parent_id = parent.span_id if parent is not None else None
+        self.span_id = _new_id()
+        self.start = time.time()
+        self._t0 = time.perf_counter()
+        self._token = _current.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        _current.reset(self._token)
+        self.tracer._finish(self)
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Span factory plus a bounded buffer of finished spans.
+
+    ``max_spans`` bounds memory: a long-lived server traced forever
+    keeps only the newest spans (the deque drops from the front).
+    ``on_span`` (optional) receives each finished span's dict — wire it
+    to :func:`repro.obs.events.emit` to stream JSON lines.
+    """
+
+    def __init__(self, max_spans: int = 10000, on_span=None):
+        self._lock = threading.Lock()
+        self._finished: deque[dict] = deque(maxlen=max(1, max_spans))
+        self.on_span = on_span
+        self.spans_recorded = 0
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new span; enter it with ``with tracer.span("name"): ...``."""
+        return Span(self, name, attrs)
+
+    def record(self, name: str, seconds: float, **attrs) -> None:
+        """Record an already-elapsed interval as a finished child span.
+
+        For durations measured by code that cannot wrap the interval in
+        a ``with`` block (a lock's internal wait, a callback's timing):
+        the span parents onto the *current* span and backdates its start
+        by ``seconds``.
+        """
+        parent = _current.get()
+        span = Span(self, name, attrs)
+        span.trace_id = parent.trace_id if parent is not None else _new_id()
+        span.parent_id = parent.span_id if parent is not None else None
+        span.span_id = _new_id()
+        span.start = time.time() - seconds
+        span.seconds = seconds
+        self._finish(span)
+
+    def current(self) -> Span | None:
+        """The span currently open on this thread of control, if any."""
+        return _current.get()
+
+    def _finish(self, span: Span) -> None:
+        event = span.to_dict()
+        with self._lock:
+            self._finished.append(event)
+            self.spans_recorded += 1
+        if self.on_span is not None:
+            self.on_span(event)
+
+    def drain(self) -> list[dict]:
+        """Remove and return all buffered finished spans, oldest first."""
+        with self._lock:
+            spans = list(self._finished)
+            self._finished.clear()
+        return spans
+
+    def finished(self) -> list[dict]:
+        """Buffered finished spans, oldest first (without draining)."""
+        with self._lock:
+            return list(self._finished)
+
+
+# --------------------------------------------------------------- null layer
+class _NullSpan:
+    """Shared no-op span: context manager and attribute sink."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer-shaped no-op; the module default until :func:`install`."""
+
+    def span(self, name: str, **attrs):
+        return NULL_SPAN
+
+    def record(self, name: str, seconds: float, **attrs) -> None:
+        pass
+
+    def current(self):
+        return None
+
+    def drain(self) -> list[dict]:
+        return []
+
+    def finished(self) -> list[dict]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+_default: Tracer | NullTracer = NULL_TRACER
+
+
+def install(tracer: Tracer):
+    """Make ``tracer`` the process-wide default (returns it)."""
+    global _default
+    _default = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    """Restore the no-op default."""
+    global _default
+    _default = NULL_TRACER
+
+
+def default_tracer():
+    """The installed tracer, or :data:`NULL_TRACER` when none is."""
+    return _default

@@ -113,6 +113,15 @@ class Remote:
     def refs(self) -> dict:
         return self.manifest()["refs"]
 
+    def stats(self) -> dict:
+        """The peer's telemetry readout (requests, cache, storage, sizes).
+
+        A plain read op: hub-hosted repositories report per-tenant views,
+        and old servers answer with a typed unknown-operation error.
+        """
+        meta, _ = self._call({"op": "stats"})
+        return meta["stats"]
+
     # --------------------------------------------------------------- fetch
     def fetch(self, pipeline: str | None = None, branches=None) -> FetchResult:
         """Synchronize the peer's history and content into this repository.

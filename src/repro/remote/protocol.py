@@ -47,6 +47,9 @@ MAGIC = b"MLCR"
 PROTOCOL_VERSION = 2
 
 #: Operations a server understands; anything else is a protocol error.
+#: ``stats`` (telemetry readout) is schema-additive: old clients never
+#: send it, and an old server answers it with a typed unknown-operation
+#: error — no version bump needed.
 OPS = (
     "manifest",
     "known_commits",
@@ -55,6 +58,7 @@ OPS = (
     "put_chunks",
     "fetch",
     "push",
+    "stats",
 )
 
 #: Operations that mutate repository state (served under the exclusive

@@ -1,13 +1,23 @@
 """Repository server: answers sync requests against a live ``MLCask``.
 
 The server side of the wire protocol. One :class:`RepositoryServer` wraps
-one repository and handles the seven operations — ``manifest``,
+one repository and handles the eight operations — ``manifest``,
 ``known_commits``, ``missing_chunks``, ``get_chunks``, ``put_chunks``,
-``fetch``, and ``push`` — entirely in terms of pack assembly/import from
+``fetch``, ``push``, and ``stats`` (telemetry readout) — entirely in
+terms of pack assembly/import from
 :mod:`repro.remote.pack`. It is transport-agnostic: :class:`LocalTransport`
 calls :meth:`handle_bytes` directly, and :func:`serve` exposes the same
 entry point over a real socket with the stdlib HTTP server (no external
 dependencies, matching the repository's no-new-deps constraint).
+
+Telemetry: every request is counted, timed, and sized into the server's
+:class:`~repro.obs.metrics.MetricsRegistry` (per-op latency/byte
+histograms, cache hit/miss counters, reader/writer lock wait time) and
+wrapped in a :class:`~repro.obs.trace.Tracer` span so a hub-admitted
+push yields one correlated trace down to its chunk imports. Both
+default to the process-wide null singletons — an unobserved server pays
+only empty method calls — while :func:`serve` installs real ones so the
+HTTP endpoint can answer ``GET /metrics`` in Prometheus text format.
 
 Concurrency model: read operations run in parallel under the shared side
 of a reader-writer lock; only the mutating operations (``push``,
@@ -36,9 +46,14 @@ import contextlib
 import hashlib
 import http.server
 import threading
+import time
 from collections import OrderedDict
 
 from ..errors import MLCaskError, PushRejectedError, RemoteProtocolError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.metrics import NULL_METRIC, MetricsRegistry
+from ..obs.trace import Tracer
 from . import pack
 from .protocol import (
     OPS,
@@ -48,6 +63,9 @@ from .protocol import (
     error_response,
 )
 from .transport import RPC_PATH
+
+#: The one GET route both HTTP endpoints answer: Prometheus text scrape.
+METRICS_PATH = "/metrics"
 
 #: Read operations whose responses are worth caching: pure metadata, so
 #: entries stay small. ``get_chunks`` is deliberately excluded — content
@@ -131,6 +149,15 @@ class ResponseCache:
         self._total_bytes = 0
         self.hits = 0
         self.misses = 0
+        # Registry mirrors (bound by the owning server); null by default
+        # so an unobserved cache costs two empty calls per lookup.
+        self._hits_metric = NULL_METRIC
+        self._misses_metric = NULL_METRIC
+
+    def bind_metrics(self, hits_metric, misses_metric) -> None:
+        """Mirror hit/miss counts into registry counter series."""
+        self._hits_metric = hits_metric
+        self._misses_metric = misses_metric
 
     def get(self, key: bytes, token: tuple) -> bytes | None:
         if not self.max_entries:
@@ -139,9 +166,11 @@ class ResponseCache:
             entry = self._entries.get(key)
             if entry is None or entry[0] != token:
                 self.misses += 1
+                self._misses_metric.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            self._hits_metric.inc()
             return entry[1]
 
     def put(self, key: bytes, token: tuple, value: bytes) -> None:
@@ -164,6 +193,18 @@ class ResponseCache:
         with self._lock:
             self._entries.clear()
             self._total_bytes = 0
+
+    def snapshot(self) -> dict:
+        """Consistent counter cut (hits/misses/occupancy) for ``stats``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "entries": len(self._entries),
+                "bytes": self._total_bytes,
+            }
 
 
 # ------------------------------------------------------- request validation
@@ -295,6 +336,9 @@ class RepositoryServer:
         max_pack_bytes: int = pack.DEFAULT_MAX_PACK_BYTES,
         cache_entries: int = 128,
         exclusive: bool = False,
+        registry=None,
+        tracer=None,
+        metric_labels: dict | None = None,
     ):
         self.repo = repo
         self.on_change = on_change
@@ -309,6 +353,77 @@ class RepositoryServer:
         #: (``repro serve --requests N``) keys off this, and an uncounted
         #: rejection would leave it waiting forever.
         self.requests_handled = 0
+        # Telemetry sinks: default to the process-wide (usually null)
+        # singletons so an unobserved server pays only empty calls; a
+        # hub passes its registry/tracer plus {tenant, repo} labels so
+        # every series is attributable. Children are resolved once here
+        # — the per-request path touches plain attributes, not the
+        # registry's family tables.
+        registry = (
+            registry if registry is not None else obs_metrics.default_registry()
+        )
+        self.registry = registry
+        self.tracer = tracer if tracer is not None else obs_trace.default_tracer()
+        labels = dict(metric_labels or {})
+        self._tenant = str(labels.get("tenant", "-"))
+        self._repo_label = str(labels.get("repo", "-"))
+        ids = {"tenant": self._tenant, "repo": self._repo_label}
+        requests_total = registry.counter(
+            "repro_requests_total",
+            "Requests handled, by operation",
+            ("op", "tenant", "repo"),
+        )
+        request_seconds = registry.histogram(
+            "repro_request_seconds",
+            "End-to-end request handling latency",
+            ("op", "tenant", "repo"),
+        )
+        request_bytes = registry.histogram(
+            "repro_request_bytes",
+            "Request (in) and response (out) message sizes",
+            ("direction", "op", "tenant", "repo"),
+            buckets=obs_metrics.DEFAULT_BYTES_BUCKETS,
+        )
+        tracked_ops = (*OPS, "invalid")
+        self._m_requests = {
+            op: requests_total.labels(op=op, **ids) for op in tracked_ops
+        }
+        self._m_seconds = {
+            op: request_seconds.labels(op=op, **ids) for op in tracked_ops
+        }
+        self._m_bytes = {
+            (direction, op): request_bytes.labels(
+                direction=direction, op=op, **ids
+            )
+            for op in tracked_ops
+            for direction in ("in", "out")
+        }
+        lock_wait = registry.histogram(
+            "repro_lock_wait_seconds",
+            "Time spent waiting to acquire the repository RWLock",
+            ("mode", "tenant", "repo"),
+        )
+        self._m_lock_wait = {
+            mode: lock_wait.labels(mode=mode, **ids)
+            for mode in ("read", "write")
+        }
+        self.cache.bind_metrics(
+            registry.counter(
+                "repro_cache_hits_total",
+                "Read-response cache hits",
+                ("tenant", "repo"),
+            ).labels(**ids),
+            registry.counter(
+                "repro_cache_misses_total",
+                "Read-response cache misses (including stale tokens)",
+                ("tenant", "repo"),
+            ).labels(**ids),
+        )
+        # Chunk I/O flows into the same registry, attributed to this
+        # repository — a hub's /metrics shows per-tenant chunk bytes.
+        repo.objects.chunks.stats.bind_registry(
+            registry, self._tenant, self._repo_label
+        )
 
     def count_request(self) -> None:
         with self._count_lock:
@@ -345,45 +460,84 @@ class RepositoryServer:
         raw bytes.
         """
         self.count_request()
+        started = time.perf_counter()
+        op = "invalid"
         try:
             meta, blobs = (
                 decoded if decoded is not None else decode_message(payload)
             )
-            op = meta.get("op")
-            if op not in OPS:
-                raise RemoteProtocolError(f"unknown operation {op!r}")
+            requested = meta.get("op")
+            if requested not in OPS:
+                raise RemoteProtocolError(f"unknown operation {requested!r}")
+            op = requested
             validate_request(op, meta, blobs)
-            handler = getattr(self, f"_op_{op}")
-            if op in WRITE_OPS or self.exclusive:
-                with self._rwlock.write_locked():
-                    try:
-                        return handler(meta, blobs)
-                    finally:
-                        # Even a failed/rejected write may have grafted
-                        # content before raising; the revision tokens catch
-                        # most of that, the wholesale clear catches all.
-                        if op in WRITE_OPS:
-                            self.cache.invalidate()
-            if op in CACHEABLE_OPS:
-                key = hashlib.sha256(payload).digest()
-                cached = self.cache.get(key, self._state_token())
-                if cached is not None:
-                    return cached
-                with self._rwlock.read_locked():
-                    token = self._state_token()
-                    response = handler(meta, blobs)
-                self.cache.put(key, token, response)
-                return response
-            with self._rwlock.read_locked():
-                return handler(meta, blobs)
+            with self.tracer.span(
+                f"server.{op}",
+                op=op,
+                tenant=self._tenant,
+                repo=self._repo_label,
+            ):
+                response = self._dispatch(op, meta, blobs, payload)
         except MLCaskError as error:
-            return error_response(error)
+            response = error_response(error)
         except Exception as error:  # noqa: BLE001 - last-resort containment
-            return error_response(
+            response = error_response(
                 RemoteProtocolError(
                     f"internal server error: {type(error).__name__}: {error}"
                 )
             )
+        self._m_requests[op].inc()
+        self._m_seconds[op].observe(time.perf_counter() - started)
+        self._m_bytes[("in", op)].observe(len(payload))
+        self._m_bytes[("out", op)].observe(len(response))
+        return response
+
+    def _dispatch(self, op: str, meta: dict, blobs: list, payload: bytes) -> bytes:
+        """Route one validated operation through locking and the cache."""
+        handler = getattr(self, f"_op_{op}")
+        if op in WRITE_OPS or self.exclusive:
+            with self._locked("write"):
+                try:
+                    return handler(meta, blobs)
+                finally:
+                    # Even a failed/rejected write may have grafted
+                    # content before raising; the revision tokens catch
+                    # most of that, the wholesale clear catches all.
+                    if op in WRITE_OPS:
+                        self.cache.invalidate()
+        if op in CACHEABLE_OPS:
+            key = hashlib.sha256(payload).digest()
+            cached = self.cache.get(key, self._state_token())
+            if cached is not None:
+                return cached
+            with self._locked("read"):
+                token = self._state_token()
+                response = handler(meta, blobs)
+            self.cache.put(key, token, response)
+            return response
+        with self._locked("read"):
+            return handler(meta, blobs)
+
+    @contextlib.contextmanager
+    def _locked(self, mode: str):
+        """Take the RWLock's ``mode`` side, observing the acquisition wait.
+
+        The wait lands in the ``repro_lock_wait_seconds`` histogram and —
+        when a real tracer is active — as a backdated ``lock.<mode>``
+        span under the current operation span, so a trace shows exactly
+        how long a push sat behind readers (or a read behind a writer).
+        """
+        started = time.perf_counter()
+        acquire = (
+            self._rwlock.write_locked()
+            if mode == "write"
+            else self._rwlock.read_locked()
+        )
+        with acquire:
+            waited = time.perf_counter() - started
+            self._m_lock_wait[mode].observe(waited)
+            self.tracer.record(f"lock.{mode}", waited, mode=mode)
+            yield
 
     def _state_token(self) -> tuple:
         """Cheap fingerprint of everything read responses depend on.
@@ -487,6 +641,32 @@ class RepositoryServer:
         )
         return encode_message({"ok": True, "new_chunks": new})
 
+    def _op_stats(self, meta: dict, blobs) -> bytes:
+        """Telemetry readout: the long-orphaned counters, over the wire.
+
+        Surfaces what used to be reachable only in-process — response
+        cache hit rate, chunk-store byte counters, request totals — so
+        a client (or ``repro stats``) can assert on server effectiveness
+        instead of inferring it from wall-clock. Served under the read
+        lock like any other read; deliberately *not* cacheable (it
+        changes with every request).
+        """
+        repo = self.repo
+        return encode_message(
+            {
+                "stats": {
+                    "requests_handled": self.requests_handled,
+                    "cache": self.cache.snapshot(),
+                    "storage": repo.objects.chunks.stats.snapshot(),
+                    "repository": {
+                        "commits": len(repo.graph),
+                        "pipelines": len(repo.branches.pipelines()),
+                        "checkpoints": len(repo.checkpoints.records()),
+                    },
+                }
+            }
+        )
+
     def _op_fetch(self, meta: dict, blobs) -> bytes:
         """Commit-graph sync: everything reachable from the wanted refs
         that the client does not claim to have. Content (chunks) is
@@ -551,14 +731,19 @@ class RepositoryServer:
         # been grafted yet — grafting commits first would leave orphans a
         # retry push could fast-forward onto even though their content
         # never arrived, the poisoned state the gate above exists to stop.
-        new_chunks = pack.import_content(
-            repo,
-            meta.get("recipes", []),
-            meta.get("records", []),
-            meta.get("chunk_digests", []),
-            blobs,
-        )
-        pack.import_commits(repo, meta.get("commits", []))
+        with self.tracer.span(
+            "storage.import",
+            chunks=len(meta.get("chunk_digests", [])),
+            bytes=sum(len(blob) for blob in blobs),
+        ):
+            new_chunks = pack.import_content(
+                repo,
+                meta.get("recipes", []),
+                meta.get("records", []),
+                meta.get("chunk_digests", []),
+                blobs,
+            )
+            pack.import_commits(repo, meta.get("commits", []))
 
         updates = meta.get("refs", {})
         # Validate every update before applying any: a push is atomic.
@@ -653,6 +838,39 @@ class BaseRPCHandler(http.server.BaseHTTPRequestHandler):
         raise NotImplementedError
 
     # --------------------------------------------------- shared plumbing
+    def do_GET(self):  # noqa: N802 - http.server naming convention
+        """The one GET route: ``/metrics`` in Prometheus text format.
+
+        Rendered from the server's registry (empty body when the server
+        was built without one). Every other GET path is a 404; scrapes
+        count against a bounded-serve budget like any other request —
+        the budget is a request budget, not an RPC budget.
+        """
+        self.count_request()
+        if self.path.rstrip("/") != METRICS_PATH:
+            self.send_error(404, self.unknown_endpoint_message)
+            return
+        registry = getattr(self.server, "metrics_registry", None)
+        text = registry.render_prometheus() if registry is not None else ""
+        body = text.encode("utf-8")
+        limit = getattr(self.server, "request_limit", None)
+        spent = limit is not None and self.requests_handled() >= limit
+        try:
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            if spent:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+            return
+        if spent:
+            self.close_connection = True
+
     def do_POST(self):  # noqa: N802 - http.server naming convention
         dispatch = self.route_request()
         if dispatch is None:
@@ -753,12 +971,15 @@ class SyncHTTPServer(http.server.ThreadingHTTPServer):
         verbose=False,
         max_request_bytes: int | None = None,
         idle_timeout: float | None = None,
+        metrics_registry=None,
     ):
         super().__init__(address, _Handler)
         self.repository_server = repository_server
         self.verbose = verbose
         self.max_request_bytes = max_request_bytes
         self.idle_timeout = idle_timeout
+        # Rendered by GET /metrics; None answers an empty scrape.
+        self.metrics_registry = metrics_registry
         # When set, handlers stop honouring keep-alive once this many
         # requests have been handled (bounded serving, see the CLI).
         self.request_limit: int | None = None
@@ -780,6 +1001,8 @@ def serve(
     exclusive: bool = False,
     max_request_bytes: int | None = None,
     idle_timeout: float | None = None,
+    registry=None,
+    tracer=None,
 ) -> SyncHTTPServer:
     """Expose ``repo`` at ``http://host:port/rpc``; returns the server.
 
@@ -788,7 +1011,17 @@ def serve(
     binds an ephemeral port, readable from ``server.url``. Requests are
     handled on a thread per connection: reads run concurrently, pushes
     exclusively (see :class:`RepositoryServer`).
+
+    ``registry``/``tracer`` default to fresh real instances — an HTTP
+    endpoint should answer ``GET /metrics`` with something — and are
+    readable back from ``server.metrics_registry`` /
+    ``server.repository_server.tracer``. Pass
+    :data:`repro.obs.metrics.NULL_REGISTRY` /
+    :data:`repro.obs.trace.NULL_TRACER` to serve uninstrumented (the
+    overhead benchmark's baseline arm).
     """
+    registry = registry if registry is not None else MetricsRegistry()
+    tracer = tracer if tracer is not None else Tracer()
     return SyncHTTPServer(
         (host, port),
         RepositoryServer(
@@ -797,8 +1030,11 @@ def serve(
             max_pack_bytes=max_pack_bytes,
             cache_entries=cache_entries,
             exclusive=exclusive,
+            registry=registry,
+            tracer=tracer,
         ),
         verbose=verbose,
         max_request_bytes=max_request_bytes,
         idle_timeout=idle_timeout,
+        metrics_registry=registry,
     )

@@ -26,6 +26,8 @@ import urllib.parse
 from abc import ABC, abstractmethod
 
 from ..errors import TransportError
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
 
 RPC_PATH = "/rpc"
 
@@ -120,6 +122,13 @@ class HttpTransport(Transport):
         if token is not None:
             self._headers["Authorization"] = f"Bearer {token}"
         self.reconnects = 0
+        # Null unless a registry was installed process-wide: a CLI client
+        # pays nothing, a hub scrape sees flapping backends per host.
+        self._m_reconnects = obs_metrics.default_registry().counter(
+            "repro_transport_reconnects_total",
+            "Stale keep-alive sockets re-established (request replayed).",
+            labels=("host",),
+        ).labels(host=f"{self.host}:{self.port}")
         self._connection: http.client.HTTPConnection | None = None
         # One request in flight per connection: callers sharing a Remote
         # across threads (fine before connections persisted) must not
@@ -177,6 +186,25 @@ class HttpTransport(Transport):
             return None  # a full success cannot follow a failed send
         return response.status, body
 
+    def _note_reconnect(self, payload: bytes, phase: str) -> None:
+        """Account one stale-socket replay (both reconnect sites).
+
+        The replay re-transmits the payload, so the wire counters are
+        bumped to stay honest about what actually crossed; the warning
+        event gives operators a structured line per flap.
+        """
+        self.reconnects += 1
+        self.requests += 1
+        self.bytes_sent += len(payload)
+        self._m_reconnects.inc()
+        obs_events.emit(
+            "transport.reconnect",
+            host=self.host,
+            port=self.port,
+            phase=phase,
+            reconnects=self.reconnects,
+        )
+
     def _call(self, payload: bytes) -> bytes:
         with self._lock:
             return self._call_locked(payload)
@@ -211,11 +239,7 @@ class HttpTransport(Transport):
                 self._close_locked()
                 if reused:
                     reused = False
-                    self.reconnects += 1
-                    # The replay re-transmits the payload: keep the wire
-                    # counters honest about what actually crossed.
-                    self.requests += 1
-                    self.bytes_sent += len(payload)
+                    self._note_reconnect(payload, phase="send")
                     continue
                 raise TransportError(
                     f"request to {self.host}:{self.port} failed: {error}"
@@ -233,9 +257,7 @@ class HttpTransport(Transport):
                     # read) may follow a request the server *did* execute;
                     # surface it instead of risking a double apply.
                     reused = False
-                    self.reconnects += 1
-                    self.requests += 1
-                    self.bytes_sent += len(payload)
+                    self._note_reconnect(payload, phase="receive")
                     continue
                 raise TransportError(
                     f"request to {self.host}:{self.port} failed: {error}"

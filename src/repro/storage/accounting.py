@@ -10,6 +10,12 @@ can read consistent counters:
 * ``physical_bytes`` — bytes actually held after content dedup;
 * ``write_seconds`` / ``read_seconds`` — wall-clock spent inside the store,
   the "storage time" component of pipeline time.
+
+A stats block can additionally *mirror* its byte counters into a
+:class:`~repro.obs.metrics.MetricsRegistry` (:meth:`StorageStats.
+bind_registry`), labelled per tenant/repo — that is how chunk I/O shows
+up on a hub's ``/metrics`` without the store layer knowing anything
+about serving. Unbound stats (the default) pay nothing.
 """
 
 from __future__ import annotations
@@ -32,20 +38,69 @@ class StorageStats:
     writes: int = 0
     reads: int = 0
     _extra: dict[str, float] = field(default_factory=dict)
+    #: Registry counter children mirroring the byte counters (see
+    #: :meth:`bind_registry`); None (the default) mirrors nowhere.
+    _mirror: dict | None = field(default=None, repr=False, compare=False)
+
+    def bind_registry(self, registry, tenant: str = "-", repo: str = "-"):
+        """Mirror byte counters into ``registry`` as per-tenant/repo series.
+
+        Binding to the null registry unbinds (mirror calls cost nothing
+        either way, but an unbound block skips them entirely). Returns
+        ``self`` so construction sites can chain.
+        """
+        from ..obs.metrics import NULL_METRIC
+
+        labels = {"tenant": str(tenant), "repo": str(repo)}
+        names = ("tenant", "repo")
+        mirror = {
+            "logical": registry.counter(
+                "repro_chunk_logical_bytes_total",
+                "Bytes callers asked the chunk store to persist.",
+                labels=names,
+            ).labels(**labels),
+            "written": registry.counter(
+                "repro_chunk_written_bytes_total",
+                "Bytes physically written after content dedup.",
+                labels=names,
+            ).labels(**labels),
+            "dedup": registry.counter(
+                "repro_chunk_dedup_hit_bytes_total",
+                "Bytes deduplicated away (content already held).",
+                labels=names,
+            ).labels(**labels),
+            "read": registry.counter(
+                "repro_chunk_read_bytes_total",
+                "Bytes read back out of the chunk store.",
+                labels=names,
+            ).labels(**labels),
+        }
+        self._mirror = None if mirror["logical"] is NULL_METRIC else mirror
+        return self
 
     def record_logical(self, n: int) -> None:
         self.logical_bytes += n
         self.writes += 1
+        if self._mirror is not None:
+            self._mirror["logical"].inc(n)
 
     def record_physical(self, n: int) -> None:
         self.physical_bytes += n
+        # Counters only go up: a GC sweep shrinks physical_bytes here but
+        # the written-bytes series stays cumulative, Prometheus-style.
+        if self._mirror is not None and n > 0:
+            self._mirror["written"].inc(n)
 
     def record_dedup_hit(self, n: int) -> None:
         self.dedup_hit_bytes += n
+        if self._mirror is not None:
+            self._mirror["dedup"].inc(n)
 
     def record_read(self, n: int) -> None:
         self.read_bytes += n
         self.reads += 1
+        if self._mirror is not None:
+            self._mirror["read"].inc(n)
 
     @contextmanager
     def timed_write(self):

@@ -1,0 +1,37 @@
+"""Shared fixtures for observability tests: a served repo and a hub."""
+
+import threading
+
+import pytest
+
+from repro import MLCask
+from repro.remote import serve
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture
+def workload():
+    return ALL_WORKLOADS["readmission"](scale=0.3, seed=0)
+
+
+@pytest.fixture
+def server_repo(workload):
+    repo = MLCask(metric=workload.metric, seed=0)
+    repo.create_pipeline(
+        workload.spec, workload.initial_components(), message="common ancestor"
+    )
+    repo.commit(
+        workload.name, {"model": workload.model_version(1)}, message="model v1"
+    )
+    return repo
+
+
+@pytest.fixture
+def http_server(server_repo):
+    server = serve(server_repo, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)

@@ -1,0 +1,234 @@
+"""Telemetry end to end: /metrics over HTTP, the stats op, traced hub
+requests, transport reconnect accounting, and the CLI surface."""
+
+import io
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.hub import RepositoryHub, serve_hub
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import Tracer
+from repro.remote import HttpTransport, clone_repository, serve
+from repro.remote.client import Remote
+from repro.remote.protocol import decode_message, encode_message
+
+
+def scrape(url: str) -> tuple[str, str]:
+    with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+        assert resp.status == 200
+        return resp.read().decode("utf-8"), resp.headers.get("Content-Type")
+
+
+class TestMetricsEndpoint:
+    def test_serve_exposes_prometheus_text(self, http_server, server_repo):
+        clone_repository(
+            HttpTransport(http_server.url), registry=server_repo.registry
+        )
+        body, content_type = scrape(http_server.url)
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE repro_requests_total counter" in body
+        # A clone is manifest + fetch + get_chunks, each counted per op.
+        for op in ("manifest", "fetch", "get_chunks"):
+            assert f'repro_requests_total{{op="{op}",tenant="-",repo="-"}} 1' in body
+        # Latency histogram scraped alongside, _count matching +Inf.
+        assert 'repro_request_seconds_bucket{op="fetch",tenant="-",repo="-",le="+Inf"} 1' in body
+
+    def test_unknown_get_path_is_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{http_server.url}/nope", timeout=10)
+        assert err.value.code == 404
+
+    def test_hub_endpoint_reports_admission_outcomes(self, tmp_path):
+        hub = RepositoryHub()
+        hub.add_tenant("ana", tokens=["tok"])
+        server = serve_hub(hub)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            bad = HttpTransport(server.repo_url("ana", "proj"), token="wrong")
+            # Denials travel as typed error bodies over HTTP 200; the
+            # client layer maps them back onto the exception hierarchy.
+            meta, _ = decode_message(bad.call(encode_message({"op": "manifest"})))
+            assert meta["error"]["type"] == "AuthenticationError"
+            bad.close()
+            body, _ = scrape(server.url)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        assert 'repro_admission_total{tenant="ana",outcome="denied"} 1' in body
+        assert 'repro_admission_denied_total{tenant="ana",reason="auth"} 1' in body
+
+
+class TestStatsOp:
+    def test_remote_stats_readout(self, http_server, server_repo):
+        transport = HttpTransport(http_server.url)
+        clone_repository(transport, registry=server_repo.registry)
+        stats = Remote(repo=None, transport=transport).stats()
+        transport.close()
+        assert stats["requests_handled"] >= 3  # clone is three ops
+        assert stats["repository"]["commits"] == len(server_repo.graph)
+        assert set(stats["cache"]) >= {"hits", "misses", "hit_rate"}
+        assert stats["storage"]["physical_bytes"] > 0
+
+    def test_repeated_reads_show_up_as_cache_hits(self, http_server, server_repo):
+        transport = HttpTransport(http_server.url)
+        request = encode_message({"op": "manifest"})
+        for _ in range(3):
+            transport.call(request)
+        stats = Remote(repo=None, transport=transport).stats()
+        transport.close()
+        assert stats["cache"]["hits"] >= 2
+        assert stats["cache"]["hit_rate"] > 0
+
+
+class TestTracedHubRequest:
+    def test_one_push_is_a_correlated_span_tree(self, workload, tmp_path):
+        from helpers import build_workload_repo
+
+        team = build_workload_repo(workload)
+        hub = RepositoryHub(tracer=Tracer())
+        hub.add_tenant("ana", tokens=["tok"])
+        remote = team.add_remote(
+            "hub", hub.local_transport("ana", "proj", "tok")
+        )
+        remote.push(workload.name)
+
+        spans = hub.tracer.drain()
+        (push,) = [s for s in spans if s["name"] == "server.push"]
+        trace = [s for s in spans if s["trace_id"] == push["trace_id"]]
+        names = {s["name"] for s in trace}
+        assert len(trace) >= 4
+        assert {"hub.request", "hub.admission", "server.push",
+                "lock.write"} <= names
+        (root,) = [s for s in trace if s["name"] == "hub.request"]
+        assert root["parent_id"] is None
+        assert root["attrs"] == {
+            "tenant": "ana", "repo": "proj", "outcome": "allowed"
+        }
+        assert push["parent_id"] == root["span_id"]
+
+
+class TestTransportReconnect:
+    @pytest.mark.timeout(60)
+    def test_stale_socket_replay_is_counted_and_announced(
+        self, server_repo, capsys
+    ):
+        registry = obs_metrics.install(obs_metrics.MetricsRegistry())
+        try:
+            server = serve(server_repo, host="127.0.0.1", port=0,
+                           idle_timeout=0.3)
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            # The counter child resolves at construction: the transport
+            # must be built while the registry is installed.
+            transport = HttpTransport(server.url)
+            try:
+                transport.call(encode_message({"op": "manifest"}))
+                time.sleep(0.8)  # let the server idle-close the socket
+                transport.call(encode_message({"op": "manifest"}))
+            finally:
+                transport.close()
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+            assert transport.reconnects == 1
+            host = f"{transport.host}:{transport.port}"
+            assert registry.value(
+                "repro_transport_reconnects_total", host=host
+            ) == 1
+        finally:
+            obs_metrics.uninstall()
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().err.splitlines()
+            if '"transport.reconnect"' in line
+        ]
+        assert len(events) == 1
+        assert events[0]["host"] == transport.host
+        assert events[0]["reconnects"] == 1
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def init_repo(path):
+    code, _ = run_cli([
+        "init", str(path), "--workload", "readmission",
+        "--scale", "0.3", "--commits", "1",
+    ])
+    assert code == 0
+
+
+class TestStatsVerb:
+    def test_stats_against_a_directory(self, tmp_path):
+        init_repo(tmp_path / "repo")
+        code, text = run_cli(["stats", str(tmp_path / "repo")])
+        assert code == 0, text
+        assert "requests handled:" in text
+        assert "cache:" in text and "storage:" in text
+        assert "repository: 2 commits" in text
+
+    def test_stats_json(self, tmp_path):
+        init_repo(tmp_path / "repo")
+        code, text = run_cli(["stats", str(tmp_path / "repo"), "--json"])
+        assert code == 0, text
+        stats = json.loads(text)
+        assert stats["repository"]["commits"] == 2
+        assert "cache" in stats and "storage" in stats
+
+    def test_stats_against_a_dead_server_fails_cleanly(self):
+        code, text = run_cli(["stats", "http://127.0.0.1:1"])
+        assert code == 1
+        assert "error:" in text
+
+
+class TestStartupEvents:
+    def ready_event(self, text, name):
+        events = [
+            json.loads(line)
+            for line in text.splitlines()
+            if line.startswith("{")
+        ]
+        matches = [e for e in events if e.get("event") == name]
+        assert len(matches) == 1, text
+        return matches[0]
+
+    def test_serve_emits_a_ready_event(self, tmp_path):
+        init_repo(tmp_path / "repo")
+        # --requests 0: bind, announce, exit — the event line is the test.
+        code, text = run_cli([
+            "serve", str(tmp_path / "repo"), "--port", "0", "--requests", "0",
+        ])
+        assert code == 0, text
+        assert "serving" in text  # the human line survives
+        event = self.ready_event(text, "serve.ready")
+        assert event["endpoint"].endswith("/rpc")
+        assert event["commits"] == 2
+        assert event["request_budget"] == 0
+
+    def test_hub_serve_emits_a_ready_event(self, tmp_path):
+        root = str(tmp_path / "hub")
+        assert run_cli(["hub", "init", root])[0] == 0
+        assert run_cli([
+            "hub", "add-tenant", root, "ana", "--token", "s",
+        ])[0] == 0
+        code, text = run_cli([
+            "hub", "serve", root, "--port", "0", "--requests", "0",
+        ])
+        assert code == 0, text
+        assert "serving hub" in text
+        event = self.ready_event(text, "hub.ready")
+        assert "/t/<tenant>/<repo>/rpc" in event["endpoint"]
+        assert event["tenants"] == 1
