@@ -1,0 +1,38 @@
+"""Static analysis over the repository's own source (``repro lint``).
+
+This package encodes the concurrency and protocol invariants that grew
+out of the first six PRs — RWLock writer preference, the hub-global
+versus per-tenant lock split, "I/O outside the lock", the op table as
+the single protocol authority — as executable lint rules instead of
+review lore. It is self-contained: analysis is purely syntactic
+(:mod:`ast` + :mod:`tokenize`), never imports the code under analysis,
+and has no third-party dependencies.
+
+Layout:
+
+``conventions``
+    The *naming contract* the analyzer recognizes (lock attribute
+    names, RWLock method names, metric naming). Documented once, here,
+    so idiom recognition is contract, not heuristic.
+``model``
+    Findings, inline suppressions, baselines, source loading.
+``callgraph``
+    Per-function lock-acquisition events and a resolvable call graph.
+``rules_locks`` / ``rules_protocol`` / ``rules_obs``
+    The three rule packs (LK*, PT*, OB* rule ids).
+``report``
+    Text/JSON rendering and baseline application.
+``cli``
+    The ``repro lint`` verb.
+"""
+
+from .model import Baseline, Finding, load_source_tree
+from .report import LintResult, run_lint
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "load_source_tree",
+    "run_lint",
+]

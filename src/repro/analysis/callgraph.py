@@ -1,0 +1,476 @@
+"""Lock-acquisition events and a resolvable call graph.
+
+The walker turns every function into a flat event stream the rule
+packs consume:
+
+* :class:`AcqEvent` — a lock acquisition (``with self._lock:``,
+  ``with self._rwlock.write_locked():``, ``with self._tenant_lock(t):``,
+  or a ``with`` over a project ``@contextmanager`` that holds locks at
+  its ``yield``), annotated with the locks already held.
+* :class:`CallEvent` — every call expression, annotated with the locks
+  held at the call site and, where syntactically resolvable, the callee
+  (self-methods through base classes, module-level functions, and
+  ``from``-imported names within the analyzed tree).
+
+Resolution is deliberately syntactic: no imports are executed, locals
+are not typed. Identity of a lock is its attribute path on its class
+(``repro.hub.hub.RepositoryHub._lock``); a lock-map helper's whole
+family is one identity (``...RepositoryHub._tenant_lock()``). What the
+analyzer cannot resolve it ignores — rules err toward silence, and the
+naming contract in :mod:`repro.analysis.conventions` is what keeps the
+interesting idioms resolvable.
+
+Context managers are analyzed at their ``yield``: the walk runs in a
+small fixpoint so a helper like ``RepositoryServer._locked`` (whose
+acquisition is a variable holding either RWLock side) propagates its
+held-at-yield set to every ``with self._locked(mode):`` caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from . import conventions
+from .model import SourceFile
+
+
+@dataclass(frozen=True)
+class Lock:
+    ident: str  #: canonical identity, e.g. ``repro.hub.hub.RepositoryHub._lock``
+    kind: str  #: mutex | condition | rwlock | map
+
+    def short(self) -> str:
+        parts = self.ident.split(".")
+        return ".".join(parts[-2:]) if len(parts) > 1 else self.ident
+
+
+@dataclass(frozen=True)
+class Held:
+    lock: Lock
+    mode: str
+    line: int  #: where it was acquired
+
+
+@dataclass
+class AcqEvent:
+    lock: Lock
+    mode: str
+    line: int
+    held: tuple[Held, ...]
+
+
+@dataclass
+class CallEvent:
+    line: int
+    held: tuple[Held, ...]
+    resolved: str | None  #: FunctionInfo key of the callee, if known
+    dotted: str | None  #: dotted source text of the callee (``time.sleep``)
+    attr: str | None  #: trailing attribute name (``wait``, ``request``)
+    receiver: str | None  #: canonical receiver identity, when computable
+
+
+@dataclass
+class FunctionInfo:
+    key: str  #: ``module[.Class].name``
+    module: str
+    cls: str | None
+    name: str
+    node: ast.FunctionDef
+    file: SourceFile
+    is_ctxmgr: bool = False
+    acquisitions: list[AcqEvent] = field(default_factory=list)
+    calls: list[CallEvent] = field(default_factory=list)
+    #: locks held at ``yield`` points (context managers only)
+    yield_held: list[tuple[Lock, str]] = field(default_factory=list)
+
+    @property
+    def symbol(self) -> str:
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+
+@dataclass
+class ClassInfo:
+    qual: str  #: ``module.Class``
+    module: str
+    name: str
+    bases: list[ast.expr]
+    methods: set[str] = field(default_factory=set)
+
+
+def _attr_chain(expr: ast.expr) -> list[str] | None:
+    """``self.a.b`` -> ``["self", "a", "b"]``; None when the base is
+    not a plain name (call results, subscripts)."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class Program:
+    """Every analyzed file plus the function/class/import indexes."""
+
+    def __init__(self, files: list[SourceFile]):
+        self.files = files
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: per-module import aliases: local name -> dotted target
+        self.imports: dict[str, dict[str, str]] = {}
+        self._index()
+        self._walk_all()
+
+    # ------------------------------------------------------------ indexing
+    def _index(self) -> None:
+        for file in self.files:
+            aliases: dict[str, str] = {}
+            self.imports[file.module] = aliases
+            is_pkg = file.path.name == "__init__.py"
+            package = file.module if is_pkg else file.module.rpartition(".")[0]
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        aliases[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name if alias.asname else alias.name.split(".")[0]
+                        )
+                elif isinstance(node, ast.ImportFrom):
+                    base = self._resolve_from(package, node)
+                    if base is None:
+                        continue
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        target = f"{base}.{alias.name}" if base else alias.name
+                        aliases[alias.asname or alias.name] = target
+            for node in file.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._add_function(file, node, cls=None)
+                elif isinstance(node, ast.ClassDef):
+                    qual = f"{file.module}.{node.name}"
+                    info = ClassInfo(qual, file.module, node.name, list(node.bases))
+                    self.classes[qual] = info
+                    for sub in node.body:
+                        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            info.methods.add(sub.name)
+                            self._add_function(file, sub, cls=node.name)
+
+    @staticmethod
+    def _resolve_from(package: str, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module
+        parts = package.split(".")
+        if node.level - 1 >= len(parts):
+            return None
+        if node.level > 1:
+            parts = parts[: -(node.level - 1)]
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base
+
+    def _add_function(self, file: SourceFile, node, cls: str | None) -> None:
+        key = (
+            f"{file.module}.{cls}.{node.name}" if cls else f"{file.module}.{node.name}"
+        )
+        is_ctxmgr = any(
+            (isinstance(dec, ast.Name) and dec.id == "contextmanager")
+            or (isinstance(dec, ast.Attribute) and dec.attr == "contextmanager")
+            for dec in node.decorator_list
+        )
+        self.functions[key] = FunctionInfo(
+            key=key,
+            module=file.module,
+            cls=cls,
+            name=node.name,
+            node=node,
+            file=file,
+            is_ctxmgr=is_ctxmgr,
+        )
+
+    # ---------------------------------------------------------- resolution
+    def resolve_method(self, class_qual: str, name: str, depth: int = 0) -> str | None:
+        """Find ``name`` on ``class_qual`` or its (resolvable) bases."""
+        if depth > 6:
+            return None
+        info = self.classes.get(class_qual)
+        if info is None:
+            return None
+        if name in info.methods:
+            return f"{class_qual}.{name}"
+        for base in info.bases:
+            base_qual = self._resolve_class_expr(info.module, base)
+            if base_qual is not None:
+                found = self.resolve_method(base_qual, name, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_class_expr(self, module: str, expr: ast.expr) -> str | None:
+        chain = _attr_chain(expr)
+        if chain is None:
+            return None
+        aliases = self.imports.get(module, {})
+        if len(chain) == 1:
+            name = chain[0]
+            if f"{module}.{name}" in self.classes:
+                return f"{module}.{name}"
+            target = aliases.get(name)
+            return target if target in self.classes else None
+        base = aliases.get(chain[0])
+        if base is None:
+            return None
+        qual = ".".join([base, *chain[1:]])
+        return qual if qual in self.classes else None
+
+    def resolve_call(self, fn: FunctionInfo, func: ast.expr) -> str | None:
+        """The FunctionInfo key a call expression dispatches to, if the
+        target is within the analyzed tree; None otherwise."""
+        aliases = self.imports.get(fn.module, {})
+        if isinstance(func, ast.Name):
+            key = f"{fn.module}.{func.id}"
+            if key in self.functions:
+                return key
+            if key in self.classes:
+                return self.resolve_method(key, "__init__")
+            target = aliases.get(func.id)
+            if target is not None:
+                if target in self.functions:
+                    return target
+                if target in self.classes:
+                    return self.resolve_method(target, "__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            chain = _attr_chain(func)
+            if chain is None:
+                return None
+            if chain[0] == "self" and len(chain) == 2 and fn.cls is not None:
+                return self.resolve_method(f"{fn.module}.{fn.cls}", chain[1])
+            target = aliases.get(chain[0])
+            if target is not None and len(chain) >= 2:
+                qual = ".".join([target, *chain[1:]])
+                if qual in self.functions:
+                    return qual
+                owner = ".".join([target, *chain[1:-1]])
+                if owner in self.classes:
+                    return self.resolve_method(owner, chain[-1])
+        return None
+
+    # ------------------------------------------------------------- walking
+    def _walk_all(self) -> None:
+        # Context managers propagate held-at-yield sets to their
+        # callers, so run to a (small, monotone) fixpoint.
+        for _ in range(4):
+            previous = {
+                key: list(fn.yield_held) for key, fn in self.functions.items()
+            }
+            for fn in self.functions.values():
+                walker = _FunctionWalker(self, fn)
+                walker.run()
+            if all(
+                previous[key] == fn.yield_held
+                for key, fn in self.functions.items()
+            ):
+                break
+
+
+class _FunctionWalker:
+    """One pass over one function body, tracking the held-lock stack."""
+
+    def __init__(self, program: Program, fn: FunctionInfo):
+        self.program = program
+        self.fn = fn
+        self.held: list[Held] = []
+        self.var_acqs: dict[str, list[tuple[Lock, str]]] = {}
+
+    def run(self) -> None:
+        self.fn.acquisitions = []
+        self.fn.calls = []
+        self.fn.yield_held = []
+        self._prescan_assignments(self.fn.node.body)
+        self._visit_stmts(self.fn.node.body)
+
+    # -------------------------------------------------- acquisition shapes
+    def _lock_from_chain(self, chain: list[str], kind: str) -> Lock:
+        if chain[0] == "self" and self.fn.cls is not None:
+            ident = ".".join([self.fn.module, self.fn.cls, *chain[1:]])
+        else:
+            # function-local or module-level object; scope the identity
+            # to the function so unrelated locals never alias.
+            ident = ".".join([self.fn.key, *chain])
+        return Lock(ident=ident, kind=kind)
+
+    def acquisitions_of(self, expr: ast.expr) -> list[tuple[Lock, str]] | None:
+        """The locks a ``with`` context expression acquires, or None if
+        the expression is not a recognized lock idiom."""
+        if isinstance(expr, ast.IfExp):
+            body = self.acquisitions_of(expr.body)
+            orelse = self.acquisitions_of(expr.orelse)
+            if body is None or orelse is None:
+                return None
+            if (
+                len(body) == 1
+                and len(orelse) == 1
+                and body[0][0] == orelse[0][0]
+                and body[0][1] != orelse[0][1]
+            ):
+                return [(body[0][0], conventions.MODE_MIXED)]
+            merged = list(body)
+            for pair in orelse:
+                if pair not in merged:
+                    merged.append(pair)
+            return merged
+        if isinstance(expr, ast.Name):
+            mapped = self.var_acqs.get(expr.id)
+            if mapped is not None:
+                return mapped
+            kind = conventions.lock_kind_of_attr(expr.id.lower())
+            if kind is not None:
+                return [(self._lock_from_chain([expr.id], kind), conventions.MODE_EXCLUSIVE)]
+            return None
+        if isinstance(expr, ast.Attribute):
+            chain = _attr_chain(expr)
+            if chain is None or len(chain) < 2:
+                return None
+            kind = conventions.lock_kind_of_attr(chain[-1].lower())
+            if kind is None:
+                return None
+            return [(self._lock_from_chain(chain, kind), conventions.MODE_EXCLUSIVE)]
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in (
+                    conventions.RWLOCK_SHARED,
+                    conventions.RWLOCK_EXCLUSIVE,
+                ):
+                    chain = _attr_chain(func.value)
+                    if chain is not None:
+                        mode = (
+                            conventions.MODE_SHARED
+                            if func.attr == conventions.RWLOCK_SHARED
+                            else conventions.MODE_EXCLUSIVE
+                        )
+                        lock = self._lock_from_chain(chain, conventions.KIND_RWLOCK)
+                        return [(lock, mode)]
+                chain = _attr_chain(func)
+                if (
+                    chain is not None
+                    and chain[0] == "self"
+                    and len(chain) == 2
+                    and conventions.is_lock_map_helper(chain[1])
+                ):
+                    lock = Lock(
+                        ident=".".join(
+                            [self.fn.module, self.fn.cls or self.fn.name, chain[1]]
+                        )
+                        + "()",
+                        kind=conventions.KIND_MAP,
+                    )
+                    return [(lock, conventions.MODE_EXCLUSIVE)]
+            resolved = self.program.resolve_call(self.fn, func)
+            if resolved is not None:
+                callee = self.program.functions.get(resolved)
+                if callee is not None and callee.is_ctxmgr and callee.yield_held:
+                    return list(callee.yield_held)
+        return None
+
+    def _prescan_assignments(self, body: list[ast.stmt]) -> None:
+        for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    acqs = self.acquisitions_of(node.value)
+                    if acqs is not None:
+                        self.var_acqs[target.id] = acqs
+
+    # ----------------------------------------------------------- traversal
+    def _visit_stmts(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analyzed as their own functions
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+            return
+        for expr in ast.iter_child_nodes(stmt):
+            if isinstance(expr, ast.expr):
+                self._visit_expr(expr)
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                self._visit_stmts(inner)
+        for handler in getattr(stmt, "handlers", ()):
+            self._visit_stmts(handler.body)
+
+    def _visit_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        acquired = 0
+        for item in stmt.items:
+            acqs = self.acquisitions_of(item.context_expr)
+            # The context expression runs before anything is acquired
+            # by *this* item, but after earlier items; record its calls
+            # (a lock-map helper or @contextmanager body executes here
+            # with the current held set).
+            self._visit_expr(item.context_expr)
+            if acqs is None:
+                continue
+            for lock, mode in acqs:
+                line = item.context_expr.lineno
+                self.fn.acquisitions.append(
+                    AcqEvent(lock=lock, mode=mode, line=line, held=tuple(self.held))
+                )
+                self.held.append(Held(lock=lock, mode=mode, line=line))
+                acquired += 1
+        self._visit_stmts(stmt.body)
+        for _ in range(acquired):
+            self.held.pop()
+
+    def _visit_expr(self, expr: ast.expr) -> None:
+        if isinstance(expr, ast.Lambda):
+            return  # deferred execution; held set at call time is unknown
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            snapshot = [(held.lock, held.mode) for held in self.held]
+            for pair in snapshot:
+                if pair not in self.fn.yield_held:
+                    self.fn.yield_held.append(pair)
+        if isinstance(expr, ast.Call):
+            self._record_call(expr)
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+            elif isinstance(child, (ast.comprehension,)):
+                self._visit_expr(child.iter)
+                for cond in child.ifs:
+                    self._visit_expr(cond)
+
+    def _record_call(self, call: ast.Call) -> None:
+        func = call.func
+        dotted = None
+        attr = None
+        receiver = None
+        chain = _attr_chain(func)
+        if chain is not None:
+            dotted = ".".join(chain)
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            receiver_chain = _attr_chain(func.value)
+            if receiver_chain is not None:
+                receiver = self._lock_from_chain(
+                    receiver_chain, conventions.KIND_MUTEX
+                ).ident
+        resolved = self.program.resolve_call(self.fn, func)
+        self.fn.calls.append(
+            CallEvent(
+                line=call.lineno,
+                held=tuple(self.held),
+                resolved=resolved,
+                dotted=dotted,
+                attr=attr,
+                receiver=receiver,
+            )
+        )

@@ -1,0 +1,71 @@
+"""The ``repro lint`` verb (argument wiring lives in :mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .model import Baseline
+from .report import RULES, run_lint
+
+#: Baseline filename looked up at the analysis root's repo (cwd) by default.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (lint's default target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run(args, out=sys.stdout) -> int:
+    """Handler behind ``repro lint``; returns the process exit code."""
+    if getattr(args, "list_rules", False):
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id]}", file=out)
+        return 0
+
+    root = Path(args.path) if getattr(args, "path", None) else default_root()
+    if not root.is_dir():
+        print(f"error: not a directory: {root}", file=out)
+        return 2
+
+    rules = None
+    if getattr(args, "rule", None):
+        rules = [part.strip() for part in args.rule.split(",") if part.strip()]
+        unknown = [
+            rule
+            for rule in rules
+            if not any(known.startswith(rule) for known in RULES)
+        ]
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}", file=out)
+            return 2
+
+    baseline_path = (
+        Path(args.baseline)
+        if getattr(args, "baseline", None)
+        else Path(DEFAULT_BASELINE)
+    )
+    baseline = None
+    if not getattr(args, "no_baseline", False):
+        baseline = Baseline.load(baseline_path)
+
+    if getattr(args, "write_baseline", False):
+        raw = run_lint(root, baseline=None, rules=rules)
+        Baseline.write(
+            baseline_path, raw.findings, justification="grandfathered at baseline"
+        )
+        print(
+            f"wrote {len(raw.findings)} finding(s) to {baseline_path}",
+            file=out,
+        )
+        return 0
+
+    result = run_lint(root, baseline=baseline, rules=rules)
+    if getattr(args, "json", False):
+        print(result.render_json(), file=out)
+    else:
+        print(result.render_text(), file=out)
+    return 0 if result.ok else 1

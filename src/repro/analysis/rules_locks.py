@@ -1,0 +1,323 @@
+"""Lock-discipline rules (LK*).
+
+LK001  lock-order inversion: two locks acquired in both orders anywhere
+       in the (resolvable) call graph — a potential deadlock.
+LK002  blocking call under a mutex: file/socket I/O, sleeps, or the
+       project's persistence helpers reached while a plain mutex or
+       condition is held. RWLock sides and lock-map members are exempt
+       by design (see :mod:`repro.analysis.conventions`).
+LK003  exclusive acquisition nested inside a shared hold of the same
+       reader-writer lock (self-deadlock under writer preference).
+LK004  ``.wait()`` on something other than the held lock while a lock
+       is held (waiting on an Event under a mutex starves every other
+       user of that mutex).
+"""
+
+from __future__ import annotations
+
+from . import conventions
+from .callgraph import CallEvent, FunctionInfo, Lock, Program
+from .model import Finding
+
+#: Lock kinds LK002/LK004 consider "service-wide mutual exclusion".
+_BLOCKING_SENSITIVE_KINDS = (conventions.KIND_MUTEX, conventions.KIND_CONDITION)
+
+
+def _is_blocking_call(event: CallEvent) -> str | None:
+    """A human-readable description of why a call blocks, or None."""
+    if event.dotted is not None:
+        if event.dotted in conventions.BLOCKING_CALLS:
+            return event.dotted
+        parts = event.dotted.split(".")
+        for width in (2, 3):
+            tail = ".".join(parts[-width:])
+            if tail in conventions.BLOCKING_DOTTED:
+                return tail
+        if parts[-1] in conventions.BLOCKING_CALLS and len(parts) == 1:
+            return parts[-1]
+    if event.attr is not None and event.attr in conventions.BLOCKING_ATTRS:
+        return f".{event.attr}()"
+    return None
+
+
+class _GraphFacts:
+    """Memoized transitive facts over the call graph."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._acquires: dict[str, dict[Lock, tuple[int, tuple[str, ...]]]] = {}
+        self._blocks: dict[str, list[tuple[str, int, tuple[str, ...]]]] = {}
+
+    def transitive_acquires(
+        self, key: str, _stack: frozenset[str] = frozenset()
+    ) -> dict[Lock, tuple[int, tuple[str, ...]]]:
+        """Locks a call to ``key`` may acquire, with one witness
+        (line in ``key``, call chain of symbols) each."""
+        if key in self._acquires:
+            return self._acquires[key]
+        if key in _stack:
+            return {}
+        fn = self.program.functions.get(key)
+        if fn is None:
+            return {}
+        out: dict[Lock, tuple[int, tuple[str, ...]]] = {}
+        for event in fn.acquisitions:
+            out.setdefault(event.lock, (event.line, (fn.symbol,)))
+        stack = _stack | {key}
+        for call in fn.calls:
+            if call.resolved is None or call.resolved == key:
+                continue
+            for lock, (_, chain) in self.transitive_acquires(
+                call.resolved, stack
+            ).items():
+                out.setdefault(lock, (call.line, (fn.symbol, *chain)))
+        self._acquires[key] = out
+        return out
+
+    def may_block(
+        self, key: str, _stack: frozenset[str] = frozenset()
+    ) -> list[tuple[str, int, tuple[str, ...]]]:
+        """Blocking operations a call to ``key`` may reach:
+        ``(description, line in key, call chain)``."""
+        if key in self._blocks:
+            return self._blocks[key]
+        if key in _stack:
+            return []
+        fn = self.program.functions.get(key)
+        if fn is None:
+            return []
+        out: list[tuple[str, int, tuple[str, ...]]] = []
+        for event in fn.calls:
+            desc = _is_blocking_call(event)
+            if desc is not None:
+                out.append((desc, event.line, (fn.symbol,)))
+        stack = _stack | {key}
+        for call in fn.calls:
+            if call.resolved is None or call.resolved == key:
+                continue
+            for desc, _, chain in self.may_block(call.resolved, stack)[:3]:
+                out.append((desc, call.line, (fn.symbol, *chain)))
+        self._blocks[key] = out[:8]
+        return self._blocks[key]
+
+
+def _order_edges(
+    program: Program, facts: _GraphFacts
+) -> dict[tuple[Lock, Lock], tuple[FunctionInfo, int, tuple[str, ...]]]:
+    """outer-lock -> inner-lock edges with one witness each."""
+    edges: dict[tuple[Lock, Lock], tuple[FunctionInfo, int, tuple[str, ...]]] = {}
+    for fn in program.functions.values():
+        for event in fn.acquisitions:
+            for held in event.held:
+                if held.lock != event.lock:
+                    edges.setdefault(
+                        (held.lock, event.lock), (fn, event.line, (fn.symbol,))
+                    )
+        for call in fn.calls:
+            if call.resolved is None or not call.held:
+                continue
+            for lock, (_, chain) in facts.transitive_acquires(call.resolved).items():
+                for held in call.held:
+                    if held.lock != lock:
+                        edges.setdefault(
+                            (held.lock, lock), (fn, call.line, (fn.symbol, *chain))
+                        )
+    return edges
+
+
+def _cycles(edges: dict) -> list[list[Lock]]:
+    """Strongly connected components of size > 1 in the lock graph."""
+    graph: dict[Lock, set[Lock]] = {}
+    for outer, inner in edges:
+        graph.setdefault(outer, set()).add(inner)
+        graph.setdefault(inner, set())
+    index: dict[Lock, int] = {}
+    low: dict[Lock, int] = {}
+    on_stack: set[Lock] = set()
+    stack: list[Lock] = []
+    sccs: list[list[Lock]] = []
+    counter = [0]
+
+    def strongconnect(node: Lock) -> None:
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in graph[node]:
+            if succ not in index:
+                strongconnect(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index[succ])
+        if low[node] == index[node]:
+            scc: list[Lock] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                scc.append(member)
+                if member == node:
+                    break
+            if len(scc) > 1:
+                sccs.append(sorted(scc, key=lambda lock: lock.ident))
+
+    for node in sorted(graph, key=lambda lock: lock.ident):
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(chain)
+
+
+def check(program: Program) -> list[Finding]:
+    facts = _GraphFacts(program)
+    findings: list[Finding] = []
+
+    # ---------------------------------------------------- LK001: inversions
+    edges = _order_edges(program, facts)
+    for scc in _cycles(edges):
+        members = set(scc)
+        witnesses = []
+        for (outer, inner), (fn, line, chain) in sorted(
+            edges.items(), key=lambda kv: (kv[1][0].file.rel_path, kv[1][1])
+        ):
+            if outer in members and inner in members:
+                witnesses.append((outer, inner, fn, line, chain))
+        if not witnesses:
+            continue
+        first = witnesses[0]
+        names = ", ".join(lock.short() for lock in scc)
+        detail = "; ".join(
+            f"{outer.short()} -> {inner.short()} at {fn.file.rel_path}:{line}"
+            f" ({_chain_text(chain)})"
+            for outer, inner, fn, line, chain in witnesses[:4]
+        )
+        findings.append(
+            Finding(
+                rule="LK001",
+                path=first[2].file.rel_path,
+                line=first[3],
+                symbol=first[2].symbol,
+                message=f"lock-order inversion between {names}: {detail}",
+                hint=(
+                    "pick one global order for these locks and acquire them in "
+                    "that order everywhere, or release the outer lock before "
+                    "taking the inner one"
+                ),
+            )
+        )
+
+    for fn in program.functions.values():
+        # ------------------------------------------- LK002: blocking calls
+        reported: set[int] = set()
+        for call in fn.calls:
+            sensitive = [
+                held
+                for held in call.held
+                if held.lock.kind in _BLOCKING_SENSITIVE_KINDS
+            ]
+            if not sensitive:
+                continue
+            lock_name = sensitive[0].lock.short()
+            desc = _is_blocking_call(call)
+            if desc is not None and call.attr != "wait" and call.line not in reported:
+                reported.add(call.line)
+                findings.append(
+                    Finding(
+                        rule="LK002",
+                        path=fn.file.rel_path,
+                        line=call.line,
+                        symbol=fn.symbol,
+                        message=f"blocking call {desc} while holding {lock_name}",
+                        hint=(
+                            "move the blocking operation outside the lock: "
+                            "snapshot state under the lock, do the I/O after "
+                            "releasing it (see docs/invariants.md)"
+                        ),
+                    )
+                )
+                continue
+            if call.resolved is not None and call.line not in reported:
+                blocked = facts.may_block(call.resolved)
+                if blocked:
+                    desc, _, chain = blocked[0]
+                    reported.add(call.line)
+                    findings.append(
+                        Finding(
+                            rule="LK002",
+                            path=fn.file.rel_path,
+                            line=call.line,
+                            symbol=fn.symbol,
+                            message=(
+                                f"call while holding {lock_name} reaches blocking "
+                                f"{desc} via {_chain_text((fn.symbol, *chain))}"
+                            ),
+                            hint=(
+                                "move the call outside the lock, or restructure "
+                                "the callee so its I/O happens outside"
+                            ),
+                        )
+                    )
+
+        # ------------------------------- LK003: exclusive inside shared RW
+        for event in fn.acquisitions:
+            if event.mode != conventions.MODE_EXCLUSIVE:
+                continue
+            for held in event.held:
+                if held.lock == event.lock and held.mode in (
+                    conventions.MODE_SHARED,
+                    conventions.MODE_MIXED,
+                ):
+                    findings.append(
+                        Finding(
+                            rule="LK003",
+                            path=fn.file.rel_path,
+                            line=event.line,
+                            symbol=fn.symbol,
+                            message=(
+                                f"exclusive acquisition of {event.lock.short()} "
+                                "nested inside a shared hold of the same lock"
+                            ),
+                            hint=(
+                                "writer preference makes read->write upgrades "
+                                "deadlock; acquire write_locked() up front"
+                            ),
+                        )
+                    )
+
+        # ---------------------------------------- LK004: wait under a lock
+        for call in fn.calls:
+            if call.attr != "wait" or not call.held:
+                continue
+            held_idents = {held.lock.ident for held in call.held}
+            if call.receiver is not None and call.receiver in held_idents:
+                continue  # Condition.wait on the held condition: blessed
+            sensitive = [
+                held
+                for held in call.held
+                if held.lock.kind in _BLOCKING_SENSITIVE_KINDS
+            ]
+            if not sensitive:
+                continue
+            findings.append(
+                Finding(
+                    rule="LK004",
+                    path=fn.file.rel_path,
+                    line=call.line,
+                    symbol=fn.symbol,
+                    message=(
+                        f"wait() on {call.dotted or 'an object'} while holding "
+                        f"{sensitive[0].lock.short()}"
+                    ),
+                    hint=(
+                        "waiting under a mutex stalls every other holder; "
+                        "release the lock first (the single-flight and hub "
+                        "pending-event patterns show how)"
+                    ),
+                )
+            )
+    return findings
+
+
+__all__ = ["check"]

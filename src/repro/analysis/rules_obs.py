@@ -1,0 +1,187 @@
+"""Observability rules (OB*).
+
+OB001  metric family name breaks the naming convention: missing the
+       ``repro_`` prefix, bad characters, a counter without ``_total``,
+       a non-counter with ``_total``, or a reserved Prometheus suffix.
+OB002  the same family name declared with a conflicting kind or label
+       set at two sites (the registry raises at runtime — the lint
+       catches it before a request has to).
+OB003  a ``tracer.span(...)`` result that is neither entered with
+       ``with`` nor stored in a variable that is — the span would
+       never close, corrupting the trace tree for the whole request.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import conventions
+from .callgraph import Program
+from .model import Finding, SourceFile, enclosing_symbol
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_names(call: ast.Call) -> tuple[str, ...] | None:
+    candidates: list[ast.expr] = []
+    if len(call.args) >= 3:
+        candidates.append(call.args[2])
+    for keyword in call.keywords:
+        if keyword.arg == "labels":
+            candidates.append(keyword.value)
+    for node in candidates:
+        if isinstance(node, (ast.Tuple, ast.List)):
+            labels = []
+            for elt in node.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    labels.append(elt.value)
+                else:
+                    return None
+            return tuple(labels)
+    return None
+
+
+def _declarations(file: SourceFile):
+    """(name, kind, labels|None, line) for every family declaration."""
+    for node in ast.walk(file.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _KINDS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            # Anchor on the name literal's line: that is what the
+            # finding is about, and where a suppression comment sits.
+            yield (
+                node.args[0].value,
+                node.func.attr,
+                _label_names(node),
+                node.args[0].lineno,
+            )
+
+
+def _check_names(program: Program) -> list[Finding]:
+    findings: list[Finding] = []
+    for file in program.files:
+        for name, kind, _, line in _declarations(file):
+            problems: list[str] = []
+            if not conventions.METRIC_NAME_RE.match(name):
+                problems.append("must match repro_<lower_snake>")
+            if kind == "counter" and not name.endswith(conventions.COUNTER_SUFFIX):
+                problems.append("counters must end with _total")
+            if kind != "counter" and name.endswith(conventions.COUNTER_SUFFIX):
+                problems.append(f"only counters may end with _total (is a {kind})")
+            for suffix in conventions.RESERVED_SUFFIXES:
+                if name.endswith(suffix):
+                    problems.append(f"{suffix} is reserved for exposition")
+            if problems:
+                findings.append(
+                    Finding(
+                        rule="OB001",
+                        path=file.rel_path,
+                        line=line,
+                        symbol=enclosing_symbol(file.tree, line),
+                        message=f"metric name {name!r}: " + "; ".join(problems),
+                        hint="see the metric naming contract in analysis/conventions.py",
+                    )
+                )
+    return findings
+
+
+def _check_conflicts(program: Program) -> list[Finding]:
+    findings: list[Finding] = []
+    seen: dict[str, tuple[str, tuple[str, ...] | None, str, int]] = {}
+    for file in program.files:
+        for name, kind, labels, line in _declarations(file):
+            previous = seen.get(name)
+            if previous is None:
+                seen[name] = (kind, labels, file.rel_path, line)
+                continue
+            prev_kind, prev_labels, prev_path, prev_line = previous
+            conflict = None
+            if kind != prev_kind:
+                conflict = f"declared as {prev_kind} at {prev_path}:{prev_line}"
+            elif (
+                labels is not None
+                and prev_labels is not None
+                and set(labels) != set(prev_labels)
+            ):
+                conflict = (
+                    f"declared with labels {sorted(prev_labels)} at "
+                    f"{prev_path}:{prev_line}, here {sorted(labels)}"
+                )
+            if conflict is not None:
+                findings.append(
+                    Finding(
+                        rule="OB002",
+                        path=file.rel_path,
+                        line=line,
+                        symbol=enclosing_symbol(file.tree, line),
+                        message=(
+                            f"metric {name!r} redeclared as {kind}; {conflict}"
+                        ),
+                        hint=(
+                            "a family has one kind and one label set; reuse "
+                            "the existing declaration or rename the metric"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _check_spans(program: Program) -> list[Finding]:
+    findings: list[Finding] = []
+    for file in program.files:
+        with_contexts: set[int] = set()
+        with_names: set[str] = set()
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_contexts.add(id(item.context_expr))
+                    if isinstance(item.context_expr, ast.Name):
+                        with_names.add(item.context_expr.id)
+        for node in ast.walk(file.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+            ):
+                continue
+            if id(node) in with_contexts:
+                continue
+            parent_ok = False
+            for candidate in ast.walk(file.tree):
+                if (
+                    isinstance(candidate, ast.Assign)
+                    and candidate.value is node
+                    and len(candidate.targets) == 1
+                    and isinstance(candidate.targets[0], ast.Name)
+                    and candidate.targets[0].id in with_names
+                ):
+                    parent_ok = True
+                    break
+            if parent_ok:
+                continue
+            findings.append(
+                Finding(
+                    rule="OB003",
+                    path=file.rel_path,
+                    line=node.lineno,
+                    symbol=enclosing_symbol(file.tree, node.lineno),
+                    message=(
+                        "span opened but never entered: tracer.span(...) must "
+                        "be used as a context manager so it closes on all paths"
+                    ),
+                    hint="write `with tracer.span(...):` (or enter the variable)",
+                )
+            )
+    return findings
+
+
+def check(program: Program) -> list[Finding]:
+    return _check_names(program) + _check_conflicts(program) + _check_spans(program)
+
+
+__all__ = ["check"]

@@ -79,6 +79,13 @@ class RWLock:
 
     Readers queue behind a *waiting* writer (not only an active one) so a
     steady stream of reads cannot starve pushes indefinitely.
+
+    The method names ``read_locked`` / ``write_locked`` are a contract
+    with the static analyzer (``repro.analysis.conventions``): the lock
+    lint recognizes the shared/exclusive sides by these exact names, so
+    renaming them silently blinds ``repro lint``. Per-repo write
+    exclusion is also the designed persistence point, which is why
+    LK002 (blocking call under a lock) exempts both sides.
     """
 
     def __init__(self) -> None:

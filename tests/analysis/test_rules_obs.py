@@ -1,0 +1,159 @@
+"""Observability rules over seeded metric/span violations."""
+
+
+MISNAMED_METRIC = """\
+    class Stats:
+        def __init__(self, registry):
+            self.requests = registry.counter(
+                "request_count",  # MARK bad name
+                "Requests handled",
+            )
+"""
+
+
+class TestOB001Naming:
+    def test_missing_prefix_and_total(self, tree, line_of):
+        source = tree.write("stats.py", MISNAMED_METRIC)
+        findings = tree.findings("OB001")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.line == line_of(source, "MARK bad name")
+        assert "repro_" in finding.message
+        assert "_total" in finding.message
+
+    def test_gauge_with_total_suffix(self, tree):
+        tree.write(
+            "stats.py",
+            """\
+            def bind(registry):
+                return registry.gauge("repro_workers_total", "Live workers")
+            """,
+        )
+        findings = tree.findings("OB001")
+        assert len(findings) == 1
+        assert "only counters" in findings[0].message
+
+    def test_reserved_suffix(self, tree):
+        tree.write(
+            "stats.py",
+            """\
+            def bind(registry):
+                return registry.histogram("repro_latency_bucket", "Latency")
+            """,
+        )
+        findings = tree.findings("OB001")
+        assert len(findings) == 1
+        assert "reserved" in findings[0].message
+
+    def test_conforming_names_pass(self, tree):
+        tree.write(
+            "stats.py",
+            """\
+            def bind(registry):
+                registry.counter("repro_requests_total", "Requests", ("op",))
+                registry.gauge("repro_queue_depth", "Depth")
+                registry.histogram("repro_request_seconds", "Latency")
+            """,
+        )
+        assert tree.findings("OB001") == []
+
+    def test_suppression_silences(self, tree):
+        tree.write(
+            "stats.py",
+            MISNAMED_METRIC.replace(
+                '"request_count",  # MARK bad name',
+                '"request_count",  # repro-lint: disable=OB001 - legacy name',
+            ),
+        )
+        from repro.analysis.report import run_lint
+
+        result = run_lint(tree.root)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestOB002Conflicts:
+    def test_kind_conflict_across_modules(self, tree):
+        tree.write(
+            "a.py",
+            """\
+            def bind(registry):
+                return registry.counter("repro_things_total", "Things")
+            """,
+        )
+        source = tree.write(
+            "b.py",
+            """\
+            def bind(registry):
+                return registry.gauge("repro_things_total", "Things")  # MARK conflict
+            """,
+        )
+        findings = tree.findings("OB002")
+        assert len(findings) == 1
+        assert findings[0].path.endswith("b.py")
+        assert "declared as counter" in findings[0].message
+        assert source  # fixture written
+
+    def test_label_conflict(self, tree):
+        tree.write(
+            "a.py",
+            """\
+            def bind(registry):
+                registry.counter("repro_ops_total", "Ops", ("op",))
+                registry.counter("repro_ops_total", "Ops", ("op", "tenant"))
+            """,
+        )
+        findings = tree.findings("OB002")
+        assert len(findings) == 1
+        assert "labels" in findings[0].message
+
+    def test_identical_redeclaration_is_fine(self, tree):
+        # The registry returns the existing family for an identical
+        # signature — that is the supported idiom, not a conflict.
+        tree.write(
+            "a.py",
+            """\
+            def bind(registry):
+                registry.counter("repro_ops_total", "Ops", ("op",))
+                registry.counter("repro_ops_total", "Ops", ("op",))
+            """,
+        )
+        assert tree.findings("OB002") == []
+
+
+class TestOB003Spans:
+    def test_unentered_span(self, tree, line_of):
+        source = tree.write(
+            "traced.py",
+            """\
+            def handle(tracer, payload):
+                span = tracer.span("handle", op="x")  # MARK leaked span
+                return payload
+            """,
+        )
+        findings = tree.findings("OB003")
+        assert len(findings) == 1
+        assert findings[0].line == line_of(source, "MARK leaked span")
+
+    def test_with_entered_span_is_fine(self, tree):
+        tree.write(
+            "traced.py",
+            """\
+            def handle(tracer, payload):
+                with tracer.span("handle", op="x"):
+                    return payload
+            """,
+        )
+        assert tree.findings("OB003") == []
+
+    def test_variable_entered_span_is_fine(self, tree):
+        tree.write(
+            "traced.py",
+            """\
+            def handle(tracer, payload):
+                span = tracer.span("handle", op="x")
+                with span:
+                    return payload
+            """,
+        )
+        assert tree.findings("OB003") == []

@@ -1,0 +1,218 @@
+"""Protocol drift rules over a miniature of the real wire stack."""
+
+import textwrap
+
+#: The validate_request arm for "ping" (raw template indentation).
+_PING_ARM = (
+    'if op == "ping":\n'
+    '            if not isinstance(meta.get("payload", ""), str):\n'
+    '                raise ValueError("bad payload")\n'
+    "        elif op"
+)
+
+PROTOCOL_OK = """\
+    PROTOCOL_VERSION = 1
+
+    OPS = ("ping", "push")
+
+    WRITE_OPS = frozenset({"push"})
+
+
+    class PingError(Exception):
+        pass
+
+
+    TYPED_ERRORS = {cls.__name__: cls for cls in (PingError,)}
+
+
+    def raise_remote_error(meta):
+        error = meta.get("error")
+        if error is None:
+            return
+        if error.get("type") == "SpecialError":
+            raise RuntimeError(error.get("message"))
+        raise RuntimeError(error)
+"""
+
+SERVER_OK = """\
+    def validate_request(op, meta, blobs):
+        if op == "ping":
+            if not isinstance(meta.get("payload", ""), str):
+                raise ValueError("bad payload")
+        elif op == "push":
+            if not isinstance(meta.get("commits", []), list):
+                raise ValueError("bad commits")
+
+
+    class Server:
+        def _op_ping(self, meta, blobs):
+            return meta.get("payload", "")
+
+        def _op_push(self, meta, blobs):
+            return self.repo.import_commits(meta.get("commits", []))
+"""
+
+
+def _write_stack(tree, protocol=PROTOCOL_OK, server=SERVER_OK, extra=None):
+    tree.write("protocol.py", protocol)
+    tree.write("server.py", server)
+    for rel_path, source in (extra or {}).items():
+        tree.write(rel_path, source)
+
+
+class TestCleanStack:
+    def test_miniature_stack_is_clean(self, tree):
+        _write_stack(tree)
+        assert [f for f in tree.findings() if f.rule.startswith("PT")] == []
+
+    def test_real_protocol_is_clean(self):
+        # The actual wire stack must satisfy its own invariants.
+        from pathlib import Path
+
+        import repro
+        from repro.analysis.report import run_lint
+
+        root = Path(repro.__file__).resolve().parent
+        result = run_lint(root, rules=["PT"])
+        assert result.findings == []
+
+
+class TestDrift:
+    def test_pt001_op_without_handler(self, tree, line_of):
+        source = PROTOCOL_OK.replace(
+            'OPS = ("ping", "push")', 'OPS = ("ping", "push", "evict")'
+        )
+        tree.write("protocol.py", source)
+        tree.write("server.py", SERVER_OK)
+        findings = tree.findings("PT001")
+        assert len(findings) == 1
+        assert "'evict'" in findings[0].message
+        assert findings[0].path.endswith("protocol.py")
+
+    def test_pt002_handler_without_op(self, tree, line_of):
+        server = SERVER_OK + (
+            "\n"
+            "        def _op_evict(self, meta, blobs):  # MARK drifted handler\n"
+            "            return None\n"
+        )
+        _write_stack(tree, server=server)
+        findings = tree.findings("PT002")
+        assert len(findings) == 1
+        assert findings[0].line == line_of(
+            textwrap.dedent(server), "MARK drifted handler"
+        )
+        assert findings[0].symbol == "Server._op_evict"
+
+    def test_pt003_unvalidated_meta_read(self, tree):
+        # Drop the ping arm from validate_request: its handler still
+        # reads meta, so the op is now unvalidated.
+        server = SERVER_OK.replace(_PING_ARM, "if op")
+        assert server != SERVER_OK
+        _write_stack(tree, server=server)
+        findings = tree.findings("PT003")
+        assert len(findings) == 1
+        assert "_op_ping" in findings[0].message
+        assert findings[0].symbol == "Server._op_ping"
+
+    def test_pt003_metaless_handler_needs_no_arm(self, tree):
+        # A handler that never touches meta (like the real _op_manifest
+        # and _op_stats) is fine without a validate arm.
+        server = SERVER_OK.replace(
+            'def _op_ping(self, meta, blobs):\n            return meta.get("payload", "")',
+            "def _op_ping(self, meta, blobs):\n            return 'pong'",
+        ).replace(_PING_ARM, "if op")
+        assert server != SERVER_OK
+        _write_stack(tree, server=server)
+        assert tree.findings("PT003") == []
+
+    def test_pt004_classification_outside_ops(self, tree, line_of):
+        source = tree.write(
+            "routing.py",
+            """\
+            CACHEABLE_OPS = frozenset({"ping", "evict"})  # MARK stray op
+            """,
+        )
+        tree.write("protocol.py", PROTOCOL_OK)
+        tree.write("server.py", SERVER_OK)
+        findings = tree.findings("PT004")
+        assert len(findings) == 1
+        assert "'evict'" in findings[0].message
+        assert findings[0].line == line_of(source, "MARK stray op")
+
+    def test_pt005_client_sends_unknown_op(self, tree, line_of):
+        source = tree.write(
+            "client.py",
+            """\
+            class Client:
+                def call(self, transport):
+                    return transport.send({"op": "evict"})  # MARK unknown op
+
+                def push_meta(self, meta):
+                    meta["op"] = "push"
+                    return meta
+            """,
+        )
+        _write_stack(tree)
+        findings = tree.findings("PT005")
+        assert len(findings) == 1
+        assert findings[0].line == line_of(source, "MARK unknown op")
+        assert findings[0].symbol == "Client.call"
+
+    def test_pt006_read_op_mutates(self, tree, line_of):
+        server = SERVER_OK.replace(
+            'def _op_ping(self, meta, blobs):\n            return meta.get("payload", "")',
+            "def _op_ping(self, meta, blobs):\n"
+            '            self.repo.set_head("main", meta.get("payload"))  # MARK mutation\n'
+            "            return None",
+        )
+        assert server != SERVER_OK
+        _write_stack(tree, server=server)
+        findings = tree.findings("PT006")
+        assert len(findings) == 1
+        assert findings[0].line == line_of(textwrap.dedent(server), "MARK mutation")
+        assert "'ping'" in findings[0].message
+
+    def test_pt007_untyped_denial_error(self, tree):
+        extra = {
+            "hub.py": """\
+            class QuotaError(Exception):
+                pass
+
+
+            _DENIAL_REASONS = (
+                (QuotaError, "quota"),
+            )
+            """
+        }
+        _write_stack(tree, extra=extra)
+        findings = tree.findings("PT007")
+        assert len(findings) == 1
+        assert "QuotaError" in findings[0].message
+
+    def test_pt007_typed_and_special_cased_pass(self, tree):
+        extra = {
+            "hub.py": """\
+            from .protocol import PingError
+
+
+            _DENIAL_REASONS = (
+                (PingError, "ping"),
+                (SpecialError, "special"),
+            )
+
+
+            class SpecialError(Exception):
+                pass
+            """
+        }
+        _write_stack(tree, extra=extra)
+        assert tree.findings("PT007") == []
+
+    def test_pt008_missing_protocol_version(self, tree):
+        _write_stack(tree, protocol=PROTOCOL_OK.replace("PROTOCOL_VERSION = 1\n", ""))
+        findings = tree.findings("PT008")
+        assert len(findings) == 1
+
+    def test_no_protocol_module_means_silence(self, tree):
+        tree.write("server.py", SERVER_OK)
+        assert [f for f in tree.findings() if f.rule.startswith("PT")] == []
