@@ -28,11 +28,11 @@ policies rather than of scheduler noise.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..core.component import Component, DatasetComponent, LibraryComponent
+from ..core.component import Component, LibraryComponent
 from ..core.context import ExecutionContext
-from ..core.executor import Executor, RunReport
+from ..core.executor import Executor
 from ..core.pipeline import PipelineInstance
 from ..workloads.base import Workload, library_code_blob
 from .cost_model import SimulatedCostModel

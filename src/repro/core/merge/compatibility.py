@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..component import Component, DatasetComponent, LibraryComponent
 from .search_space import MergeScope
-from .tree import TreeNode, iter_nodes
+from .tree import TreeNode
 
 
 class CompatibilityLUT:

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.synthetic.readmission import make_readmission
-from ..ml.distributed import DistributedTrainer, TrainingTrace, pipeline_speedup
+from ..ml.distributed import DistributedTrainer, pipeline_speedup
 from ..ml.mlp import MLPClassifier
 from ..ml.preprocess import StandardScaler
 from .report import format_series, format_table

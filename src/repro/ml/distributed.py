@@ -25,7 +25,7 @@ import numpy as np
 
 from .base import as_2d, encode_labels, one_hot
 from .mlp import MLPClassifier
-from .utils import minibatches, resolve_rng, softmax
+from .utils import resolve_rng, softmax
 
 
 def pipeline_speedup(p: float, k: float) -> float:

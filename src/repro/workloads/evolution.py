@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.component import Component
 from .base import Workload
 
 

@@ -25,7 +25,7 @@ from ..data.synthetic.readmission import make_readmission
 from ..data.table import Table
 from ..ml.metrics import accuracy, roc_auc
 from ..ml.mlp import MLPClassifier
-from ..ml.preprocess import ModeImputer, StandardScaler
+from ..ml.preprocess import ModeImputer
 from ..ml.utils import train_test_split
 from .base import Workload
 

@@ -6,7 +6,6 @@ a stage with several inputs receives a ``{stage_name: payload}`` dict.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     ChunkedCheckpointStore,

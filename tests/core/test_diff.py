@@ -6,7 +6,6 @@ from repro.core.diff import (
     ComponentDelta,
     attribute_improvement,
     diff_commits,
-    render_diff,
     render_log,
 )
 from repro.errors import RepositoryError

@@ -7,7 +7,6 @@ respectively, which are shared by all the pipelines in order to reduce
 storage costs."
 """
 
-import pytest
 
 from repro.core import MLCask, PipelineSpec
 

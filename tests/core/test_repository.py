@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import MLCask, SemVer
+from repro.core import MLCask
 from repro.errors import (
     BranchNotFoundError,
     IncompatibleComponentsError,
@@ -13,7 +13,6 @@ from helpers import (
     TOY_SPEC,
     build_fig3_history,
     fresh_toy_repo,
-    toy_clean,
     toy_extract,
     toy_initial_components,
     toy_model,

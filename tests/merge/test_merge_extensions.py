@@ -1,6 +1,5 @@
 """Merge extensions: time budgets, multi-metric winners, failure injection."""
 
-import numpy as np
 import pytest
 
 from repro.core import LibraryComponent, MLCask, SemVer

@@ -1,10 +1,8 @@
 """Property-based tests of the merge machinery's invariants."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import DatasetComponent, LibraryComponent, SemVer
+from repro.core import LibraryComponent, SemVer
 from repro.core.merge import (
     build_compatibility_lut,
     build_search_tree,

@@ -17,7 +17,6 @@ from repro.core.merge import (
     run_ordered_search,
 )
 from repro.core.context import ExecutionContext
-from repro.core.checkpoint import ChunkedCheckpointStore
 from repro.core.executor import Executor
 
 from helpers import build_fig3_history

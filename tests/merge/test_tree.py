@@ -15,7 +15,7 @@ from repro.core.merge import (
 from repro.core.merge.search_space import MergeScope
 from repro.core.pipeline import PipelineSpec
 
-from helpers import build_fig3_history, toy_clean, toy_dataset, toy_extract, toy_model
+from helpers import build_fig3_history, toy_clean, toy_dataset
 
 
 def scope_from(repo):

@@ -1,11 +1,9 @@
 """CLI remote verbs: init/serve/clone/push/pull over repository dirs."""
 
 import io
-import os
 import socket
 import threading
 
-import pytest
 
 from repro import MLCask
 from repro.cli import main

@@ -1,6 +1,5 @@
 """Schema-hash function tests (paper section IV-B)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.storage.hashing import (

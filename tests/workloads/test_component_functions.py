@@ -8,7 +8,6 @@ stages: shapes, widths, invariants the downstream stages rely on.
 import numpy as np
 import pytest
 
-from repro.core import ExecutionContext
 from repro.workloads import (
     autolearn_workload,
     dpm_workload,

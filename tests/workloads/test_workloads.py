@@ -1,12 +1,10 @@
 """Workload tests: all four pipelines run, version semantics, distinctness."""
 
-import numpy as np
 import pytest
 
 from repro.core import ExecutionContext, MLCask, PipelineInstance
 from repro.core.checkpoint import ChunkedCheckpointStore
 from repro.core.executor import Executor
-from repro.data.serialize import payload_to_bytes
 from repro.workloads import ALL_WORKLOADS, library_code_blob
 from repro.core.semver import SemVer
 
