@@ -1,10 +1,10 @@
-"""Telemetry: one traced push is one correlated span tree (ISSUE 6).
+"""Telemetry: traced spans, lineage forensics, and provenance overhead.
 
-The tracing acceptance check for the observability subsystem: a single
-push admitted by the hub must come out the other side as a tree of at
-least four spans sharing one ``trace_id`` — hub admission, the server
-operation, the write-lock wait, and the chunk import — parented so an
-operator can read the request's life story from the buffer:
+Two acceptance layers share this bench. The tracing check (ISSUE 6): a
+single push admitted by the hub must come out the other side as a tree
+of at least four spans sharing one ``trace_id`` — hub admission, the
+server operation, the write-lock wait, and the chunk import — parented
+so an operator can read the request's life story from the buffer:
 
     hub.request
     ├── hub.admission
@@ -12,21 +12,41 @@ operator can read the request's life story from the buffer:
         ├── lock.write
         └── storage.import
 
-Deterministic (no timing thresholds), so everything here is asserted in
-smoke mode too. The winning trace's spans are dumped to
-``results/obs_trace_spans.json`` for inspection.
+The provenance checks (ISSUE 8), on a traced merge search:
+
+* the lineage DAG for the merge's trace has exactly one node per
+  checkpoint event — node count equals the outcome's executed plus
+  reused component counts;
+* ``impact_of`` on a mid-pipeline component names the *exact*
+  downstream invalidation set (recomputed independently here from the
+  raw ledger);
+* ledger capture costs <= 5% wall-clock against a lineage-free twin
+  (relaxed in smoke mode, like every perf-ratio assertion).
+
+The span and forensics checks are deterministic, so they are asserted
+in smoke mode too. The winning trace's spans are dumped to
+``results/obs_trace_spans.json`` and the merge's full ledger to
+``results/obs_lineage_ledger.json`` (CI uploads it as an artifact).
 """
 
 import json
+import time
 
-from conftest import BENCH_SCALE, BENCH_SEED, write_result
+from conftest import BENCH_SCALE, BENCH_SEED, BENCH_SMOKE, write_result
 
+from repro.core.checkpoint import ChunkedCheckpointStore
+from repro.core.context import ExecutionContext
+from repro.core.executor import Executor
+from repro.core.pipeline import PipelineInstance
 from repro.core.repository import MLCask
 from repro.hub import RepositoryHub
 from repro.obs.trace import Tracer
+from repro.provenance import LineageLedger
 from repro.workloads import ALL_WORKLOADS
 
 N_HISTORY = 3  # commits in the pushed history (cheap; tracing is the point)
+OVERHEAD_BOUND = 10.0 if BENCH_SMOKE else 1.05  # ledger-on / ledger-off
+OVERHEAD_RUNS = 3  # best-of-N per arm (cold stores, so wall-clock heavy)
 
 
 def build_repo(workload):
@@ -94,10 +114,110 @@ def check_trace(push, trace):
     return root
 
 
+def traced_merge():
+    """A merge search under one tracer span; return (repo, outcome, span)."""
+    workload = ALL_WORKLOADS["readmission"](scale=BENCH_SCALE, seed=BENCH_SEED)
+    repo = build_repo(workload)
+    repo.branch(workload.name, "dev")
+    repo.commit(
+        workload.name,
+        {workload.model_stage: workload.model_version(N_HISTORY + 1)},
+        branch="dev",
+        message="dev candidate",
+    )
+    # Diverge master on a *mid-pipeline* stage, so the merge is a real
+    # metric-driven search (no fast-forward) whose cross-branch
+    # candidates mix never-run combinations: the trace then contains
+    # both executed and reused lineage events.
+    mid_stage = workload.spec.stages[1]
+    repo.commit(
+        workload.name,
+        {mid_stage: workload.stage_version(mid_stage, 1, 0, 0)},
+        branch="master",
+        message="master candidate",
+    )
+    tracer = Tracer()
+    with tracer.span("merge.search") as span:
+        outcome = repo.merge(workload.name, "master", "dev")
+    return workload, repo, outcome, span
+
+
+def check_forensics(repo, outcome, span):
+    """ISSUE 8 (a): one lineage node per checkpoint event of the trace."""
+    result = repo.trace_forensics(span.trace_id)
+    events = outcome.components_executed + outcome.components_reused
+    assert len(result["nodes"]) == events, (len(result["nodes"]), events)
+    assert result["executed"] == outcome.components_executed
+    assert result["reused"] == outcome.components_reused
+    assert {n["trace_id"] for n in result["nodes"]} == {span.trace_id}
+    return result
+
+
+def check_impact(workload, repo):
+    """ISSUE 8 (b): the what-if set for a mid-pipeline component equals
+    the downstream closure recomputed independently from the raw log."""
+    stage = workload.spec.stages[1]  # mid-pipeline: first post-dataset stage
+    records = repo.lineage.records()
+    component = next(r.component_id for r in records if r.stage == stage)
+
+    # Independent recomputation: BFS the input_refs relation directly.
+    seeds = {r.output_ref for r in records if r.component_id == component}
+    downstream, frontier = set(), set(seeds)
+    while frontier:
+        frontier = {
+            r.output_ref
+            for r in records
+            if frontier.intersection(r.input_refs)
+            and r.output_ref not in downstream | seeds
+        }
+        downstream |= frontier
+
+    result = repo.impact_of(component)
+    assert result["outputs"] == sorted(seeds)
+    assert result["invalidated"] == sorted(downstream), (
+        len(result["invalidated"]),
+        len(downstream),
+    )
+    return result, component
+
+
+def measure_overhead():
+    """ISSUE 8 (c): ledger-attached vs bare executor, cold stores, best-of-N."""
+    workload = ALL_WORKLOADS["readmission"](scale=BENCH_SCALE, seed=BENCH_SEED)
+    instance = PipelineInstance(
+        spec=workload.spec, components=workload.initial_components()
+    )
+    context = ExecutionContext(seed=BENCH_SEED, metric=workload.metric)
+
+    def best_run_seconds(lineage):
+        best = float("inf")
+        for _ in range(OVERHEAD_RUNS):
+            executor = Executor(
+                ChunkedCheckpointStore(), metric=workload.metric, lineage=lineage
+            )
+            started = time.perf_counter()
+            executor.run(instance, context)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    bare = best_run_seconds(None)
+    instrumented = best_run_seconds(LineageLedger())
+    ratio = instrumented / bare
+    assert ratio <= OVERHEAD_BOUND, (
+        f"lineage capture overhead {ratio:.3f}x exceeds {OVERHEAD_BOUND}x"
+    )
+    return bare, instrumented, ratio
+
+
 def main():
     spans = traced_push()
     push, trace = push_trace(spans)
     root = check_trace(push, trace)
+
+    workload, repo, outcome, span = traced_merge()
+    forensics = check_forensics(repo, outcome, span)
+    impact, component = check_impact(workload, repo)
+    bare, instrumented, ratio = measure_overhead()
 
     names = sorted({s["name"] for s in trace})
     lines = [
@@ -111,12 +231,31 @@ def main():
         f"outcome={root['attrs']['outcome']}",
         f"total spans recorded across the push conversation: {len(spans)}",
         "",
-        "span tree dumped to obs_trace_spans.json",
+        f"Traced merge search, trace {span.trace_id}:",
+        f"lineage DAG nodes: {len(forensics['nodes'])} == "
+        f"{outcome.components_executed} executed + "
+        f"{outcome.components_reused} reused (exact)",
+        f"impact_of({component}): {len(impact['outputs'])} direct "
+        f"output(s), {len(impact['invalidated'])} downstream "
+        f"checkpoint(s) invalidated == independent closure (exact)",
+        f"ledger records after merge: {len(repo.lineage)}",
+        "",
+        f"Provenance capture overhead (best of {OVERHEAD_RUNS} cold runs):",
+        f"bare executor:       {bare * 1000:.1f} ms",
+        f"lineage-attached:    {instrumented * 1000:.1f} ms",
+        f"ratio: {ratio:.3f}x (assert <= {OVERHEAD_BOUND}x)",
+        "",
+        "span tree dumped to obs_trace_spans.json; "
+        "merge ledger dumped to obs_lineage_ledger.json",
     ]
     write_result("obs_telemetry.txt", "\n".join(lines))
     write_result(
         "obs_trace_spans.json",
         json.dumps(sorted(trace, key=lambda s: s["start"]), indent=2),
+    )
+    write_result(
+        "obs_lineage_ledger.json",
+        json.dumps(repo.lineage.to_payload(), indent=2, sort_keys=True),
     )
 
 

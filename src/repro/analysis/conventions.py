@@ -148,6 +148,31 @@ COUNTER_SUFFIX = "_total"
 #: Reserved Prometheus histogram suffixes no family may end with.
 RESERVED_SUFFIXES = ("_bucket", "_sum", "_count")
 
+#: Every field a ``LineageRecord`` construction site must pass as a
+#: keyword (OB004). The schema's run-time facts — a record missing any
+#: of these is unanchored in the lineage DAG, and the dataclass defaults
+#: would silently paper over the drop. ``commit_id``/``branch`` are
+#: deliberately absent (back-filled once at commit time) as are
+#: ``wall_seconds``/``cpu_seconds``/``collected`` (timing and GC
+#: amendments, excluded from record identity). Keep in lockstep with
+#: :class:`repro.provenance.ledger.LineageRecord`.
+LINEAGE_REQUIRED_FIELDS = (
+    "checkpoint_key",
+    "stage",
+    "pipeline",
+    "component_id",
+    "component_fingerprint",
+    "component_version",
+    "params_digest",
+    "input_refs",
+    "output_ref",
+    "seed",
+    "trace_id",
+    "span_id",
+    "tenant",
+    "via",
+)
+
 #: Inline suppression comment: ``# repro-lint: disable=LK002[,OB001] [- reason]``
 #: on the finding's line, the line above it, or the enclosing ``def``.
 SUPPRESS_RE = re.compile(

@@ -34,6 +34,7 @@ RULES: dict[str, str] = {
     "OB001": "metric family name breaks the repro_* convention",
     "OB002": "metric family redeclared with conflicting kind/labels",
     "OB003": "tracer span opened but never entered",
+    "OB004": "lineage record constructed without the full provenance schema",
 }
 
 

@@ -9,6 +9,10 @@ OB002  the same family name declared with a conflicting kind or label
 OB003  a ``tracer.span(...)`` result that is neither entered with
        ``with`` nor stored in a variable that is — the span would
        never close, corrupting the trace tree for the whole request.
+OB004  a ``LineageRecord(...)`` construction site that omits one of the
+       required provenance fields (or passes them positionally) — the
+       dataclass defaults would accept the call and silently emit a
+       record unanchored in the lineage DAG.
 """
 
 from __future__ import annotations
@@ -180,8 +184,61 @@ def _check_spans(program: Program) -> list[Finding]:
     return findings
 
 
+def _check_lineage_fields(program: Program) -> list[Finding]:
+    findings: list[Finding] = []
+    required = set(conventions.LINEAGE_REQUIRED_FIELDS)
+    for file in program.files:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "LineageRecord":
+                continue
+            if any(keyword.arg is None for keyword in node.keywords):
+                # **kwargs construction (the dict-codec path): field
+                # presence is a runtime fact the AST cannot see.
+                continue
+            passed = {keyword.arg for keyword in node.keywords}
+            missing = sorted(required - passed)
+            problems: list[str] = []
+            if node.args:
+                problems.append(
+                    "fields must be passed as keywords, not positionally"
+                )
+            if missing:
+                problems.append(
+                    "missing required provenance fields: " + ", ".join(missing)
+                )
+            if problems:
+                findings.append(
+                    Finding(
+                        rule="OB004",
+                        path=file.rel_path,
+                        line=node.lineno,
+                        symbol=enclosing_symbol(file.tree, node.lineno),
+                        message="LineageRecord(...): " + "; ".join(problems),
+                        hint=(
+                            "every construction site names the full schema "
+                            "(conventions.LINEAGE_REQUIRED_FIELDS); defaults "
+                            "exist only for the back-filled amendments"
+                        ),
+                    )
+                )
+    return findings
+
+
 def check(program: Program) -> list[Finding]:
-    return _check_names(program) + _check_conflicts(program) + _check_spans(program)
+    return (
+        _check_names(program)
+        + _check_conflicts(program)
+        + _check_spans(program)
+        + _check_lineage_fields(program)
+    )
 
 
 __all__ = ["check"]

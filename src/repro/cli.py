@@ -15,6 +15,9 @@ Usage::
     python -m repro push REPO REMOTE                   # fast-forward publish
     python -m repro pull REPO REMOTE                   # sync (+merge) back
     python -m repro stats REMOTE                       # telemetry readout
+    python -m repro lineage REMOTE REF                 # provenance closure
+    python -m repro lineage REMOTE --trace ID          # request forensics
+    python -m repro impact REMOTE COMPONENT            # what-if analysis
     python -m repro gc REPO                            # sweep dead chunks
 
     python -m repro run REPO --workload readmission    # run the branch head
@@ -204,6 +207,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the raw stats object as one JSON document",
     )
     _add_hub_client_arguments(stats)
+
+    lineage = sub.add_parser(
+        "lineage",
+        help="query a repository's provenance ledger: the upstream closure "
+        "of an output, its consumers, or one traced request's forensics",
+    )
+    lineage.add_argument("target", help="http:// URL or repository directory")
+    lineage.add_argument(
+        "ref", nargs="?", default=None,
+        help="output ref (full digest or unique prefix); omit with --trace",
+    )
+    lineage.add_argument(
+        "--consumers", action="store_true",
+        help="list what consumed REF downstream instead of its upstream "
+        "closure",
+    )
+    lineage.add_argument(
+        "--trace", default=None, metavar="TRACE_ID",
+        help="reconstruct one traced request: every checkpoint executed or "
+        "reused under this trace id, in emission order",
+    )
+    lineage.add_argument(
+        "--json", action="store_true",
+        help="emit the raw lineage object as one JSON document",
+    )
+    _add_hub_client_arguments(lineage)
+
+    impact = sub.add_parser(
+        "impact",
+        help="what-if analysis: which checkpoints and branch heads a "
+        "component change would invalidate",
+    )
+    impact.add_argument("target", help="http:// URL or repository directory")
+    impact.add_argument(
+        "component",
+        help="component identifier (name or name@version, e.g. mlp@2.0.0)",
+    )
+    impact.add_argument(
+        "--component-version", default=None, metavar="VERSION",
+        help="restrict the match to one version of the component",
+    )
+    impact.add_argument(
+        "--json", action="store_true",
+        help="emit the raw impact object as one JSON document",
+    )
+    _add_hub_client_arguments(impact)
 
     gc = sub.add_parser(
         "gc", help="sweep chunks no commit references from a repository directory"
@@ -502,6 +551,8 @@ def _cmd_experiment(args, out) -> int:
         print(result.render_fig8(), file=out)
         print(file=out)
         print(result.render_fig9(), file=out)
+        print(file=out)
+        print(result.render_provenance(), file=out)
         for app in args.apps:
             print(
                 f"{app}: speedup {result.speedup(app):.2f}x, "
@@ -798,6 +849,10 @@ def _cmd_stats(args, out) -> int:
     cache = stats.get("cache", {})
     storage = stats.get("storage", {})
     repository = stats.get("repository", {})
+    engine = stats.get("engine", {})
+    tasks = engine.get("scheduler_tasks", {})
+    flight = engine.get("single_flight", {})
+    lineage = stats.get("lineage", {})
     print(
         f"requests handled: {stats.get('requests_handled', 0)}\n"
         f"cache: {cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses "
@@ -808,9 +863,136 @@ def _cmd_stats(args, out) -> int:
         f"{storage.get('read_bytes', 0)} read back\n"
         f"repository: {repository.get('commits', 0)} commits, "
         f"{repository.get('pipelines', 0)} pipelines, "
-        f"{repository.get('checkpoints', 0)} checkpoint records",
+        f"{repository.get('checkpoints', 0)} checkpoint records\n"
+        f"engine: queue depth {engine.get('scheduler_queue_depth', 0):g}, "
+        f"{engine.get('scheduler_steals', 0):g} steals; tasks "
+        f"{tasks.get('done', 0):g} done / {tasks.get('failed', 0):g} failed "
+        f"/ {tasks.get('cancelled', 0):g} cancelled; single-flight "
+        f"{flight.get('hit', 0):g} hit / {flight.get('computed', 0):g} "
+        f"computed / {flight.get('joined', 0):g} joined\n"
+        f"lineage: {lineage.get('records', 0)} records "
+        f"({lineage.get('collected', 0)} collected)",
         file=out,
     )
+    return 0
+
+
+def _cmd_lineage(args, out) -> int:
+    """Provenance queries as a verb: closure, consumers, or trace forensics."""
+    import json
+
+    from .errors import RemoteError
+    from .remote.client import Remote
+
+    if (args.ref is None) == (args.trace is None):
+        raise RemoteError("give exactly one of REF or --trace TRACE_ID")
+    target = _resolve_remote_target(args.target, args.tenant)
+    transport = _transport_for(target, token=args.token)
+    try:
+        remote = Remote(repo=None, transport=transport)
+        if args.trace is not None:
+            result = remote.lineage_trace(args.trace)
+        elif args.consumers:
+            result = remote.lineage_consumers(args.ref)
+        else:
+            result = remote.lineage(args.ref)
+    finally:
+        transport.close()
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True), file=out)
+        return 0
+    if args.trace is not None:
+        print(
+            f"trace {result['trace_id']}: "
+            f"{result['executed']} executed, {result['reused']} reused",
+            file=out,
+        )
+        for node in result["nodes"]:
+            flag = "x" if node["via"] == "executed" else "r"
+            print(
+                f"  [{flag}] {node['stage']}: {node['component_id']} "
+                f"-> {node['output_ref'][:12]} ({node['wall_seconds']:.3f}s)",
+                file=out,
+            )
+        return 0
+    if args.consumers:
+        print(
+            f"{result['ref'][:12]} feeds {len(result['consumers'])} "
+            f"downstream record(s) across {len(result['refs'])} output(s)",
+            file=out,
+        )
+        for record in result["consumers"]:
+            print(
+                f"  {record['stage']}: {record['component_id']} "
+                f"-> {record['output_ref'][:12]} ({record['via']})",
+                file=out,
+            )
+        for commit in result["commits"]:
+            kind = "merge" if commit["merge"] else "commit"
+            print(
+                f"  {kind} {commit['commit_id'][:12]} "
+                f"[{commit['pipeline']}:{commit['branch']}] {commit['message']}",
+                file=out,
+            )
+        return 0
+    print(
+        f"lineage of {result['ref'][:12]}: {len(result['nodes'])} node(s), "
+        f"{len(result['edges'])} edge(s)",
+        file=out,
+    )
+    for node in result["nodes"]:
+        swept = " [collected]" if node["collected"] else ""
+        print(
+            f"  {node['ref'][:12]} {node['stage']}: "
+            f"{node['component_id']} "
+            f"(executed {node['events'] - node['reuses']}x, "
+            f"reused {node['reuses']}x){swept}",
+            file=out,
+        )
+    for commit in result["commits"]:
+        kind = "merge" if commit["merge"] else "commit"
+        print(
+            f"  consumed by {kind} {commit['commit_id'][:12]} "
+            f"[{commit['pipeline']}:{commit['branch']}] {commit['message']}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_impact(args, out) -> int:
+    """What-if analysis: the downstream invalidation set of a component."""
+    import json
+
+    from .remote.client import Remote
+
+    target = _resolve_remote_target(args.target, args.tenant)
+    transport = _transport_for(target, token=args.token)
+    try:
+        result = Remote(repo=None, transport=transport).impact(
+            args.component, version=args.component_version
+        )
+    finally:
+        transport.close()
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True), file=out)
+        return 0
+    versions = ", ".join(result["matched_versions"]) or "-"
+    print(
+        f"impact of {result['component']} (versions: {versions}):\n"
+        f"  {len(result['outputs'])} direct output(s), "
+        f"{len(result['invalidated'])} downstream checkpoint(s) invalidated "
+        f"across stages: {', '.join(result['stages']) or '-'}",
+        file=out,
+    )
+    for head in result["branches"]:
+        print(f"  would invalidate {head['pipeline']}:{head['branch']}", file=out)
+    for commit in result["commits"]:
+        kind = "merge" if commit["merge"] else "commit"
+        print(
+            f"  reaches {kind} {commit['commit_id'][:12]} "
+            f"[{commit['pipeline']}:{commit['branch']}]",
+            file=out,
+        )
     return 0
 
 
@@ -989,8 +1171,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if args.command == "demo":
         return _cmd_demo(args, out)
     if args.command in (
-        "init", "serve", "clone", "push", "pull", "stats", "run", "merge",
-        "gc", "hub", "lint",
+        "init", "serve", "clone", "push", "pull", "stats", "lineage",
+        "impact", "run", "merge", "gc", "hub", "lint",
     ):
         handler = {
             "init": _cmd_init,
@@ -999,6 +1181,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             "push": _cmd_push,
             "pull": _cmd_pull,
             "stats": _cmd_stats,
+            "lineage": _cmd_lineage,
+            "impact": _cmd_impact,
             "run": _cmd_run,
             "merge": _cmd_merge,
             "gc": _cmd_gc,

@@ -56,6 +56,15 @@ class Component:
     def display(self) -> str:
         return f"<{self.name}, {self.version}>"
 
+    @property
+    def params_digest(self) -> str:
+        """Deterministic digest of the component's hyperparameters, or
+        ``""`` for parameterless components (datasets). Lineage records
+        carry this so an audit can tell two same-version configurations
+        apart without re-deriving the full fingerprint."""
+        params = getattr(self, "params", None)
+        return _params_fingerprint(params) if params else ""
+
 
 @dataclass(frozen=True)
 class DatasetComponent(Component):

@@ -43,6 +43,7 @@ class StageReport:
     is_model: bool = False
     run_seconds: float = 0.0
     store_seconds: float = 0.0
+    cpu_seconds: float = 0.0
     output_ref: str = ""
     output_bytes: int = 0
     checkpoint_key: str = ""
@@ -59,6 +60,10 @@ class RunReport:
     failed: bool = False
     failure_stage: str | None = None
     failure_reason: str | None = None
+    #: ledger row indices appended for this run (empty when the executor
+    #: has no lineage ledger attached); ``_store_commit`` back-fills the
+    #: adopting commit onto exactly these rows.
+    lineage_rows: tuple = ()
 
     @property
     def execution_seconds(self) -> float:
@@ -112,10 +117,14 @@ class Executor:
         checkpoints: CheckpointStore,
         metric: str = "accuracy",
         reuse: bool = True,
+        lineage=None,
     ):
         self.checkpoints = checkpoints
         self.metric = metric
         self.reuse = reuse
+        #: optional :class:`repro.provenance.LineageLedger`; when set,
+        #: every finished run appends one record per non-failed stage.
+        self.lineage = lineage
 
     # ----------------------------------------------------------------- run
     def run(
@@ -187,8 +196,10 @@ class Executor:
             try:
                 if isinstance(component, DatasetComponent):
                     start = time.perf_counter()
+                    cpu_start = time.thread_time()
                     output = component.materialize(rng)
                     stage_report.run_seconds = time.perf_counter() - start
+                    stage_report.cpu_seconds = time.thread_time() - cpu_start
                 else:
                     load_start = time.perf_counter()
                     inputs = [self._payload_of(p, payloads, records) for p in preds]
@@ -197,8 +208,10 @@ class Executor:
                         p: v for p, v in zip(preds, inputs)
                     }
                     start = time.perf_counter()
+                    cpu_start = time.thread_time()
                     output = component.run(payload, rng)
                     stage_report.run_seconds = time.perf_counter() - start
+                    stage_report.cpu_seconds = time.thread_time() - cpu_start
             except Exception as error:  # noqa: BLE001 - component code is untrusted
                 stage_report.run_seconds = time.perf_counter() - start
                 stage_report.failed = True
@@ -236,6 +249,10 @@ class Executor:
                 )
             if self.metric in report.metrics:
                 report.score = score_from_metric(self.metric, report.metrics[self.metric])
+        if self.lineage is not None:
+            report.lineage_rows = self.lineage.record_run(
+                instance, report, refs, seed=context.seed
+            )
         return report
 
     def _payload_of(self, stage: str, payloads: dict, records: dict):

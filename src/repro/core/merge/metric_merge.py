@@ -112,7 +112,13 @@ def metric_driven_merge(
         pruned = prune_incompatible(root, lut, scope.spec)
     if mode == "pcpr":
         mark_checkpointed_nodes(root, scope)
-        executor = Executor(repo.checkpoints, metric=repo.metric, reuse=True)
+        # Candidate evaluations write through the repo's real stores, so
+        # they leave lineage too; the winning candidate's rows get the
+        # merge commit back-filled in _store_commit. Ablation modes run
+        # against throwaway folder archives and record no lineage.
+        executor = Executor(
+            repo.checkpoints, metric=repo.metric, reuse=True, lineage=repo.lineage
+        )
     else:
         # Ablations re-execute everything and archive full copies per run,
         # like the paper's w/o-PR and w/o-PCPR variants.

@@ -47,6 +47,7 @@ STATE_FILE = "state.json"
 OBJECTS_DIR = "objects"
 RECIPES_FILE = "recipes.json"
 CHECKPOINTS_FILE = "checkpoints.json"
+LINEAGE_FILE = "lineage.json"
 
 
 def write_json_atomic(path: str, payload: dict, **dump_kwargs) -> None:
@@ -240,6 +241,7 @@ def save_repository_dir(repo, path: str | os.PathLike[str]) -> None:
         <dir>/objects/ab/cdef.. chunks, git-style two-char fan-out
         <dir>/recipes.json      blob digest -> ordered chunk digests
         <dir>/checkpoints.json  checkpoint index (reuse metadata)
+        <dir>/lineage.json      append-only provenance ledger
     """
     root = os.fspath(path)
     os.makedirs(root, exist_ok=True)
@@ -271,6 +273,8 @@ def save_repository_dir(repo, path: str | os.PathLike[str]) -> None:
             indent=2,
             sort_keys=True,
         )
+    with open(os.path.join(root, LINEAGE_FILE), "w") as fh:
+        json.dump(repo.lineage.to_payload(), fh, indent=2, sort_keys=True)
 
 
 def is_repository_dir(path: str | os.PathLike[str]) -> bool:
@@ -340,6 +344,22 @@ def gc_repository_dir(
     write_json_atomic(
         checkpoints_path, {"records": kept_records}, indent=2, sort_keys=True
     )
+
+    # The lineage ledger is append-only: rows for swept outputs are kept
+    # but flagged collected, so provenance survives the sweep.
+    lineage_path = os.path.join(root, LINEAGE_FILE)
+    if os.path.isfile(lineage_path):
+        with open(lineage_path) as fh:
+            lineage_entries = json.load(fh).get("records", [])
+        for entry in lineage_entries:
+            if entry.get("output_ref") not in live:
+                entry["collected"] = True
+        write_json_atomic(
+            lineage_path,
+            {"records": lineage_entries},
+            indent=2,
+            sort_keys=True,
+        )
     return report, len(record_entries) - len(kept_records)
 
 
@@ -367,4 +387,9 @@ def load_repository_dir(path: str | os.PathLike[str], registry=None):
         with open(checkpoints_path) as fh:
             for entry in json.load(fh)["records"]:
                 repo.checkpoints.import_record(record_from_dict(entry))
+
+    lineage_path = os.path.join(root, LINEAGE_FILE)
+    if os.path.isfile(lineage_path):  # absent in pre-ledger directories
+        with open(lineage_path) as fh:
+            repo.lineage.load_payload(json.load(fh))
     return repo

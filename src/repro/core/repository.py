@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import RepositoryError
+from ..provenance.ledger import LineageLedger
 from ..storage.kv import VersionedKV
 from ..storage.object_store import ObjectStore
 from .branching import BranchManager
@@ -133,7 +134,13 @@ class MLCask:
         # by default each repository owns an isolated in-memory store.
         self.objects = objects if objects is not None else ObjectStore()
         self.checkpoints = checkpoints or ChunkedCheckpointStore(self.objects)
-        self.executor = Executor(self.checkpoints, metric=metric, reuse=True)
+        # Every run through this repository leaves lineage behind: the
+        # ledger is threaded into the executor (and adopted by any
+        # ParallelExecutor derived from it), queried via repro.provenance.
+        self.lineage = LineageLedger()
+        self.executor = Executor(
+            self.checkpoints, metric=metric, reuse=True, lineage=self.lineage
+        )
         self.graph = CommitGraph()
         self.branches = BranchManager()
         self.registry = ComponentRegistry()
@@ -222,6 +229,12 @@ class MLCask:
         self.graph.add(commit)
         self.branches.set_head(pipeline, branch, commit.commit_id)
         self.branches.note_commit(pipeline, branch)
+        if report is not None and report.lineage_rows:
+            # Back-fill the adopting commit onto exactly the rows this
+            # run appended (losing merge candidates' rows stay unbound).
+            self.lineage.annotate_commit(
+                commit.commit_id, branch, report.lineage_rows
+            )
         self._write_pipeline_metafile(commit, instance)
         return commit
 
@@ -418,6 +431,35 @@ class MLCask:
 
         return attribute_improvement(self.history(pipeline, branch))
 
+    def lineage_of(self, ref: str) -> dict:
+        """Retrospective audit: the upstream closure that fed an
+        artifact, plus the commits/merges that consumed it. ``ref`` is a
+        checkpoint output ref or an unambiguous prefix."""
+        from ..provenance.queries import lineage_of
+
+        return lineage_of(self, ref)
+
+    def consumers_of(self, ref: str) -> dict:
+        """Direct downstream readers of an artifact (records that took
+        it as input, and the commits recording it)."""
+        from ..provenance.queries import consumers_of
+
+        return consumers_of(self, ref)
+
+    def impact_of(self, component: str, version: str | None = None) -> dict:
+        """What-if analysis: checkpoints, commits, and branch heads that
+        would invalidate if ``component`` changed."""
+        from ..provenance.queries import impact_of
+
+        return impact_of(self, component, version=version)
+
+    def trace_forensics(self, trace_id: str) -> dict:
+        """Everything one traced request executed or reused, joined to
+        its spans by trace id."""
+        from ..provenance.queries import trace_forensics
+
+        return trace_forensics(self, trace_id)
+
     def _resolve_ref(self, pipeline: str, ref: str) -> PipelineCommit:
         """Accept a branch name, full commit id, or unambiguous prefix."""
         if self.branches.has_branch(pipeline, ref):
@@ -490,6 +532,9 @@ class MLCask:
 
         live = live_digests_of_repo(self)
         self.checkpoints.prune(live)
+        # Provenance outlives the artifacts: ledger rows for swept
+        # outputs are retained, flagged ``collected`` (append-only).
+        self.lineage.mark_collected(live)
         return collect_garbage(self.objects, live)
 
     # -------------------------------------------------------------- remotes

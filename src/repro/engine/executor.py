@@ -61,6 +61,7 @@ class ParallelExecutor:
         reuse: bool = True,
         workers: int = 1,
         flight: SingleFlight | None = None,
+        lineage=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -69,6 +70,11 @@ class ParallelExecutor:
         self.reuse = reuse
         self.workers = workers
         self.flight = flight if flight is not None else SingleFlight()
+        #: optional :class:`repro.provenance.LineageLedger`; records are
+        #: emitted during assembly (caller's thread, topological order),
+        #: never from worker threads — the ledger stays bit-identical to
+        #: the sequential executor's for any worker count.
+        self.lineage = lineage
 
     @classmethod
     def from_executor(
@@ -94,6 +100,7 @@ class ParallelExecutor:
                 reuse=executor.reuse,
                 workers=workers if workers is not None else executor.workers,
                 flight=flight if flight is not None else executor.flight,
+                lineage=executor.lineage,
             )
         return cls(
             executor.checkpoints,
@@ -101,6 +108,7 @@ class ParallelExecutor:
             reuse=executor.reuse,
             workers=workers if workers is not None else 1,
             flight=flight,
+            lineage=getattr(executor, "lineage", None),
         )
 
     # ----------------------------------------------------------------- run
@@ -124,7 +132,7 @@ class ParallelExecutor:
             scheduler.run(
                 lambda stage: self._process_stage(stage, instance, context, state)
             )
-        return self._assemble(instance, state)
+        return self._assemble(instance, state, context)
 
     # ---------------------------------------------------------- one stage
     def _process_stage(
@@ -175,8 +183,10 @@ class ParallelExecutor:
         def compute():
             if isinstance(component, DatasetComponent):
                 run_start = time.perf_counter()
+                cpu_start = time.thread_time()
                 output = component.materialize(rng)
                 stage_report.run_seconds = time.perf_counter() - run_start
+                stage_report.cpu_seconds = time.thread_time() - cpu_start
             else:
                 load_start = time.perf_counter()
                 inputs = [state.payload_of(p, self.checkpoints) for p in preds]
@@ -187,8 +197,10 @@ class ParallelExecutor:
                     else {p: v for p, v in zip(preds, inputs)}
                 )
                 run_start = time.perf_counter()
+                cpu_start = time.thread_time()
                 output = component.run(payload, rng)
                 stage_report.run_seconds = time.perf_counter() - run_start
+                stage_report.cpu_seconds = time.thread_time() - cpu_start
 
             metrics = None
             if stage_report.is_model:
@@ -234,10 +246,17 @@ class ParallelExecutor:
         return True
 
     # ------------------------------------------------------------ assembly
-    def _assemble(self, instance: PipelineInstance, state: "_RunState") -> RunReport:
+    def _assemble(
+        self,
+        instance: PipelineInstance,
+        state: "_RunState",
+        context: ExecutionContext,
+    ) -> RunReport:
         """Deterministic report construction: walk the topological order
         applying the sequential executor's metric/score rules, trimming to
-        the failure prefix when a stage failed."""
+        the failure prefix when a stage failed. Lineage records are
+        emitted here — caller's thread, topological order — so ledger
+        content and order never depend on worker interleaving."""
         report = RunReport(pipeline=instance.spec.name)
         order = state.order
         bar = state.failed_bar
@@ -259,6 +278,10 @@ class ParallelExecutor:
             report.failed = True
             report.failure_stage = order[bar]
             report.failure_reason = state.failure_reasons.get(order[bar])
+            if self.lineage is not None:
+                report.lineage_rows = self.lineage.record_run(
+                    instance, report, state.refs, seed=context.seed
+                )
             return report
         if not report.metrics:
             raise ComponentError(
@@ -267,6 +290,10 @@ class ParallelExecutor:
             )
         if self.metric in report.metrics:
             report.score = score_from_metric(self.metric, report.metrics[self.metric])
+        if self.lineage is not None:
+            report.lineage_rows = self.lineage.record_run(
+                instance, report, state.refs, seed=context.seed
+            )
         return report
 
 

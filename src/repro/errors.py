@@ -195,6 +195,23 @@ class RepositoryNotFoundError(HubError):
         super().__init__(message)
 
 
+class ProvenanceError(MLCaskError):
+    """A lineage-ledger operation or query failed."""
+
+
+class LineageNotFoundError(ProvenanceError):
+    """A lineage query matched nothing (unknown ref, component, or trace).
+
+    Travels over the wire as a typed error response (see
+    :func:`repro.remote.protocol.raise_remote_error`), so a client asking
+    about an artifact the server never recorded gets this rather than a
+    generic protocol failure.
+    """
+
+    def __init__(self, message: str = "no lineage recorded for that query"):
+        super().__init__(message)
+
+
 class NotFittedError(MLCaskError):
     """An estimator was used before ``fit`` (mirrors sklearn semantics)."""
 

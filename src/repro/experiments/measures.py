@@ -29,6 +29,10 @@ class MergeMeasures:
     components_executed: int = 0
     components_reused: int = 0
     winner_score: float | None = None
+    # Provenance accounting (full MLCask only; the ablation arms run on
+    # throwaway folder stores with no ledger attached).
+    lineage_records: int = 0
+    winner_lineage_nodes: int = 0
 
     @property
     def cpt_seconds(self) -> float:

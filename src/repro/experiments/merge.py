@@ -76,6 +76,27 @@ class MergeExperimentResult:
             )
         return "\n\n".join(blocks)
 
+    def render_provenance(self) -> str:
+        """Per-app provenance summary of the full-MLCask merge: ledger
+        size and the winning model's upstream closure."""
+        rows = []
+        for app in self.measures:
+            m = self.measures[app].get("pcpr")
+            if m is None:
+                continue
+            rows.append([
+                app,
+                m.lineage_records,
+                m.winner_lineage_nodes,
+                m.components_executed,
+                m.components_reused,
+            ])
+        return format_table(
+            ["app", "ledger_records", "winner_closure", "executed", "reused"],
+            rows,
+            title="Provenance: lineage captured during the merge search",
+        )
+
     def speedup(self, app: str) -> float:
         """CPT of w/o PCPR over CPT of full MLCask (the paper's headline
         'up to 7.8x faster' comparison)."""
@@ -114,6 +135,14 @@ def _measure_merge(app: str, mode: str, scale: float, seed: int) -> MergeMeasure
     if mode == "pcpr":
         # Storage grown on the shared deduplicating engine during the merge.
         measures.css_bytes = repo.checkpoints.stats.physical_bytes - store_before
+        # Provenance: the merge's full audit trail, and the upstream
+        # closure of the winning model (what an auditor replays).
+        measures.lineage_records = len(repo.lineage)
+        winner_ref = outcome.commit.stage_outputs.get(workload.model_stage)
+        if winner_ref is not None and repo.lineage.rows_for_output(winner_ref):
+            measures.winner_lineage_nodes = len(
+                repo.lineage_of(winner_ref)["nodes"]
+            )
     else:
         # Ablations archived every candidate's outputs into fresh folders;
         # count what those folders hold.

@@ -28,6 +28,7 @@ Persistence layout (``root`` directory)::
     <root>/tenants/<t>/<r>/state.json    per-repo version-control state
     <root>/tenants/<t>/<r>/recipes.json  blob digest -> chunk digests
     <root>/tenants/<t>/<r>/checkpoints.json
+    <root>/tenants/<t>/<r>/lineage.json  provenance ledger (append-only)
     <root>/tenants/<t>/<r>/chunks.json   holdings manifest: [digest, size]
                                          pairs — the repo's membership in
                                          the shared backend
@@ -49,6 +50,7 @@ from collections import OrderedDict
 
 from ..core.persistence import (
     CHECKPOINTS_FILE,
+    LINEAGE_FILE,
     RECIPES_FILE,
     STATE_FILE,
     load_repository,
@@ -413,6 +415,11 @@ class RepositoryHub:
             sort_keys=True,
         )
         write_json_atomic(
+            os.path.join(repo_dir, LINEAGE_FILE),
+            repo.lineage.to_payload(),
+            sort_keys=True,
+        )
+        write_json_atomic(
             os.path.join(repo_dir, HOLDINGS_FILE),
             {"chunks": sorted(hosted.view.holdings().items())},
             sort_keys=True,
@@ -432,6 +439,10 @@ class RepositoryHub:
         repo = MLCask(
             metric=metric, seed=seed, objects=ObjectStore(chunk_store=view)
         )
+        # Lineage records minted on the hub (none today — hosted repos
+        # never run pipelines — but imported ones keep the stamp they
+        # arrived with) attribute to this tenant.
+        repo.lineage.tenant = tenant
         hosted.server = RepositoryServer(
             repo,
             on_change=lambda _repo: self._persist_hosted(hosted),
@@ -464,6 +475,10 @@ class RepositoryHub:
             with open(checkpoints_path) as fh:
                 for entry in json.load(fh)["records"]:
                     repo.checkpoints.import_record(record_from_dict(entry))
+        lineage_path = os.path.join(repo_dir, LINEAGE_FILE)
+        if os.path.isfile(lineage_path):  # absent in pre-ledger directories
+            with open(lineage_path) as fh:
+                repo.lineage.load_payload(json.load(fh))
         self.loads += 1
         self._m_loads.inc()
         return hosted
@@ -670,6 +685,9 @@ class RepositoryHub:
                 with hosted.server.maintenance() as repo:
                     live = live_digests_of_repo(repo)
                     repo.checkpoints.prune(live)
+                    # Append-only ledger: records for swept outputs are
+                    # kept but flagged, so provenance survives the sweep.
+                    repo.lineage.mark_collected(live)
                     report = collect_garbage(repo.objects, live)
                 self._persist_hosted(hosted)
                 return report

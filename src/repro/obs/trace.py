@@ -39,6 +39,17 @@ def _new_id() -> str:
     return os.urandom(8).hex()
 
 
+def current_span() -> "Span | None":
+    """The innermost span open on this thread of control, or None.
+
+    Reads the contextvar directly, so it sees spans opened through *any*
+    tracer instance — unlike :meth:`NullTracer.current`, which always
+    answers None. Event stamping and lineage capture use this: they join
+    to whatever trace is live regardless of which tracer owns it.
+    """
+    return _current.get()
+
+
 class Span:
     """One timed unit of work; a context manager.
 

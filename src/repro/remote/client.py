@@ -122,6 +122,37 @@ class Remote:
         meta, _ = self._call({"op": "stats"})
         return meta["stats"]
 
+    # ------------------------------------------------------------- lineage
+    def lineage(self, ref: str) -> dict:
+        """Upstream provenance closure of an output ref on the peer.
+
+        Schema-additive read op like :meth:`stats`; raises a typed
+        :class:`LineageNotFoundError` when the peer has no record of the
+        ref. ``ref`` may be a unique digest prefix.
+        """
+        meta, _ = self._call({"op": "lineage", "query": "lineage", "ref": ref})
+        return meta["lineage"]
+
+    def lineage_consumers(self, ref: str) -> dict:
+        """Direct downstream consumers of an output ref on the peer."""
+        meta, _ = self._call({"op": "lineage", "query": "consumers", "ref": ref})
+        return meta["lineage"]
+
+    def lineage_trace(self, trace_id: str) -> dict:
+        """Per-request forensics: the peer's ledger rows for one trace id."""
+        meta, _ = self._call(
+            {"op": "lineage", "query": "trace", "trace_id": trace_id}
+        )
+        return meta["lineage"]
+
+    def impact(self, component: str, version: str | None = None) -> dict:
+        """What-if analysis: what a component change would invalidate."""
+        request = {"op": "lineage", "query": "impact", "component": component}
+        if version is not None:
+            request["version"] = version
+        meta, _ = self._call(request)
+        return meta["lineage"]
+
     # --------------------------------------------------------------- fetch
     def fetch(self, pipeline: str | None = None, branches=None) -> FetchResult:
         """Synchronize the peer's history and content into this repository.
@@ -195,6 +226,7 @@ class Remote:
             meta.get("records", []),
             [],
             [],
+            lineage_entries=meta.get("lineage", []),
         )
         added = pack.import_commits(self.repo, meta.get("commits", []))
         result = FetchResult(

@@ -44,6 +44,7 @@ from ..core.persistence import (
     spec_from_dict,
     spec_to_dict,
 )
+from ..provenance.ledger import lineage_record_to_dict
 
 
 #: Upper bound on the chunk payload of a single wire message. Both sides
@@ -120,6 +121,22 @@ def content_of_commits(repo, commits) -> tuple[list, list, set[str]]:
     return recipes, records, chunk_digests
 
 
+def lineage_entries_for(repo, commits) -> list[dict]:
+    """Ledger records back-filled with the given commits, dict-codec form.
+
+    This is the schema-additive ``lineage`` pack key: provenance rides
+    the same have/want sync as everything else, scoped to the commits
+    crossing the wire (records of uncommitted runs — losing merge
+    candidates, warm re-runs — stay local). Old peers simply never read
+    the key.
+    """
+    ledger = getattr(repo, "lineage", None)
+    if ledger is None:
+        return []
+    records = ledger.records_for_commits(c.commit_id for c in commits)
+    return [lineage_record_to_dict(r) for r in records]
+
+
 def pack_meta(repo, commits, recipes, records, chunk_digests) -> dict:
     """The JSON half of a pack (chunks travel as framed binary blobs)."""
     pipelines = sorted({c.pipeline for c in commits})
@@ -133,6 +150,7 @@ def pack_meta(repo, commits, recipes, records, chunk_digests) -> dict:
         "recipes": [recipe_to_dict(r) for r in recipes],
         "records": [record_to_dict(r) for r in records],
         "chunk_digests": list(chunk_digests),
+        "lineage": lineage_entries_for(repo, commits),
     }
 
 
@@ -169,16 +187,22 @@ def import_commits(repo, commit_entries) -> list:
 
 
 def import_content(
-    repo, recipe_entries, record_entries, chunk_digests, chunk_blobs
+    repo,
+    recipe_entries,
+    record_entries,
+    chunk_digests,
+    chunk_blobs,
+    lineage_entries=(),
 ) -> int:
-    """Adopt recipes, checkpoint records, and verified chunks.
+    """Adopt recipes, checkpoint records, lineage, and verified chunks.
 
     ``chunk_digests``/``chunk_blobs`` are parallel; each blob is re-hashed
     against its claimed digest on receipt. Chunks land *first*: if one
     fails its integrity check, the import aborts before any recipe is
     registered, so the store never ends up holding recipes that point at
-    content it was never given. Returns how many chunks were actually new
-    to the local store.
+    content it was never given. Lineage import is idempotent (the ledger
+    dedups on record identity), so a record pushed and pulled back never
+    doubles. Returns how many chunks were actually new to the local store.
     """
     if len(chunk_digests) != len(chunk_blobs):
         raise RemoteError(
@@ -193,6 +217,10 @@ def import_content(
         repo.objects.add_recipe(recipe_from_dict(entry))
     for entry in record_entries:
         repo.checkpoints.import_record(record_from_dict(entry))
+    if lineage_entries:
+        ledger = getattr(repo, "lineage", None)
+        if ledger is not None:
+            ledger.import_entries(lineage_entries)
     return new
 
 

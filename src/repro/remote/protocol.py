@@ -31,6 +31,7 @@ from ..errors import (
     AuthenticationError,
     AuthorizationError,
     HubError,
+    LineageNotFoundError,
     PushRejectedError,
     QuotaExceededError,
     RateLimitedError,
@@ -47,9 +48,10 @@ MAGIC = b"MLCR"
 PROTOCOL_VERSION = 2
 
 #: Operations a server understands; anything else is a protocol error.
-#: ``stats`` (telemetry readout) is schema-additive: old clients never
-#: send it, and an old server answers it with a typed unknown-operation
-#: error — no version bump needed.
+#: ``stats`` (telemetry readout) and ``lineage`` (provenance queries)
+#: are schema-additive: old clients never send them, and an old server
+#: answers them with a typed unknown-operation error — no version bump
+#: needed.
 OPS = (
     "manifest",
     "known_commits",
@@ -59,6 +61,7 @@ OPS = (
     "fetch",
     "push",
     "stats",
+    "lineage",
 )
 
 #: Operations that mutate repository state (served under the exclusive
@@ -129,13 +132,15 @@ def error_response(error: Exception) -> bytes:
 #: Error types that reconstruct client-side from their message alone.
 #: Hub admission denials live here: a client must be able to tell an
 #: auth failure from a quota denial from a rate limit programmatically,
-#: not by parsing prose.
+#: not by parsing prose. ``LineageNotFoundError`` rides along so a
+#: lineage query about an unrecorded ref fails typed, not generic.
 TYPED_ERRORS = {
     cls.__name__: cls
     for cls in (
         AuthenticationError,
         AuthorizationError,
         HubError,
+        LineageNotFoundError,
         QuotaExceededError,
         RateLimitedError,
         RepositoryNotFoundError,

@@ -1,9 +1,10 @@
 """Repository server: answers sync requests against a live ``MLCask``.
 
 The server side of the wire protocol. One :class:`RepositoryServer` wraps
-one repository and handles the eight operations — ``manifest``,
+one repository and handles the nine operations — ``manifest``,
 ``known_commits``, ``missing_chunks``, ``get_chunks``, ``put_chunks``,
-``fetch``, ``push``, and ``stats`` (telemetry readout) — entirely in
+``fetch``, ``push``, ``stats`` (telemetry readout), and ``lineage``
+(provenance queries) — entirely in
 terms of pack assembly/import from
 :mod:`repro.remote.pack`. It is transport-agnostic: :class:`LocalTransport`
 calls :meth:`handle_bytes` directly, and :func:`serve` exposes the same
@@ -71,7 +72,16 @@ METRICS_PATH = "/metrics"
 #: entries stay small. ``get_chunks`` is deliberately excluded — content
 #: reads are already O(1) store lookups and their responses are up to a
 #: full pack window each, the wrong trade for a metadata cache.
-CACHEABLE_OPS = frozenset({"manifest", "known_commits", "missing_chunks", "fetch"})
+#: ``lineage`` qualifies: closures over an append-only ledger are a pure
+#: function of repository state, and the state token carries the ledger
+#: revision, so cached answers expire the moment a new record lands.
+CACHEABLE_OPS = frozenset(
+    {"manifest", "known_commits", "missing_chunks", "fetch", "lineage"}
+)
+
+#: The query forms one ``lineage`` request can carry, mapped to the
+#: provenance-query entry points they dispatch to.
+LINEAGE_QUERIES = ("lineage", "consumers", "impact", "trace")
 
 
 class RWLock:
@@ -298,6 +308,8 @@ def validate_request(op: str, meta: dict, blobs: list) -> None:
                 )
         if not _is_dict_list(meta.get("records", [])):
             _fail(op, "'records' must be a list of record dicts")
+        if not _is_dict_list(meta.get("lineage", [])):
+            _fail(op, "'lineage' must be a list of lineage-record dicts")
         _check_digest_blob_parallel(op, meta, blobs)
         refs = meta.get("refs", {})
         if not isinstance(refs, dict):
@@ -321,6 +333,22 @@ def validate_request(op: str, meta: dict, blobs: list) -> None:
                         f"ref update for {pipeline}:{branch} has a non-string "
                         "'old' head",
                     )
+    elif op == "lineage":
+        query = meta.get("query")
+        if query not in LINEAGE_QUERIES:
+            _fail(op, f"'query' must be one of {LINEAGE_QUERIES}")
+        if query in ("lineage", "consumers") and not isinstance(
+            meta.get("ref"), str
+        ):
+            _fail(op, f"a {query!r} query needs a string 'ref'")
+        if query == "impact":
+            if not isinstance(meta.get("component"), str):
+                _fail(op, "an 'impact' query needs a string 'component'")
+            version = meta.get("version")
+            if version is not None and not isinstance(version, str):
+                _fail(op, "'version' must be null or a string")
+        if query == "trace" and not isinstance(meta.get("trace_id"), str):
+            _fail(op, "a 'trace' query needs a string 'trace_id'")
 
 
 class RepositoryServer:
@@ -431,6 +459,11 @@ class RepositoryServer:
         repo.objects.chunks.stats.bind_registry(
             registry, self._tenant, self._repo_label
         )
+        # Same attribution for lineage appends: pushed/recorded ledger
+        # rows surface as repro_lineage_records_total per tenant+repo.
+        lineage = getattr(repo, "lineage", None)
+        if lineage is not None:
+            lineage.bind_registry(registry, self._tenant, self._repo_label)
 
     def count_request(self) -> None:
         with self._count_lock:
@@ -553,6 +586,7 @@ class RepositoryServer:
         (a conflicting redefinition raises), so any change moves it.
         """
         repo = self.repo
+        lineage = getattr(repo, "lineage", None)
         return (
             repo.graph.revision,
             repo.branches.revision,
@@ -560,6 +594,10 @@ class RepositoryServer:
             repo.objects.chunks.revision,
             repo.checkpoints.revision,
             len(repo._specs),
+            # Lineage answers depend on the ledger too: a new record (or a
+            # commit back-fill / GC collected flag) must expire cached
+            # lineage responses, and the fetch pack now carries lineage.
+            lineage.revision if lineage is not None else 0,
         )
 
     # ---------------------------------------------------------- operations
@@ -659,6 +697,12 @@ class RepositoryServer:
         changes with every request).
         """
         repo = self.repo
+        # Engine metrics register on the process-default registry at
+        # scheduler/single-flight construction (they are process-wide,
+        # not per-repo), so the readout queries that registry — zeros
+        # when no parallel run ever happened or nothing is installed.
+        engine_registry = obs_metrics.default_registry()
+        lineage = getattr(repo, "lineage", None)
         return encode_message(
             {
                 "stats": {
@@ -670,9 +714,62 @@ class RepositoryServer:
                         "pipelines": len(repo.branches.pipelines()),
                         "checkpoints": len(repo.checkpoints.records()),
                     },
+                    "engine": {
+                        "scheduler_queue_depth": engine_registry.value(
+                            "repro_scheduler_queue_depth"
+                        ),
+                        "scheduler_steals": engine_registry.value(
+                            "repro_scheduler_steals_total"
+                        ),
+                        "scheduler_tasks": {
+                            status: engine_registry.value(
+                                "repro_scheduler_tasks_total", status=status
+                            )
+                            for status in ("done", "failed", "cancelled")
+                        },
+                        "single_flight": {
+                            via: engine_registry.value(
+                                "repro_singleflight_total", via=via
+                            )
+                            for via in ("hit", "computed", "joined", "failed")
+                        },
+                    },
+                    "lineage": {
+                        "records": len(lineage) if lineage is not None else 0,
+                        "collected": (
+                            lineage.collected_count()
+                            if lineage is not None
+                            else 0
+                        ),
+                    },
                 }
             }
         )
+
+    def _op_lineage(self, meta: dict, blobs) -> bytes:
+        """Provenance queries over the repository's lineage ledger.
+
+        A read like ``stats`` — served under the shared lock, and (unlike
+        ``stats``) response-cache eligible because every answer is a pure
+        function of repository state, which the state token now covers via
+        the ledger revision. Unknown refs/components/traces surface as
+        typed :class:`LineageNotFoundError` responses, not prose.
+        """
+        from ..provenance import queries
+
+        repo = self.repo
+        query = meta["query"]
+        if query == "lineage":
+            result = queries.lineage_of(repo, meta["ref"])
+        elif query == "consumers":
+            result = queries.consumers_of(repo, meta["ref"])
+        elif query == "impact":
+            result = queries.impact_of(
+                repo, meta["component"], version=meta.get("version")
+            )
+        else:  # "trace" — validate_request admits no other form
+            result = queries.trace_forensics(repo, meta["trace_id"])
+        return encode_message({"lineage": result})
 
     def _op_fetch(self, meta: dict, blobs) -> bytes:
         """Commit-graph sync: everything reachable from the wanted refs
@@ -749,6 +846,7 @@ class RepositoryServer:
                 meta.get("records", []),
                 meta.get("chunk_digests", []),
                 blobs,
+                lineage_entries=meta.get("lineage", []),
             )
             pack.import_commits(repo, meta.get("commits", []))
 

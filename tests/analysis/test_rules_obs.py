@@ -157,3 +157,75 @@ class TestOB003Spans:
             """,
         )
         assert tree.findings("OB003") == []
+
+
+COMPLIANT_LINEAGE = """\
+    from repro.provenance import LineageRecord
+
+    def mint(report):
+        return LineageRecord(
+            checkpoint_key="k",
+            stage="clean",
+            pipeline="toy",
+            component_id="toy.clean@master@0.0",
+            component_fingerprint="fp",
+            component_version="master@0.0",
+            params_digest="pd",
+            input_refs=(),
+            output_ref="out",
+            seed=0,
+            trace_id="",
+            span_id="",
+            tenant="",
+            via="executed",
+        )
+"""
+
+
+class TestOB004LineageSchema:
+    def test_full_keyword_construction_passes(self, tree):
+        tree.write("prov.py", COMPLIANT_LINEAGE)
+        assert tree.findings("OB004") == []
+
+    def test_dropped_field_flagged(self, tree, line_of):
+        source = tree.write(
+            "prov.py",
+            COMPLIANT_LINEAGE.replace(
+                '            trace_id="",\n            span_id="",\n', ""
+            ).replace(
+                "return LineageRecord(", "return LineageRecord(  # MARK partial"
+            ),
+        )
+        findings = tree.findings("OB004")
+        assert len(findings) == 1
+        assert findings[0].line == line_of(source, "MARK partial")
+        assert "trace_id" in findings[0].message
+        assert "span_id" in findings[0].message
+
+    def test_positional_construction_flagged(self, tree):
+        tree.write(
+            "prov.py",
+            """\
+            from repro.provenance import LineageRecord
+
+            def mint():
+                return LineageRecord("k", "clean", "toy")
+            """,
+        )
+        findings = tree.findings("OB004")
+        assert len(findings) == 1
+        assert "keyword" in findings[0].message
+
+    def test_codec_star_kwargs_call_is_skipped(self, tree):
+        # The codec rebuilds records from deserialized dicts; a **kwargs
+        # call site cannot be field-checked statically and is exempt.
+        tree.write(
+            "codec.py",
+            """\
+            from repro.provenance import LineageRecord
+
+            def decode(entry):
+                return LineageRecord(**entry)
+            """,
+        )
+        assert tree.findings("OB004") == []

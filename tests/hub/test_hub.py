@@ -301,7 +301,8 @@ class TestLifecycle:
         repo_dir = tmp_path / "hub" / "tenants" / "ana" / "proj"
         names = {p.name for p in repo_dir.iterdir()}
         assert names == {
-            "state.json", "recipes.json", "checkpoints.json", "chunks.json"
+            "state.json", "recipes.json", "checkpoints.json", "chunks.json",
+            "lineage.json",
         }
         with open(repo_dir / "chunks.json") as fh:
             holdings = json.load(fh)["chunks"]

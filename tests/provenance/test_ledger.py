@@ -1,0 +1,183 @@
+"""LineageLedger unit contract: append-only, amendments, import dedup."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.provenance import (
+    EXECUTED,
+    REUSED,
+    LineageLedger,
+    LineageRecord,
+    lineage_record_from_dict,
+    lineage_record_to_dict,
+)
+
+
+def make_record(stage="clean", output_ref="out-1", via=EXECUTED, **overrides):
+    fields = dict(
+        checkpoint_key=f"key-{stage}-{output_ref}",
+        stage=stage,
+        pipeline="toy",
+        component_id=f"toy.{stage}@master@0.0",
+        component_fingerprint="fp",
+        component_version="master@0.0",
+        params_digest="pd",
+        input_refs=("in-1",),
+        output_ref=output_ref,
+        seed=0,
+        trace_id="",
+        span_id="",
+        tenant="",
+        via=via,
+    )
+    fields.update(overrides)
+    return LineageRecord(**fields)
+
+
+class TestRecordIdentity:
+    def test_timing_and_collected_excluded_from_equality(self):
+        a = make_record(wall_seconds=1.0, cpu_seconds=0.5)
+        b = make_record(wall_seconds=9.0, cpu_seconds=7.0, collected=True)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_commit_binding_is_part_of_identity(self):
+        assert make_record() != make_record(commit_id="c1", branch="master")
+
+    def test_codec_round_trip(self):
+        record = make_record(
+            wall_seconds=0.25,
+            cpu_seconds=0.125,
+            commit_id="c1",
+            branch="dev",
+            collected=True,
+            trace_id="t1",
+            span_id="s1",
+        )
+        entry = lineage_record_to_dict(record)
+        restored = lineage_record_from_dict(entry)
+        assert restored == record
+        assert restored.wall_seconds == record.wall_seconds
+        assert restored.cpu_seconds == record.cpu_seconds
+        assert restored.collected is True
+
+    def test_codec_defaults_for_pre_amendment_entries(self):
+        entry = lineage_record_to_dict(make_record())
+        for key in ("wall_seconds", "cpu_seconds", "commit_id", "branch", "collected"):
+            del entry[key]
+        restored = lineage_record_from_dict(entry)
+        assert restored.commit_id == "" and restored.collected is False
+
+
+class TestAppendOnly:
+    def test_local_appends_never_dedup(self):
+        ledger = LineageLedger()
+        ledger.append(make_record(via=REUSED))
+        ledger.append(make_record(via=REUSED))
+        assert len(ledger) == 2  # a warm re-run is its own event
+
+    def test_import_is_idempotent(self):
+        ledger = LineageLedger()
+        entry = lineage_record_to_dict(make_record())
+        assert ledger.import_entries([entry, entry]) == 1
+        assert ledger.import_entries([entry]) == 0
+        assert len(ledger) == 1
+
+    def test_import_after_local_append_dedups(self):
+        ledger = LineageLedger()
+        record = make_record()
+        ledger.append(record)
+        assert ledger.import_record(record) is False
+        assert len(ledger) == 1
+
+    def test_revision_bumps_on_every_mutation(self):
+        ledger = LineageLedger()
+        assert ledger.revision == 0
+        row = ledger.append(make_record())
+        after_append = ledger.revision
+        assert after_append > 0
+        ledger.annotate_commit("c1", "master", [row])
+        after_annotate = ledger.revision
+        assert after_annotate > after_append
+        ledger.mark_collected(live_refs=set())
+        assert ledger.revision > after_annotate
+
+
+class TestAmendments:
+    def test_annotate_commit_binds_once(self):
+        ledger = LineageLedger()
+        row = ledger.append(make_record())
+        ledger.annotate_commit("c1", "master", [row])
+        ledger.annotate_commit("c2", "dev", [row])  # already bound: no-op
+        record = ledger.records()[row]
+        assert record.commit_id == "c1" and record.branch == "master"
+        assert [r.commit_id for r in ledger.records_for_commits(["c1"])] == ["c1"]
+        assert ledger.records_for_commits(["c2"]) == []
+
+    def test_annotated_identity_still_dedups_on_import(self):
+        ledger = LineageLedger()
+        row = ledger.append(make_record())
+        ledger.annotate_commit("c1", "master", [row])
+        bound = ledger.records()[row]
+        assert ledger.import_record(bound) is False
+
+    def test_mark_collected_retains_records(self):
+        ledger = LineageLedger()
+        ledger.append(make_record(output_ref="live"))
+        ledger.append(make_record(stage="extract", output_ref="dead"))
+        flagged = ledger.mark_collected(live_refs={"live"})
+        assert flagged == 1
+        assert len(ledger) == 2  # append-only: nothing deleted
+        by_ref = {r.output_ref: r for r in ledger.records()}
+        assert by_ref["dead"].collected is True
+        assert by_ref["live"].collected is False
+        # second sweep is a no-op, not a re-flag
+        assert ledger.mark_collected(live_refs={"live"}) == 0
+
+
+class TestIndexes:
+    def test_by_trace_and_rows_for_output(self):
+        ledger = LineageLedger()
+        ledger.append(make_record(trace_id="t1", span_id="s1"))
+        ledger.append(
+            make_record(stage="extract", output_ref="out-2", trace_id="t1")
+        )
+        ledger.append(make_record(stage="model", output_ref="out-3"))
+        assert [r.stage for r in ledger.by_trace("t1")] == ["clean", "extract"]
+        assert ledger.by_trace("missing") == ()
+        assert len(ledger.rows_for_output("out-1")) == 1
+        assert ledger.outputs() == {"out-1", "out-2", "out-3"}
+
+    def test_payload_round_trip(self):
+        ledger = LineageLedger()
+        row = ledger.append(make_record())
+        ledger.annotate_commit("c1", "master", [row])
+        ledger.append(make_record(stage="extract", output_ref="out-2"))
+        restored = LineageLedger()
+        assert restored.load_payload(ledger.to_payload()) == 2
+        assert restored.records() == ledger.records()
+        # loading the same payload again imports nothing (idempotent)
+        assert restored.load_payload(ledger.to_payload()) == 0
+
+
+class TestRegistryMirror:
+    def test_bind_registry_counts_arrivals(self):
+        registry = MetricsRegistry()
+        ledger = LineageLedger().bind_registry(registry, tenant="ana", repo="r1")
+        ledger.append(make_record())
+        ledger.import_record(make_record(stage="extract", output_ref="out-2"))
+        assert (
+            registry.value("repro_lineage_records_total", tenant="ana", repo="r1")
+            == 2.0
+        )
+
+    def test_null_registry_unbinds(self):
+        ledger = LineageLedger().bind_registry(NULL_REGISTRY)
+        ledger.append(make_record())  # must not raise, mirrors nowhere
+        assert len(ledger) == 1
+
+
+class TestViaValues:
+    @pytest.mark.parametrize("via", [EXECUTED, REUSED])
+    def test_constants(self, via):
+        assert via in ("executed", "reused")
