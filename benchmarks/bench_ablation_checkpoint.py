@@ -6,7 +6,7 @@ repeats; per-component reuse also accelerates partially-overlapping
 candidates, which is where the merge savings of Fig. 8 come from.
 """
 
-from conftest import BENCH_SEED, write_result
+from conftest import BENCH_SEED, write_bench_record, write_result
 
 from repro.core.checkpoint import ChunkedCheckpointStore
 from repro.core.context import ExecutionContext
@@ -63,6 +63,19 @@ def test_ablation_checkpoint_granularity(benchmark):
         title="Ablation: checkpoint granularity (4 overlapping DPM variants)",
     )
     write_result("ablation_checkpoint.txt", text)
+    write_bench_record(
+        "ablation_checkpoint",
+        {
+            "executed": {
+                "per_component": executed_reuse,
+                "no_reuse": executed_none,
+            },
+            "seconds": {
+                "per_component": seconds_reuse,
+                "no_reuse": seconds_none,
+            },
+        },
+    )
 
     # per-component reuse runs strictly fewer components: the three
     # model-only variants reuse the whole expensive prefix.

@@ -9,7 +9,7 @@ costs in throughput.
 import time
 
 import numpy as np
-from conftest import write_result
+from conftest import write_bench_record, write_result
 
 from repro.experiments.report import format_table
 from repro.storage import ChunkerConfig, ContentDefinedChunker, FixedSizeChunker
@@ -63,6 +63,18 @@ def test_ablation_chunking(benchmark):
         title="Ablation: chunking strategy (fraction of base bytes shared)",
     )
     write_result("ablation_chunking.txt", text)
+    write_bench_record(
+        "ablation_chunking",
+        {
+            name: {
+                "value_edit_dedup": _dedup_fraction(chunker, base, value_edit),
+                "append_dedup": _dedup_fraction(chunker, base, append),
+                "insert_dedup": _dedup_fraction(chunker, base, insertion),
+                "mb_per_s": _throughput(chunker, base),
+            }
+            for name, chunker in chunkers.items()
+        },
+    )
 
     word = chunkers["word CDC (default)"]
     byte = chunkers["byte CDC (buzhash)"]

@@ -8,7 +8,7 @@ later the optimum is found.
 """
 
 import numpy as np
-from conftest import BENCH_SEED, write_result
+from conftest import BENCH_SEED, write_bench_record, write_result
 
 from repro.core.merge import (
     SearchSimulator,
@@ -82,6 +82,16 @@ def test_ablation_priors(benchmark):
         title="Ablation: prioritized-search initialization",
     )
     write_result("ablation_priors.txt", text)
+    write_bench_record(
+        "ablation_priors",
+        {
+            "mean_first_optimal_rank": {
+                "history": warm,
+                "cold_start": cold,
+                "random": random_rank,
+            }
+        },
+    )
 
     # History initialization must help: the optimum is found earlier than
     # under a cold start (which degenerates toward random order).

@@ -28,7 +28,7 @@ import json
 import threading
 import time
 
-from conftest import BENCH_SCALE, BENCH_SEED, BENCH_SMOKE, write_result
+from conftest import BENCH_SCALE, BENCH_SEED, BENCH_SMOKE, write_bench_record, write_result
 
 from repro.core.repository import MLCask
 from repro.obs.metrics import NULL_REGISTRY
@@ -219,6 +219,19 @@ def test_concurrent_read_throughput():
         "malformed push during storm: typed error, server kept serving",
     ]
     write_result("concurrent_sync.txt", "\n".join(lines))
+    write_bench_record(
+        "concurrent_sync",
+        {
+            "reads_per_second": {
+                "serialized": baseline["throughput"],
+                "rwlock_cache": concurrent["throughput"],
+                "uninstrumented": bare["throughput"],
+            },
+            "speedup": speedup,
+            "instrumentation_ratio": overhead_ratio,
+            "cache_hit_rate": cache_stats["hit_rate"],
+        },
+    )
     write_result(
         "obs_concurrent_sync_metrics.json",
         json.dumps(concurrent["metrics"], indent=2, sort_keys=True),

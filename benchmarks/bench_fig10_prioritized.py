@@ -4,7 +4,7 @@ Benchmarks one simulated prioritized trial (tree rebuild + ordered walk
 over known scores and costs)."""
 
 import numpy as np
-from conftest import BENCH_SEED, write_result
+from conftest import BENCH_SEED, write_bench_record, write_result
 
 from repro.core.merge import (
     SearchSimulator,
@@ -45,6 +45,18 @@ def test_fig10_prioritized_search(search_result, benchmark):
     benchmark.pedantic(one_prioritized_trial, rounds=10, iterations=1)
 
     write_result("fig10_prioritized.txt", search_result.render_fig10())
+    write_bench_record(
+        "fig10_prioritized",
+        {
+            "mean_score_by_rank": {
+                app: {
+                    method: [p.mean_score for p in points]
+                    for method, points in by_method.items()
+                }
+                for app, by_method in search_result.points.items()
+            }
+        },
+    )
 
     for app in search_result.points:
         prioritized = search_result.points[app]["prioritized"]

@@ -5,7 +5,7 @@ Benchmarks one synchronous 8-worker training step (gradient shards plus
 averaging)."""
 
 import numpy as np
-from conftest import BENCH_SEED, write_result
+from conftest import BENCH_SEED, write_bench_record, write_result
 
 from repro.experiments import loss_decay_ordering
 from repro.ml import DistributedTrainer, MLPClassifier, pipeline_speedup
@@ -28,6 +28,16 @@ def test_fig11_distributed(distributed_result, benchmark):
         [distributed_result.render_fig11a(), distributed_result.render_fig11b()]
     )
     write_result("fig11_distributed.txt", text)
+    write_bench_record(
+        "fig11_distributed",
+        {
+            "loss_decay_ordering": loss_decay_ordering(distributed_result),
+            "speedup_grid": {
+                f"p={p},k={k}": value
+                for (p, k), value in distributed_result.speedup_grid.items()
+            },
+        },
+    )
 
     # Paper: "the training loss decreases faster over training time for
     # more GPUs."

@@ -5,7 +5,7 @@ the figure accumulates: one MLCask iteration (model update with
 pre-processing reuse) on the Readmission pipeline.
 """
 
-from conftest import BENCH_SEED, write_result
+from conftest import BENCH_SEED, write_bench_record, write_result
 
 from repro.baselines import MLCaskLinear
 from repro.workloads import readmission_workload
@@ -27,6 +27,15 @@ def test_fig5_series(linear_result, benchmark):
     benchmark.pedantic(one_mlcask_iteration, rounds=3, iterations=1)
 
     write_result("fig5_linear_total_time.txt", linear_result.render_fig5())
+    write_bench_record(
+        "fig5_linear_total_time",
+        {
+            "total_executed": {
+                app: {name: s.total_executed for name, s in by_system.items()}
+                for app, by_system in linear_result.series.items()
+            }
+        },
+    )
 
     # Paper shape: ModelDB's total grows fastest in every application.
     for app, by_system in linear_result.series.items():

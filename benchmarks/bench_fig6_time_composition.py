@@ -3,7 +3,7 @@
 Regenerates the stacked-bar data and benchmarks the full-rerun iteration
 (ModelDB's unit: every component executes)."""
 
-from conftest import BENCH_SEED, BENCH_SMOKE, write_result
+from conftest import BENCH_SEED, BENCH_SMOKE, write_bench_record, write_result
 
 from repro.baselines import ModelDBSim
 from repro.workloads import readmission_workload
@@ -21,6 +21,15 @@ def test_fig6_composition(linear_result, benchmark):
     benchmark.pedantic(one_modeldb_iteration, rounds=3, iterations=1)
 
     write_result("fig6_time_composition.txt", linear_result.render_fig6())
+    write_bench_record(
+        "fig6_time_composition",
+        {
+            "composition": {
+                app: linear_result.fig6_composition(app)
+                for app in linear_result.series
+            }
+        },
+    )
 
     if BENCH_SMOKE:
         # Tiny runs exercise the pipeline end to end; the composition

@@ -5,7 +5,7 @@ component output into the chunk-deduplicating store versus a folder copy.
 """
 
 import numpy as np
-from conftest import BENCH_SMOKE, write_result
+from conftest import BENCH_SMOKE, write_bench_record, write_result
 
 from repro.storage import FolderStore, ObjectStore
 
@@ -28,6 +28,18 @@ def test_fig7_storage(linear_result, benchmark):
     benchmark.pedantic(archive_into_chunked_store, rounds=5, iterations=1)
 
     write_result("fig7_storage.txt", linear_result.render_fig7())
+    write_bench_record(
+        "fig7_storage",
+        {
+            "final_bytes": {
+                app: {
+                    name: series[-1]
+                    for name, series in linear_result.fig7_series(app).items()
+                }
+                for app in linear_result.series
+            }
+        },
+    )
 
     for app in linear_result.series:
         series = linear_result.fig7_series(app)

@@ -5,7 +5,7 @@ Benchmarks the headline unit: a full metric-driven merge with both
 pruning methods on the Fig. 3-shaped Readmission history.
 """
 
-from conftest import BENCH_SEED, BENCH_SMOKE, write_result
+from conftest import BENCH_SEED, BENCH_SMOKE, write_bench_record, write_result
 
 from repro.core.repository import MLCask
 from repro.workloads import apply_nonlinear_history, nonlinear_script, readmission_workload
@@ -29,6 +29,18 @@ def test_fig8_merge_performance(merge_result, benchmark):
             f"{merge_result.storage_saving(app):.2f}x"
         )
     write_result("fig8_merge_perf.txt", "\n".join(lines))
+    write_bench_record(
+        "fig8_merge_perf",
+        {
+            "speedup": {
+                app: merge_result.speedup(app) for app in merge_result.measures
+            },
+            "storage_saving": {
+                app: merge_result.storage_saving(app)
+                for app in merge_result.measures
+            },
+        },
+    )
 
     for app, by_mode in merge_result.measures.items():
         if not BENCH_SMOKE:

@@ -3,7 +3,7 @@
 Benchmarks one candidate evaluation with PR reuse (the unit whose
 repetition the composition aggregates)."""
 
-from conftest import BENCH_SEED, write_result
+from conftest import BENCH_SEED, write_bench_record, write_result
 
 from repro.core.context import ExecutionContext
 from repro.core.executor import Executor
@@ -47,6 +47,18 @@ def test_fig9_composition(merge_result, benchmark):
     benchmark.pedantic(evaluate_one_candidate, rounds=3, iterations=1)
 
     write_result("fig9_merge_composition.txt", merge_result.render_fig9())
+    write_bench_record(
+        "fig9_merge_composition",
+        {
+            "preprocessing_seconds": {
+                app: {
+                    mode: measure.preprocessing_seconds
+                    for mode, measure in by_mode.items()
+                }
+                for app, by_mode in merge_result.measures.items()
+            }
+        },
+    )
 
     for app, by_mode in merge_result.measures.items():
         # Paper: "The difference in pipeline time among the three systems

@@ -30,7 +30,7 @@ import threading
 import time
 import urllib.request
 
-from conftest import BENCH_SCALE, BENCH_SEED, BENCH_SMOKE, write_result
+from conftest import BENCH_SCALE, BENCH_SEED, BENCH_SMOKE, write_bench_record, write_result
 
 from repro.core.repository import MLCask
 from repro.errors import AuthenticationError, QuotaExceededError
@@ -266,6 +266,15 @@ def main():
         "per-tenant chunk bytes (see obs_hub_scrape.txt)",
     ]
     write_result("hub_multitenant.txt", "\n".join(lines))
+    write_bench_record(
+        "hub_multitenant",
+        {
+            "isolated_total_bytes": isolated_total,
+            "hub_physical_bytes": hub_physical,
+            "physical_saving": saving,
+            "aggregate_fetches_per_second": total_reads / elapsed,
+        },
+    )
 
 
 def test_hub_multitenant():

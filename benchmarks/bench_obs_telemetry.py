@@ -1,16 +1,23 @@
-"""Telemetry: traced spans, lineage forensics, and provenance overhead.
+"""Telemetry: traced spans, lineage forensics, and instrumentation overhead.
 
-Two acceptance layers share this bench. The tracing check (ISSUE 6): a
-single push admitted by the hub must come out the other side as a tree
-of at least four spans sharing one ``trace_id`` — hub admission, the
-server operation, the write-lock wait, and the chunk import — parented
-so an operator can read the request's life story from the buffer:
+Three acceptance layers share this bench. The tracing checks (ISSUE 6 +
+ISSUE 9): a single push admitted by the hub must come out the other side
+as a tree of at least four spans sharing one ``trace_id`` — hub
+admission, the server operation, the write-lock wait, and the chunk
+import — parented so an operator can read the request's life story from
+the buffer:
 
     hub.request
     ├── hub.admission
     └── server.push
         ├── lock.write
         └── storage.import
+
+and, new in ISSUE 9, the same push driven by an *instrumented client
+over real HTTP* must yield exactly one trace id spanning both sides of
+the wire — ``client.<op>`` spans on the client tracer, the hub/server
+tree on the hub's, every ``hub.request`` parented under the client span
+that carried it (trace-context propagation, not shared memory).
 
 The provenance checks (ISSUE 8), on a traced merge search:
 
@@ -23,6 +30,11 @@ The provenance checks (ISSUE 8), on a traced merge search:
 * ledger capture costs <= 5% wall-clock against a lineage-free twin
   (relaxed in smoke mode, like every perf-ratio assertion).
 
+The forensics layer (ISSUE 9): a cold metric-driven merge with the
+sampling profiler attached must stay within 5% of the profiler-off wall
+time, and the profiler's folded-stack table is persisted to
+``results/obs_profile_folded.txt`` (flamegraph.pl/speedscope input).
+
 The span and forensics checks are deterministic, so they are asserted
 in smoke mode too. The winning trace's spans are dumped to
 ``results/obs_trace_spans.json`` and the merge's full ledger to
@@ -30,22 +42,32 @@ in smoke mode too. The winning trace's spans are dumped to
 """
 
 import json
+import threading
 import time
 
-from conftest import BENCH_SCALE, BENCH_SEED, BENCH_SMOKE, write_result
+from conftest import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    BENCH_SMOKE,
+    write_bench_record,
+    write_result,
+)
 
 from repro.core.checkpoint import ChunkedCheckpointStore
 from repro.core.context import ExecutionContext
 from repro.core.executor import Executor
 from repro.core.pipeline import PipelineInstance
 from repro.core.repository import MLCask
-from repro.hub import RepositoryHub
+from repro.hub import RepositoryHub, serve_hub
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.trace import Tracer
 from repro.provenance import LineageLedger
+from repro.remote.client import Remote
+from repro.remote.transport import HttpTransport
 from repro.workloads import ALL_WORKLOADS
 
 N_HISTORY = 3  # commits in the pushed history (cheap; tracing is the point)
-OVERHEAD_BOUND = 10.0 if BENCH_SMOKE else 1.05  # ledger-on / ledger-off
+OVERHEAD_BOUND = 10.0 if BENCH_SMOKE else 1.05  # instrumented / bare
 OVERHEAD_RUNS = 3  # best-of-N per arm (cold stores, so wall-clock heavy)
 
 
@@ -74,6 +96,71 @@ def traced_push():
     )
     remote.push(workload.name)
     return hub.tracer.drain()
+
+
+def traced_push_over_http():
+    """One push over real HTTP: instrumented client, instrumented hub.
+
+    Returns ``(client_spans, hub_spans, sync_span)`` — the client
+    tracer's buffer, the hub tracer's buffer, and the client-side root
+    span that wrapped the push conversation. The only thing the two
+    tracers share is the wire: any join between their spans is the
+    propagated ``trace_ctx``, not process memory.
+    """
+    workload = ALL_WORKLOADS["readmission"](scale=BENCH_SCALE, seed=BENCH_SEED)
+    team_repo = build_repo(workload)
+    hub = RepositoryHub(tracer=Tracer())
+    hub.add_tenant("team0", tokens=["tok-0"])
+    hub.create_repo("team0", "pipelines")
+    server = serve_hub(hub, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client_tracer = Tracer()
+    transport = HttpTransport(server.repo_url("team0", "pipelines"), token="tok-0")
+    try:
+        remote = Remote(team_repo, transport, name="hub-http", tracer=client_tracer)
+        with client_tracer.span("client.sync", remote="hub-http") as sync_span:
+            remote.push(workload.name)
+    finally:
+        transport.close()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    return client_tracer.drain(), hub.tracer.drain(), sync_span
+
+
+def check_cross_process(client_spans, hub_spans, sync_span):
+    """ISSUE 9 acceptance: ONE trace id spans the wire, links verified."""
+    trace_id = sync_span.trace_id
+
+    # Single trace on both sides: every span either tracer finished
+    # during the push belongs to the client root's trace.
+    assert {s["trace_id"] for s in client_spans} == {trace_id}
+    assert {s["trace_id"] for s in hub_spans} == {trace_id}
+
+    # Client side: one root (the sync span), every client.<op> under it.
+    client_by_id = {s["span_id"]: s for s in client_spans}
+    for span in client_spans:
+        if span["span_id"] == sync_span.span_id:
+            assert span["parent_id"] is None
+        else:
+            assert span["parent_id"] == sync_span.span_id, span["name"]
+            assert span["name"].startswith("client."), span["name"]
+
+    # Server side: every hub.request is parented under the exact
+    # client.<op> span that carried its request — the cross-process link.
+    roots = [s for s in hub_spans if s["name"] == "hub.request"]
+    assert roots, [s["name"] for s in hub_spans]
+    for root in roots:
+        carrier = client_by_id.get(root["parent_id"])
+        assert carrier is not None, root
+        assert carrier["name"].startswith("client."), carrier["name"]
+
+    # The push itself made it across with its full server-side tree.
+    names = {s["name"] for s in hub_spans}
+    assert {"hub.request", "hub.admission", "server.push",
+            "lock.write", "storage.import"} <= names, sorted(names)
+    return trace_id, roots
 
 
 def push_trace(spans):
@@ -114,9 +201,8 @@ def check_trace(push, trace):
     return root
 
 
-def traced_merge():
-    """A merge search under one tracer span; return (repo, outcome, span)."""
-    workload = ALL_WORKLOADS["readmission"](scale=BENCH_SCALE, seed=BENCH_SEED)
+def build_diverged_repo(workload):
+    """A history whose master/dev heads force a metric-driven merge."""
     repo = build_repo(workload)
     repo.branch(workload.name, "dev")
     repo.commit(
@@ -136,6 +222,13 @@ def traced_merge():
         branch="master",
         message="master candidate",
     )
+    return repo
+
+
+def traced_merge():
+    """A merge search under one tracer span; return (repo, outcome, span)."""
+    workload = ALL_WORKLOADS["readmission"](scale=BENCH_SCALE, seed=BENCH_SEED)
+    repo = build_diverged_repo(workload)
     tracer = Tracer()
     with tracer.span("merge.search") as span:
         outcome = repo.merge(workload.name, "master", "dev")
@@ -189,19 +282,21 @@ def measure_overhead():
     )
     context = ExecutionContext(seed=BENCH_SEED, metric=workload.metric)
 
-    def best_run_seconds(lineage):
-        best = float("inf")
-        for _ in range(OVERHEAD_RUNS):
-            executor = Executor(
-                ChunkedCheckpointStore(), metric=workload.metric, lineage=lineage
-            )
-            started = time.perf_counter()
-            executor.run(instance, context)
-            best = min(best, time.perf_counter() - started)
-        return best
+    def one_run_seconds(lineage):
+        executor = Executor(
+            ChunkedCheckpointStore(), metric=workload.metric, lineage=lineage
+        )
+        started = time.perf_counter()
+        executor.run(instance, context)
+        return time.perf_counter() - started
 
-    bare = best_run_seconds(None)
-    instrumented = best_run_seconds(LineageLedger())
+    # Interleaved arms compared on best runs: cold runs vary more
+    # run-to-run than the ledger costs, so sequential arms would
+    # measure machine drift, not the capture overhead.
+    bare = instrumented = float("inf")
+    for _ in range(2 * OVERHEAD_RUNS):
+        bare = min(bare, one_run_seconds(None))
+        instrumented = min(instrumented, one_run_seconds(LineageLedger()))
     ratio = instrumented / bare
     assert ratio <= OVERHEAD_BOUND, (
         f"lineage capture overhead {ratio:.3f}x exceeds {OVERHEAD_BOUND}x"
@@ -209,15 +304,58 @@ def measure_overhead():
     return bare, instrumented, ratio
 
 
+def measure_profiler_overhead():
+    """ISSUE 9 acceptance: profiler-on vs profiler-off cold merge within
+    the overhead bound, best-of-N fresh repositories per arm; returns the
+    folded-stack table of the profiled arm as the committed artifact."""
+    workload = ALL_WORKLOADS["readmission"](scale=BENCH_SCALE, seed=BENCH_SEED)
+
+    def one_merge_seconds(profiler):
+        repo = build_diverged_repo(workload)  # setup outside the timer
+        if profiler is not None:
+            profiler.start()
+        started = time.perf_counter()
+        repo.merge(workload.name, "master", "dev")
+        elapsed = time.perf_counter() - started
+        if profiler is not None:
+            profiler.stop()
+        return elapsed
+
+    # The arms are *interleaved* (off, on, off, on, ...) and compared on
+    # their best runs: cold-store merges vary more run-to-run than the
+    # profiler costs, so sequential arms would measure drift, not the
+    # sampler. The interval is the documented 10ms default.
+    profiler = SamplingProfiler(interval=0.01)
+    off = on = float("inf")
+    for _ in range(2 * OVERHEAD_RUNS):
+        off = min(off, one_merge_seconds(None))
+        on = min(on, one_merge_seconds(profiler))
+    ratio = on / off
+    assert ratio <= OVERHEAD_BOUND, (
+        f"profiler overhead {ratio:.3f}x exceeds {OVERHEAD_BOUND}x"
+    )
+    folded = profiler.folded()
+    # A full-scale merge runs long enough that a 10ms sampler must see
+    # it; smoke merges can finish between ticks.
+    assert folded or BENCH_SMOKE, "profiler saw no stacks at full scale"
+    return off, on, ratio, folded
+
+
 def main():
     spans = traced_push()
     push, trace = push_trace(spans)
     root = check_trace(push, trace)
 
+    client_spans, hub_spans, sync_span = traced_push_over_http()
+    wire_trace_id, wire_roots = check_cross_process(
+        client_spans, hub_spans, sync_span
+    )
+
     workload, repo, outcome, span = traced_merge()
     forensics = check_forensics(repo, outcome, span)
     impact, component = check_impact(workload, repo)
     bare, instrumented, ratio = measure_overhead()
+    prof_off, prof_on, prof_ratio, folded = measure_profiler_overhead()
 
     names = sorted({s["name"] for s in trace})
     lines = [
@@ -231,6 +369,12 @@ def main():
         f"outcome={root['attrs']['outcome']}",
         f"total spans recorded across the push conversation: {len(spans)}",
         "",
+        f"Cross-process push over HTTP, trace {wire_trace_id}:",
+        f"{len(client_spans)} client span(s) + {len(hub_spans)} hub "
+        f"span(s), ONE trace id across the wire (assert exact)",
+        f"{len(wire_roots)} hub.request span(s), each parented under the "
+        f"client.<op> span that carried it (propagated trace_ctx)",
+        "",
         f"Traced merge search, trace {span.trace_id}:",
         f"lineage DAG nodes: {len(forensics['nodes'])} == "
         f"{outcome.components_executed} executed + "
@@ -240,13 +384,22 @@ def main():
         f"checkpoint(s) invalidated == independent closure (exact)",
         f"ledger records after merge: {len(repo.lineage)}",
         "",
-        f"Provenance capture overhead (best of {OVERHEAD_RUNS} cold runs):",
+        f"Provenance capture overhead (best of {2 * OVERHEAD_RUNS} "
+        f"interleaved cold runs):",
         f"bare executor:       {bare * 1000:.1f} ms",
         f"lineage-attached:    {instrumented * 1000:.1f} ms",
         f"ratio: {ratio:.3f}x (assert <= {OVERHEAD_BOUND}x)",
         "",
+        f"Sampling-profiler overhead (best of {2 * OVERHEAD_RUNS} "
+        f"interleaved cold merges):",
+        f"profiler off:        {prof_off * 1000:.1f} ms",
+        f"profiler on (10ms):  {prof_on * 1000:.1f} ms",
+        f"ratio: {prof_ratio:.3f}x (assert <= {OVERHEAD_BOUND}x), "
+        f"{len(folded.splitlines()) if folded else 0} unique stacks",
+        "",
         "span tree dumped to obs_trace_spans.json; "
-        "merge ledger dumped to obs_lineage_ledger.json",
+        "merge ledger dumped to obs_lineage_ledger.json; "
+        "folded stacks dumped to obs_profile_folded.txt",
     ]
     write_result("obs_telemetry.txt", "\n".join(lines))
     write_result(
@@ -256,6 +409,24 @@ def main():
     write_result(
         "obs_lineage_ledger.json",
         json.dumps(repo.lineage.to_payload(), indent=2, sort_keys=True),
+    )
+    write_result(
+        "obs_profile_folded.txt",
+        folded if folded else "# no samples (smoke-size merge)",
+    )
+    write_bench_record(
+        "obs_telemetry",
+        {
+            "push_trace_spans": len(trace),
+            "cross_process": {
+                "client_spans": len(client_spans),
+                "hub_spans": len(hub_spans),
+                "hub_requests": len(wire_roots),
+            },
+            "lineage_overhead_ratio": ratio,
+            "profiler_overhead_ratio": prof_ratio,
+            "profiler_unique_stacks": len(folded.splitlines()) if folded else 0,
+        },
     )
 
 

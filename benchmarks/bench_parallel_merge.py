@@ -15,7 +15,7 @@ mode the delays shrink and scheduling overhead dominates, so only the
 equivalence half is asserted there.
 """
 
-from conftest import BENCH_SEED, BENCH_SMOKE, write_result
+from conftest import BENCH_SEED, BENCH_SMOKE, write_bench_record, write_result
 
 from repro.experiments import run_parallel_merge_experiment
 
@@ -34,6 +34,16 @@ def test_parallel_merge_speedup_and_equivalence():
         workers=(1, 2, 4), seed=BENCH_SEED, **SHAPE, **COSTS
     )
     write_result("parallel_merge.txt", result.render_table())
+    write_bench_record(
+        "parallel_merge",
+        {
+            "equivalent": result.equivalent,
+            "speedup": {
+                str(row.workers): result.speedup_at(row.workers)
+                for row in result.rows
+            },
+        },
+    )
 
     # Determinism is asserted at every scale: all worker counts must agree
     # on every candidate's score, every stage output ref, the winner, and

@@ -15,7 +15,7 @@ Target (ISSUE 1): the incremental push must move <10% of the bytes of a
 full clone (>=10x saving) for a 1-commit delta.
 """
 
-from conftest import BENCH_SCALE, BENCH_SEED, write_result
+from conftest import BENCH_SCALE, BENCH_SEED, BENCH_SMOKE, write_bench_record, write_result
 
 from repro.core.repository import MLCask
 from repro.remote import LocalTransport, RepositoryServer, clone_repository
@@ -91,8 +91,22 @@ def test_remote_sync_transfer(benchmark):
         f"saving vs naive copy  {naive_ratio:>11.1f}x",
     ]
     write_result("remote_sync.txt", "\n".join(lines))
+    write_bench_record(
+        "remote_sync",
+        {
+            "naive_bytes": naive_bytes,
+            "clone_bytes": clone_bytes,
+            "push_bytes": push_bytes,
+            "saving_vs_clone": clone_ratio,
+            "saving_vs_naive": naive_ratio,
+        },
+    )
 
     assert result.commits_sent == 1
     # ISSUE 1 acceptance: 1-commit delta moves <10% of a full clone.
     assert push_bytes < 0.1 * clone_bytes, (push_bytes, clone_bytes)
-    assert naive_bytes > clone_bytes  # dedup already beats folder copies
+    if not BENCH_SMOKE:
+        # Dedup already beats folder copies — at real scale. At smoke
+        # scale the per-chunk framing overhead exceeds what dedup saves
+        # on the tiny payloads, so the comparison flips meaninglessly.
+        assert naive_bytes > clone_bytes

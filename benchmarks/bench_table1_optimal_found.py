@@ -3,7 +3,7 @@
 
 Benchmarks the full 100-trial simulation for one application."""
 
-from conftest import BENCH_SEED, write_result
+from conftest import BENCH_SEED, write_bench_record, write_result
 
 from repro.experiments import run_search_experiment
 
@@ -17,6 +17,18 @@ def test_table1_optimal_found(search_result, benchmark):
     benchmark.pedantic(hundred_trials_one_app, rounds=1, iterations=1)
 
     write_result("table1_optimal_found.txt", search_result.render_table1())
+    write_bench_record(
+        "table1_optimal_found",
+        {
+            "found_percent": {
+                app: {
+                    method: {str(k): v for k, v in by_fraction.items()}
+                    for method, by_fraction in by_method.items()
+                }
+                for app, by_method in search_result.table1.items()
+            }
+        },
+    )
 
     for app, by_method in search_result.table1.items():
         # Everything is found eventually (both methods are exhaustive).

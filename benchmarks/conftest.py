@@ -10,7 +10,9 @@ figure of a family (e.g. Figs. 5/6/7 share one linear-versioning run)
 costs one execution.
 """
 
+import json
 import os
+import subprocess
 import sys
 
 import pytest
@@ -35,6 +37,41 @@ def write_result(name: str, text: str) -> None:
     with open(path, "w") as fh:
         fh.write(text + "\n")
     print(f"\n[written {path}]\n{text}")
+
+
+def _git_commit() -> str | None:
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(__file__),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return probe.stdout.strip() or None if probe.returncode == 0 else None
+
+
+def write_bench_record(name: str, metrics: dict) -> None:
+    """Persist one benchmark's machine-readable record as
+    ``results/BENCH_<name>.json``: the key metrics next to the run's
+    configuration (smoke flag, scale, seed, commit), so CI artifacts are
+    comparable across commits without parsing rendered tables."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    record = {
+        "benchmark": name,
+        "metrics": metrics,
+        "smoke": BENCH_SMOKE,
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "commit": _git_commit(),
+    }
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench-record {path}]")
 
 
 @pytest.fixture(scope="session")

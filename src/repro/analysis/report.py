@@ -35,6 +35,8 @@ RULES: dict[str, str] = {
     "OB002": "metric family redeclared with conflicting kind/labels",
     "OB003": "tracer span opened but never entered",
     "OB004": "lineage record constructed without the full provenance schema",
+    "OB005": "trace continuity broken: unadopted wire context or a span "
+    "attribute written after the span closed",
 }
 
 

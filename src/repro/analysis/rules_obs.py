@@ -13,6 +13,12 @@ OB004  a ``LineageRecord(...)`` construction site that omits one of the
        required provenance fields (or passes them positionally) — the
        dataclass defaults would accept the call and silently emit a
        record unanchored in the lineage DAG.
+OB005  broken trace continuity: a wire-handler function (remote server,
+       hub) that decodes a request and opens a span without first
+       adopting the propagated trace context — every such request would
+       root a disjoint trace — or a span attribute written via
+       ``.set(...)`` after the span's ``with`` block closed, mutating an
+       already-exported span dict.
 """
 
 from __future__ import annotations
@@ -232,12 +238,150 @@ def _check_lineage_fields(program: Program) -> list[Finding]:
     return findings
 
 
+#: Files whose functions handle raw wire payloads: the only places a
+#: request's propagated trace context is available to adopt.
+_HANDLER_FILES = ("remote/server.py",)
+_HANDLER_DIR_PREFIXES = ("hub/",)
+
+
+def _is_handler_file(rel_path: str) -> bool:
+    # rel_path leads with the analyzed package's directory name
+    # ("repro/remote/server.py"); the handler set is package-internal.
+    _, _, inner = rel_path.partition("/")
+    return inner in _HANDLER_FILES or inner.startswith(_HANDLER_DIR_PREFIXES)
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _check_handler_adoption(program: Program) -> list[Finding]:
+    """OB005a: a handler function that decodes a request and opens a span
+    must adopt the propagated trace context (lexically) in between —
+    otherwise every remote request roots a disjoint trace and the
+    cross-process join (PR 8's ``trace_forensics``) silently degrades."""
+    findings: list[Finding] = []
+    for file in program.files:
+        if not _is_handler_file(file.rel_path):
+            continue
+        for func in ast.walk(file.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            span_lines: list[int] = []
+            decode_lines: list[int] = []
+            adopt_lines: list[int] = []
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node)
+                if name == "span":
+                    span_lines.append(node.lineno)
+                elif name == "decode_message":
+                    decode_lines.append(node.lineno)
+                elif name == "adopt_remote_context":
+                    adopt_lines.append(node.lineno)
+            if not span_lines or not decode_lines:
+                continue
+            first_span = min(span_lines)
+            if any(line <= first_span for line in adopt_lines):
+                continue
+            findings.append(
+                Finding(
+                    rule="OB005",
+                    path=file.rel_path,
+                    line=first_span,
+                    symbol=enclosing_symbol(file.tree, first_span),
+                    message=(
+                        "handler decodes a request but opens its span "
+                        "without adopting the propagated trace context — "
+                        "remote requests would root disjoint traces"
+                    ),
+                    hint=(
+                        "parse_trace_context(meta) + `with "
+                        "adopt_remote_context(...):` before tracer.span "
+                        "(see remote/server.py handle_bytes)"
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_late_attr_writes(program: Program) -> list[Finding]:
+    """OB005b: ``span.set(...)`` on a statement *after* the ``with`` block
+    that bound the span — the span already finished (and may already be
+    exported), so the write is lost or races the exporter."""
+    findings: list[Finding] = []
+
+    def visit_block(file: SourceFile, statements: list[ast.stmt]) -> None:
+        closed: set[str] = set()
+        for statement in statements:
+            if closed:
+                for node in ast.walk(statement):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "set"
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in closed
+                    ):
+                        findings.append(
+                            Finding(
+                                rule="OB005",
+                                path=file.rel_path,
+                                line=node.lineno,
+                                symbol=enclosing_symbol(
+                                    file.tree, node.lineno
+                                ),
+                                message=(
+                                    f"span attribute written after the span "
+                                    f"closed: "
+                                    f"{node.func.value.id}.set(...) follows "
+                                    f"the `with` block that finished it"
+                                ),
+                                hint="move the .set(...) inside the with block",
+                            )
+                        )
+            for child in (
+                getattr(statement, "body", None),
+                getattr(statement, "orelse", None),
+                getattr(statement, "finalbody", None),
+            ):
+                if isinstance(child, list) and child:
+                    visit_block(file, child)
+            for handler in getattr(statement, "handlers", []) or []:
+                visit_block(file, handler.body)
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                for item in statement.items:
+                    context = item.context_expr
+                    if (
+                        isinstance(context, ast.Call)
+                        and isinstance(context.func, ast.Attribute)
+                        and context.func.attr == "span"
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        closed.add(item.optional_vars.id)
+
+    # Recursing through `body`/`orelse`/`finalbody`/`handlers` from the
+    # module body reaches every nested block (functions and classes carry
+    # their statements in `body` too), each exactly once.
+    for file in program.files:
+        visit_block(file, file.tree.body)
+    return findings
+
+
 def check(program: Program) -> list[Finding]:
     return (
         _check_names(program)
         + _check_conflicts(program)
         + _check_spans(program)
         + _check_lineage_fields(program)
+        + _check_handler_adoption(program)
+        + _check_late_attr_writes(program)
     )
 
 

@@ -41,6 +41,8 @@ import numpy as np
 
 from ..core.context import ExecutionContext
 from ..core.executor import Executor
+from ..obs import propagation
+from ..obs import trace as obs_trace
 from ..core.merge.prioritized import (
     RunSet,
     pick_prioritized_leaf,
@@ -131,6 +133,16 @@ class _Coordinator:
         self.budget = budget
         self.time_budget_seconds = time_budget_seconds
 
+        # Trace continuity across the fan-out: worker threads start with
+        # an *empty* contextvar context, so without capturing the caller's
+        # current span here every candidate span would root a disjoint
+        # trace. Workers adopt this parent (adopt-only: with workers=1
+        # the caller's span is already current and adoption no-ops), so a
+        # traced merge yields one tree — search root over every
+        # merge.candidate — that the critical-path analyzer can walk.
+        self._trace_parent = obs_trace.current_span()
+        self._tracer = obs_trace.default_tracer()
+
         self._cond = threading.Condition()
         self._rng = np.random.default_rng(seed)
         refresh_scores(root)
@@ -164,32 +176,37 @@ class _Coordinator:
 
     def _worker(self) -> None:
         try:
-            while True:
-                with self._cond:
-                    self._drain_commits()
-                    if self._finished():
-                        self._cond.notify_all()
-                        return
-                    drew = self._try_draw()
-                    if drew is None:
-                        if self._finished():
-                            self._cond.notify_all()
-                            return
-                        self._cond.wait()
-                        continue
-                    index, leaf = drew
-                    if leaf is None:
-                        continue  # drawing just stopped; loop to drain/exit
-                # Execute outside the lock: this is the parallelism.
-                report = run_candidate(leaf, self.scope, self.engine, self.context)
-                with self._cond:
-                    self._results[index] = ("run", leaf, report)
-                    self._drain_commits()
-                    self._cond.notify_all()
+            with propagation.adopt_remote_context(self._trace_parent):
+                self._worker_loop()
         except BaseException as error:  # noqa: BLE001 - surfaced to caller
             with self._cond:
                 if self._crash is None:
                     self._crash = error
+                self._cond.notify_all()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                self._drain_commits()
+                if self._finished():
+                    self._cond.notify_all()
+                    return
+                drew = self._try_draw()
+                if drew is None:
+                    if self._finished():
+                        self._cond.notify_all()
+                        return
+                    self._cond.wait()
+                    continue
+                index, leaf = drew
+                if leaf is None:
+                    continue  # drawing just stopped; loop to drain/exit
+            # Execute outside the lock: this is the parallelism.
+            with self._tracer.span("merge.candidate", draw=index):
+                report = run_candidate(leaf, self.scope, self.engine, self.context)
+            with self._cond:
+                self._results[index] = ("run", leaf, report)
+                self._drain_commits()
                 self._cond.notify_all()
 
     def _finished(self) -> bool:

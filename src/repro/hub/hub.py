@@ -71,7 +71,9 @@ from ..errors import (
     RemoteProtocolError,
     RepositoryNotFoundError,
 )
+from ..obs import propagation
 from ..obs.metrics import MetricsRegistry
+from ..obs.slowops import SlowOpCapture
 from ..obs.trace import Tracer
 from ..remote import pack
 from ..remote.protocol import WRITE_OPS, decode_message, error_response
@@ -174,6 +176,7 @@ class RepositoryHub:
         clock=time.monotonic,
         registry=None,
         tracer=None,
+        slow_ops=None,
     ):
         self.root = os.fspath(root) if root is not None else None
         self.authenticator = authenticator or TokenAuthenticator()
@@ -223,6 +226,10 @@ class RepositoryHub:
         # share one trace. Pass the null singletons to opt out.
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        # One slow-op capture ring shared by every hosted server, so the
+        # hub's /debug/slow readout covers all tenants (each capture is
+        # stamped with its tenant/repo context by the server).
+        self.slow_ops = slow_ops if slow_ops is not None else SlowOpCapture()
         self._m_admission = self.registry.counter(
             "repro_admission_total",
             "Hub admission decisions, by tenant and outcome",
@@ -451,6 +458,7 @@ class RepositoryHub:
             registry=self.registry,
             tracer=self.tracer,
             metric_labels={"tenant": tenant, "repo": name},
+            slow_ops=self.slow_ops,
         )
         return hosted
 
@@ -725,6 +733,13 @@ class RepositoryHub:
                     config.name: self.tenant_usage(config.name)
                     for config in self.authenticator.tenants()
                 },
+                "slow_ops": self.slow_ops.snapshot(),
+                "trace": {
+                    "spans_recorded": getattr(
+                        self.tracer, "spans_recorded", 0
+                    ),
+                    "sample_rate": getattr(self.tracer, "sample_rate", 1.0),
+                },
             }
 
     # --------------------------------------------------------- admission
@@ -795,8 +810,42 @@ class RepositoryHub:
         hosted server's op/lock/storage spans nest below via the
         shared tracer), and every decision lands in the admission
         counters — ``repro_admission_total{tenant,outcome}`` plus, for
-        denials, ``repro_admission_denied_total{tenant,reason}``."""
+        denials, ``repro_admission_denied_total{tenant,reason}``. A
+        propagated ``trace_ctx`` in the request envelope parents the
+        root span into the client's trace (correlation only — admission
+        decisions never read the propagated ids)."""
         self.count_request()
+        # Decoding moved ahead of admission so the envelope's trace
+        # context can parent the root span; the work is wasted on a
+        # denied request, which is accepted — denials are the rare path.
+        # A decode failure is *stashed* and re-raised exactly where the
+        # decode used to happen (after auth and rate limiting), so the
+        # externally observable denial ordering is unchanged: an
+        # unauthenticated peer still gets the auth error, never a
+        # protocol error that would confirm its payload was parsed.
+        meta: dict = {}
+        blobs: list = []
+        decode_error: RemoteProtocolError | None = None
+        try:
+            meta, blobs = decode_message(payload)
+        except RemoteProtocolError as error:
+            decode_error = error
+        inherited = propagation.parse_trace_context(meta)
+        with propagation.adopt_remote_context(inherited):
+            return self._handle_admitted(
+                tenant, repo, token, payload, meta, blobs, decode_error
+            )
+
+    def _handle_admitted(
+        self,
+        tenant: str,
+        repo: str,
+        token: str | None,
+        payload: bytes,
+        meta: dict,
+        blobs: list,
+        decode_error: RemoteProtocolError | None,
+    ) -> bytes:
         with self.tracer.span("hub.request", tenant=tenant, repo=repo) as root:
             try:
                 with self.tracer.span("hub.admission", tenant=tenant):
@@ -810,7 +859,8 @@ class RepositoryHub:
                             f"{config.rate_per_second:g} requests/s "
                             f"(burst {bucket.burst:g}); retry after a pause"
                         )
-                    meta, blobs = decode_message(payload)
+                    if decode_error is not None:
+                        raise decode_error
                     op = meta.get("op")
                     write = op in WRITE_OPS
                 try:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import http.server
 import re
 
+from ..errors import AuthenticationError
 from ..remote.server import BaseRPCHandler
 from .auth import NAME_FRAGMENT
 from .hub import RepositoryHub
@@ -72,6 +73,23 @@ class _HubHandler(BaseRPCHandler):
     def requests_handled(self) -> int:
         return self.server.hub.requests_handled
 
+    def authorize_debug(self) -> bool:
+        """Debug readouts (profiler, slow-op captures) are multi-tenant
+        forensics — code paths, tenant names, span attributes — so they
+        require *a* valid tenant token (any tenant: the data is not
+        partitioned, exactly like /metrics label values; unlike /metrics
+        it is gated because it exposes live stacks)."""
+        try:
+            self.server.hub.authenticator.authenticate(
+                bearer_token(self.headers.get("Authorization"))
+            )
+        except AuthenticationError:
+            return False
+        return True
+
+    def slow_captures(self) -> list[dict]:
+        return self.server.hub.slow_ops.captures()
+
 
 class HubHTTPServer(http.server.ThreadingHTTPServer):
     """Threaded HTTP server bound to one :class:`RepositoryHub`."""
@@ -85,6 +103,7 @@ class HubHTTPServer(http.server.ThreadingHTTPServer):
         verbose: bool = False,
         max_request_bytes: int | None = None,
         idle_timeout: float | None = None,
+        profiler=None,
     ):
         super().__init__(address, _HubHandler)
         self.hub = hub
@@ -94,6 +113,8 @@ class HubHTTPServer(http.server.ThreadingHTTPServer):
         # GET /metrics renders the hub's registry: admission outcomes,
         # per-repo request/latency series, chunk bytes — one scrape.
         self.metrics_registry = hub.registry
+        # GET /debug/profile (token-gated) reads this; None answers 404.
+        self.profiler = profiler
         # When set, handlers stop honouring keep-alive once this many
         # requests have been handled (bounded serving, see the CLI).
         self.request_limit: int | None = None
@@ -115,14 +136,20 @@ def serve_hub(
     verbose: bool = False,
     max_request_bytes: int | None = None,
     idle_timeout: float | None = None,
+    profiler=None,
 ) -> HubHTTPServer:
     """Expose every repository of ``hub`` at
     ``http://host:port/t/<tenant>/<repo>/rpc``; returns the server
-    (caller drives the loop, ``port=0`` binds an ephemeral port)."""
+    (caller drives the loop, ``port=0`` binds an ephemeral port).
+
+    ``profiler`` (optional, a started
+    :class:`~repro.obs.profiler.SamplingProfiler`) backs the token-gated
+    ``GET /debug/profile`` endpoint; the caller owns its lifecycle."""
     return HubHTTPServer(
         (host, port),
         hub,
         verbose=verbose,
         max_request_bytes=max_request_bytes,
         idle_timeout=idle_timeout,
+        profiler=profiler,
     )

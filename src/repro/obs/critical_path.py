@@ -1,0 +1,171 @@
+"""Critical-path analysis over finished trace trees.
+
+Input is what :meth:`Tracer.finished`/:meth:`drain` produce — span
+dicts sharing a ``trace_id`` — and the question is the performance one:
+*which chain of spans bounds this request's wall time?* The analyzer
+rebuilds the tree from parent links and walks, at every node, into the
+child whose interval ends last: the resulting root-to-leaf chain is the
+sequence of operations the request could not finish before, i.e. the
+thing to make faster. Per node it reports self time (the node's
+duration not covered by its children — work the span did itself, lock
+waits included) so a fat parent with thin children reads differently
+from a thin wrapper over a fat child.
+
+A trace that spans the wire has *partial* trees on each side: a
+server-side span whose parent lives in the client process roots its own
+subtree here (the parent id is kept, so a joined view can stitch the
+sides back together). The analyzer picks the longest root when asked
+for one chain.
+
+For merge-search traces the executed-vs-reused attribution joins the
+lineage ledger's records for the same trace: how much recorded stage
+wall time was real execution versus checkpoint adoption — Tupleware's
+substrate-gap question asked of one request.
+"""
+
+from __future__ import annotations
+
+
+def build_trace_tree(spans: list[dict]) -> list[dict]:
+    """Nest spans into trees: each node is ``{span, children}``.
+
+    Returns the roots (parent absent from the span set), children
+    ordered by start time. Spans lacking ids are ignored.
+    """
+    nodes = {
+        span["span_id"]: {"span": span, "children": []}
+        for span in spans
+        if span.get("span_id")
+    }
+    roots: list[dict] = []
+    for node in nodes.values():
+        parent = node["span"].get("parent_id")
+        if parent is not None and parent in nodes:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda n: n["span"].get("start") or 0.0)
+    roots.sort(key=lambda n: n["span"].get("start") or 0.0)
+    return roots
+
+
+def _end_of(node: dict) -> float:
+    span = node["span"]
+    return (span.get("start") or 0.0) + (span.get("seconds") or 0.0)
+
+
+def _chain_of(root: dict) -> list[dict]:
+    """Root-to-leaf chain following, at each step, the child whose
+    interval ends last — the blocking chain of the subtree."""
+    chain = [root]
+    node = root
+    while node["children"]:
+        node = max(node["children"], key=_end_of)
+        chain.append(node)
+    return chain
+
+
+def _path_entry(node: dict, root_start: float) -> dict:
+    span = node["span"]
+    seconds = span.get("seconds") or 0.0
+    child_seconds = sum(
+        child["span"].get("seconds") or 0.0 for child in node["children"]
+    )
+    return {
+        "name": span.get("name"),
+        "span_id": span.get("span_id"),
+        "seconds": seconds,
+        "self_seconds": max(0.0, seconds - child_seconds),
+        "offset_seconds": max(0.0, (span.get("start") or 0.0) - root_start),
+        "status": span.get("status"),
+        "attrs": dict(span.get("attrs") or {}),
+    }
+
+
+def attribute_executed_reused(lineage_records: list[dict]) -> dict:
+    """Executed-vs-reused wall-time attribution from ledger records
+    (dict form, as ``lineage_record_to_dict`` emits them)."""
+    executed = [r for r in lineage_records if r.get("via") == "executed"]
+    reused = [r for r in lineage_records if r.get("via") == "reused"]
+
+    def _seconds(records):
+        return sum(float(r.get("wall_seconds") or 0.0) for r in records)
+
+    return {
+        "executed": len(executed),
+        "reused": len(reused),
+        "executed_seconds": _seconds(executed),
+        "reused_seconds": _seconds(reused),
+    }
+
+
+def critical_path(spans: list[dict], lineage_records=None) -> dict:
+    """The longest blocking chain of one trace, plus attribution.
+
+    ``spans`` should share one trace id (extra traces are filtered to
+    the id of the longest root). ``lineage_records`` (optional, dict
+    form) adds the executed-vs-reused breakdown for merge traces.
+    """
+    roots = build_trace_tree(spans)
+    if not roots:
+        return {
+            "trace_id": None,
+            "spans": 0,
+            "path": [],
+            "total_seconds": 0.0,
+            "bounded_by": None,
+        }
+    root = max(roots, key=lambda n: n["span"].get("seconds") or 0.0)
+    trace_id = root["span"].get("trace_id")
+    root_start = root["span"].get("start") or 0.0
+    chain = _chain_of(root)
+    path = [_path_entry(node, root_start) for node in chain]
+    bottleneck = max(path, key=lambda entry: entry["self_seconds"])
+    result = {
+        "trace_id": trace_id,
+        "spans": sum(1 for s in spans if s.get("trace_id") == trace_id),
+        "roots": [r["span"].get("name") for r in roots],
+        "total_seconds": root["span"].get("seconds") or 0.0,
+        "path": path,
+        "bounded_by": bottleneck["name"],
+        "bounded_by_self_seconds": bottleneck["self_seconds"],
+    }
+    if lineage_records:
+        result["attribution"] = attribute_executed_reused(lineage_records)
+    return result
+
+
+def render_critical_path(result: dict) -> str:
+    """Human rendering of a :func:`critical_path` result: one line per
+    chain step, indented, with total/self milliseconds."""
+    lines = [
+        f"trace {result.get('trace_id') or '?'}: "
+        f"{result.get('spans', 0)} span(s), "
+        f"{(result.get('total_seconds') or 0.0) * 1000:.2f} ms total, "
+        f"bounded by {result.get('bounded_by') or '?'} "
+        f"({(result.get('bounded_by_self_seconds') or 0.0) * 1000:.2f} ms self)"
+    ]
+    for depth, entry in enumerate(result.get("path", [])):
+        lines.append(
+            f"{'  ' * depth}{entry['name']}  "
+            f"{entry['seconds'] * 1000:.2f} ms "
+            f"(self {entry['self_seconds'] * 1000:.2f} ms)"
+        )
+    attribution = result.get("attribution")
+    if attribution:
+        lines.append(
+            f"stage time: {attribution['executed_seconds'] * 1000:.1f} ms "
+            f"executed across {attribution['executed']} stage(s), "
+            f"{attribution['reused_seconds'] * 1000:.1f} ms saved-equivalent "
+            f"across {attribution['reused']} reuse(s)"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "attribute_executed_reused",
+    "build_trace_tree",
+    "critical_path",
+    "render_critical_path",
+]

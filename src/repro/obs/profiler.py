@@ -1,0 +1,158 @@
+"""Wall-clock sampling profiler: where the process actually spends time.
+
+A daemon thread wakes every ``interval`` seconds, snapshots every
+thread's current Python frame stack via ``sys._current_frames()``, and
+folds each stack into a ``module:function`` chain counted in a dict —
+the classic folded-stack format every flamegraph renderer consumes
+(``a;b;c 42`` per line, :meth:`SamplingProfiler.folded`).
+
+This is a *sampling* profiler on purpose: a tracing profiler
+(``sys.setprofile``) would tax every function call on every request
+thread; sampling costs one stack walk per interval regardless of
+request rate, so it is safe to leave running on a serving hub (the
+telemetry benchmark asserts the overhead bound). The trade is
+statistical truth — a function must be on-CPU (or blocked) for a few
+samples before it shows up — which is exactly right for "what bounds
+wall time" forensics.
+
+``snapshot_stacks`` is the one-shot flavour used by slow-op capture:
+the live stacks of every thread at the moment an operation blew its
+latency budget.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+import traceback
+
+
+def snapshot_stacks(limit: int = 64) -> dict[str, list[str]]:
+    """Current Python stacks of every live thread, newest frame last.
+
+    Keys are ``"<thread name> (<ident>)"``; values are rendered
+    ``file:line function`` frames. Used by slow-op capture to answer
+    "what was everyone doing while this op was slow".
+    """
+    names = {
+        thread.ident: thread.name for thread in threading.enumerate()
+    }
+    stacks: dict[str, list[str]] = {}
+    for ident, frame in sys._current_frames().items():
+        label = f"{names.get(ident, 'unknown')} ({ident})"
+        stacks[label] = [
+            f"{entry.filename}:{entry.lineno} {entry.name}"
+            for entry in traceback.extract_stack(frame, limit=limit)
+        ]
+    return stacks
+
+
+def _fold(frame, limit: int) -> str:
+    """One frame chain as ``mod:outer;mod:inner`` (root first)."""
+    parts: list[str] = []
+    depth = 0
+    while frame is not None and depth < limit:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Low-overhead wall-clock profiler over ``sys._current_frames()``.
+
+    ``interval`` is the sampling period (default 10 ms ≈ 100 Hz);
+    ``max_stacks`` bounds the folded table (beyond it, new unique stacks
+    are counted as dropped rather than growing memory); ``max_depth``
+    truncates pathological recursion. Start/stop are idempotent; the
+    sampler thread excludes itself from its own samples.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.01,
+        max_stacks: int = 50000,
+        max_depth: int = 128,
+    ):
+        self.interval = max(0.001, interval)
+        self.max_stacks = max(1, max_stacks)
+        self.max_depth = max(2, max_depth)
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples = 0
+        self.dropped_stacks = 0
+        self.started_at: float | None = None
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if not self.running:
+            self._stop.clear()
+            self.started_at = time.time()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self.samples = 0
+            self.dropped_stacks = 0
+
+    def _run(self) -> None:
+        own = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            frames = sys._current_frames()
+            with self._lock:
+                self.samples += 1
+                for ident, frame in frames.items():
+                    if ident == own:
+                        continue
+                    stack = _fold(frame, self.max_depth)
+                    if stack in self._counts:
+                        self._counts[stack] += 1
+                    elif len(self._counts) < self.max_stacks:
+                        self._counts[stack] = 1
+                    else:
+                        self.dropped_stacks += 1
+
+    # ------------------------------------------------------------- readout
+    def folded(self) -> str:
+        """The folded-stack table (``stack count`` lines, heaviest
+        first) — pipe it straight into flamegraph.pl / speedscope."""
+        with self._lock:
+            items = sorted(
+                self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        return "\n".join(f"{stack} {count}" for stack, count in items)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "running": self.running,
+                "interval_seconds": self.interval,
+                "samples": self.samples,
+                "unique_stacks": len(self._counts),
+                "dropped_stacks": self.dropped_stacks,
+                "started_at": self.started_at,
+            }
+
+
+__all__ = ["SamplingProfiler", "snapshot_stacks"]

@@ -10,10 +10,20 @@ span and needs no plumbing through call signatures.
 
 Finished spans land in a bounded in-memory buffer as plain dicts (and
 optionally stream to an ``on_span`` callback); :meth:`Tracer.drain`
-hands them over as structured JSON-ready events, newest last. There is
-no sampling and no clock coordination — this is single-process tracing
-for correlating one push's admission, lock wait, and chunk I/O, not a
-distributed system.
+hands them over as structured JSON-ready events, newest last.
+
+The context crosses the wire too: :mod:`repro.obs.propagation` stamps
+the current span's ids into a schema-additive ``trace_ctx`` key of the
+request envelope, and the server side adopts it — so a client push, the
+hub's admission path, and the per-repo server share *one* trace, which
+``trace_forensics`` joins back to the lineage ledger. Sampling is
+head-based: the root span draws a deterministic keep/drop decision from
+its ``trace_id`` against the tracer's ``sample_rate``, children inherit
+it, and the decision rides the propagated context so both sides of the
+wire agree. The decision never drops spans from the *buffer* (forensics
+keep working); it is advice to the export pipeline
+(:mod:`repro.obs.export`), which additionally keeps error and slow
+spans regardless.
 
 Null default: code resolves its tracer via :func:`default_tracer`,
 which returns the no-op :data:`NULL_TRACER` unless :func:`install` was
@@ -60,7 +70,7 @@ class Span:
 
     __slots__ = (
         "tracer", "name", "attrs", "trace_id", "span_id", "parent_id",
-        "start", "seconds", "status", "_t0", "_token",
+        "start", "seconds", "status", "sampled", "_t0", "_token",
     )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
@@ -73,6 +83,7 @@ class Span:
         self.start: float | None = None
         self.seconds: float | None = None
         self.status = "ok"
+        self.sampled = True
         self._t0: float | None = None
         self._token = None
 
@@ -82,9 +93,19 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
+        # The parent is whatever is current on this thread of control: a
+        # live local Span, or an adopted remote context (a lightweight
+        # trace_id/span_id/sampled triple installed by
+        # repro.obs.propagation when the request arrived over the wire).
         parent = _current.get()
-        self.trace_id = parent.trace_id if parent is not None else _new_id()
-        self.parent_id = parent.span_id if parent is not None else None
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+            self.sampled = getattr(parent, "sampled", True)
+        else:
+            self.trace_id = _new_id()
+            self.parent_id = None
+            self.sampled = self.tracer._sample(self.trace_id)
         self.span_id = _new_id()
         self.start = time.time()
         self._t0 = time.perf_counter()
@@ -109,6 +130,7 @@ class Span:
             "start": self.start,
             "seconds": self.seconds,
             "status": self.status,
+            "sampled": self.sampled,
             "attrs": dict(self.attrs),
         }
 
@@ -119,14 +141,38 @@ class Tracer:
     ``max_spans`` bounds memory: a long-lived server traced forever
     keeps only the newest spans (the deque drops from the front).
     ``on_span`` (optional) receives each finished span's dict — wire it
-    to :func:`repro.obs.events.emit` to stream JSON lines.
+    to :func:`repro.obs.events.emit` to stream JSON lines, or to a
+    :class:`repro.obs.export.SpanExporter` for background export.
+
+    ``sample_rate`` is the head-based sampling probability ([0, 1],
+    default keep-everything). The decision is drawn *deterministically*
+    from the trace id (an OpenTelemetry-style trace-id-ratio sampler),
+    so every participant in a distributed trace — and every re-examination
+    of the same trace — agrees without coordination. Sampling never
+    filters the in-memory buffer; it marks spans for the export layer.
     """
 
-    def __init__(self, max_spans: int = 10000, on_span=None):
+    def __init__(self, max_spans: int = 10000, on_span=None,
+                 sample_rate: float = 1.0):
         self._lock = threading.Lock()
         self._finished: deque[dict] = deque(maxlen=max(1, max_spans))
         self.on_span = on_span
+        self.sample_rate = min(1.0, max(0.0, sample_rate))
         self.spans_recorded = 0
+
+    def _sample(self, trace_id: str) -> bool:
+        """Head decision for a new root: keep iff the trace id's leading
+        64 bits fall under the rate threshold — deterministic per trace,
+        uniformly distributed across traces (ids are os.urandom)."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        try:
+            draw = int(trace_id[:16], 16)
+        except (TypeError, ValueError):
+            return True
+        return draw < self.sample_rate * float(1 << 64)
 
     def span(self, name: str, **attrs) -> Span:
         """A new span; enter it with ``with tracer.span("name"): ...``."""
@@ -142,8 +188,14 @@ class Tracer:
         """
         parent = _current.get()
         span = Span(self, name, attrs)
-        span.trace_id = parent.trace_id if parent is not None else _new_id()
-        span.parent_id = parent.span_id if parent is not None else None
+        if parent is not None:
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+            span.sampled = getattr(parent, "sampled", True)
+        else:
+            span.trace_id = _new_id()
+            span.parent_id = None
+            span.sampled = self._sample(span.trace_id)
         span.span_id = _new_id()
         span.start = time.time() - seconds
         span.seconds = seconds

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ChunkNotFoundError, RemoteError
+from ..obs import propagation
+from ..obs import trace as obs_trace
 from . import pack
 from .protocol import decode_message, encode_message, raise_remote_error
 
@@ -89,18 +91,29 @@ class Remote:
         transport,
         name: str = "origin",
         max_pack_bytes: int = pack.DEFAULT_MAX_PACK_BYTES,
+        tracer=None,
     ):
         self.repo = repo
         self.transport = transport
         self.name = name
         self.max_pack_bytes = max_pack_bytes
+        self.tracer = tracer
 
     # ------------------------------------------------------------ plumbing
     def _call(self, meta: dict, blobs: list[bytes] | None = None):
-        response = self.transport.call(encode_message(meta, blobs))
-        meta_out, blobs_out = decode_message(response)
-        raise_remote_error(meta_out)
-        return meta_out, blobs_out
+        # Every RPC goes out under a client.<op> span, and the *current*
+        # span's identity rides the envelope (trace_ctx) so the server's
+        # spans join this trace. With no tracer installed the span is the
+        # shared null span, no context is current, and inject() leaves the
+        # request bytes untouched — untraced clients stay byte-identical.
+        tracer = self.tracer if self.tracer is not None else obs_trace.default_tracer()
+        op = meta.get("op", "?")
+        with tracer.span(f"client.{op}", op=op, remote=self.name):
+            payload = encode_message(propagation.inject(meta), blobs)
+            response = self.transport.call(payload)
+            meta_out, blobs_out = decode_message(response)
+            raise_remote_error(meta_out)
+            return meta_out, blobs_out
 
     def tracking_branch(self, branch: str) -> str:
         return f"{self.name}/{branch}"
@@ -152,6 +165,23 @@ class Remote:
             request["version"] = version
         meta, _ = self._call(request)
         return meta["lineage"]
+
+    def trace(
+        self,
+        trace_id: str | None = None,
+        limit: int | None = None,
+        slow: bool = False,
+    ) -> dict:
+        """The peer's span buffer: one trace's tree and critical path
+        (``trace_id``), or recent-trace summaries; ``slow`` adds the
+        slow-op captures ring."""
+        request: dict = {"op": "trace", "slow": slow}
+        if trace_id is not None:
+            request["trace_id"] = trace_id
+        if limit is not None:
+            request["limit"] = limit
+        meta, _ = self._call(request)
+        return meta["trace"]
 
     # --------------------------------------------------------------- fetch
     def fetch(self, pipeline: str | None = None, branches=None) -> FetchResult:

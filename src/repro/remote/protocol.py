@@ -48,10 +48,13 @@ MAGIC = b"MLCR"
 PROTOCOL_VERSION = 2
 
 #: Operations a server understands; anything else is a protocol error.
-#: ``stats`` (telemetry readout) and ``lineage`` (provenance queries)
-#: are schema-additive: old clients never send them, and an old server
-#: answers them with a typed unknown-operation error — no version bump
-#: needed.
+#: ``stats`` (telemetry readout), ``lineage`` (provenance queries), and
+#: ``trace`` (distributed-trace / slow-op readout) are schema-additive:
+#: old clients never send them, and an old server answers them with a
+#: typed unknown-operation error — no version bump needed. The same
+#: rule covers the optional ``trace_ctx`` meta key (distributed-trace
+#: propagation, :mod:`repro.obs.propagation`): an old server ignores
+#: unknown meta keys, so traced clients interoperate with legacy peers.
 OPS = (
     "manifest",
     "known_commits",
@@ -62,6 +65,7 @@ OPS = (
     "push",
     "stats",
     "lineage",
+    "trace",
 )
 
 #: Operations that mutate repository state (served under the exclusive

@@ -1,10 +1,11 @@
 """Repository server: answers sync requests against a live ``MLCask``.
 
 The server side of the wire protocol. One :class:`RepositoryServer` wraps
-one repository and handles the nine operations — ``manifest``,
+one repository and handles the ten operations — ``manifest``,
 ``known_commits``, ``missing_chunks``, ``get_chunks``, ``put_chunks``,
-``fetch``, ``push``, ``stats`` (telemetry readout), and ``lineage``
-(provenance queries) — entirely in
+``fetch``, ``push``, ``stats`` (telemetry readout), ``lineage``
+(provenance queries), and ``trace`` (distributed-trace and slow-op
+readout) — entirely in
 terms of pack assembly/import from
 :mod:`repro.remote.pack`. It is transport-agnostic: :class:`LocalTransport`
 calls :meth:`handle_bytes` directly, and :func:`serve` exposes the same
@@ -15,7 +16,12 @@ Telemetry: every request is counted, timed, and sized into the server's
 :class:`~repro.obs.metrics.MetricsRegistry` (per-op latency/byte
 histograms, cache hit/miss counters, reader/writer lock wait time) and
 wrapped in a :class:`~repro.obs.trace.Tracer` span so a hub-admitted
-push yields one correlated trace down to its chunk imports. Both
+push yields one correlated trace down to its chunk imports. A request
+carrying a propagated ``trace_ctx`` (see :mod:`repro.obs.propagation`)
+has its server spans *adopted* into the client's trace — correlation
+only, never an input to any admission decision — and operations that
+outlive their latency budget are snapshotted by the (optional)
+:class:`~repro.obs.slowops.SlowOpCapture`. Both
 default to the process-wide null singletons — an unobserved server pays
 only empty method calls — while :func:`serve` installs real ones so the
 HTTP endpoint can answer ``GET /metrics`` in Prometheus text format.
@@ -46,14 +52,17 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import http.server
+import json
 import threading
 import time
 from collections import OrderedDict
 
 from ..errors import MLCaskError, PushRejectedError, RemoteProtocolError
 from ..obs import metrics as obs_metrics
+from ..obs import propagation
 from ..obs import trace as obs_trace
 from ..obs.metrics import NULL_METRIC, MetricsRegistry
+from ..obs.slowops import SlowOpCapture
 from ..obs.trace import Tracer
 from . import pack
 from .protocol import (
@@ -65,8 +74,14 @@ from .protocol import (
 )
 from .transport import RPC_PATH
 
-#: The one GET route both HTTP endpoints answer: Prometheus text scrape.
+#: GET routes both HTTP endpoints answer: the Prometheus text scrape,
+#: plus two JSON debug readouts (the sampling profiler's folded stacks
+#: and the slow-op capture ring). The hub additionally gates the debug
+#: pair behind its token authentication — performance forensics expose
+#: code paths and tenant names, which anonymous scrapes must not see.
 METRICS_PATH = "/metrics"
+DEBUG_PROFILE_PATH = "/debug/profile"
+DEBUG_SLOW_PATH = "/debug/slow"
 
 #: Read operations whose responses are worth caching: pure metadata, so
 #: entries stay small. ``get_chunks`` is deliberately excluded — content
@@ -349,6 +364,19 @@ def validate_request(op: str, meta: dict, blobs: list) -> None:
                 _fail(op, "'version' must be null or a string")
         if query == "trace" and not isinstance(meta.get("trace_id"), str):
             _fail(op, "a 'trace' query needs a string 'trace_id'")
+    elif op == "trace":
+        trace_id = meta.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            _fail(op, "'trace_id' must be null or a string")
+        limit = meta.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int)
+            or isinstance(limit, bool)
+            or limit <= 0
+        ):
+            _fail(op, "'limit' must be a positive integer")
+        if not isinstance(meta.get("slow", False), bool):
+            _fail(op, "'slow' must be a boolean")
 
 
 class RepositoryServer:
@@ -374,11 +402,16 @@ class RepositoryServer:
         registry=None,
         tracer=None,
         metric_labels: dict | None = None,
+        slow_ops: SlowOpCapture | None = None,
     ):
         self.repo = repo
         self.on_change = on_change
         self.max_pack_bytes = max_pack_bytes
         self.exclusive = exclusive
+        # Slow-op forensics: optional and possibly *shared* — a hub hands
+        # every hosted repository the same capture ring so one readout
+        # covers all tenants. None disables capture entirely.
+        self.slow_ops = slow_ops
         self._rwlock = RWLock()
         self.cache = ResponseCache(cache_entries)
         self._count_lock = threading.Lock()
@@ -502,6 +535,7 @@ class RepositoryServer:
         self.count_request()
         started = time.perf_counter()
         op = "invalid"
+        trace_id = None
         try:
             meta, blobs = (
                 decoded if decoded is not None else decode_message(payload)
@@ -511,13 +545,22 @@ class RepositoryServer:
                 raise RemoteProtocolError(f"unknown operation {requested!r}")
             op = requested
             validate_request(op, meta, blobs)
-            with self.tracer.span(
-                f"server.{op}",
-                op=op,
-                tenant=self._tenant,
-                repo=self._repo_label,
-            ):
-                response = self._dispatch(op, meta, blobs, payload)
+            # A propagated trace context (schema-additive trace_ctx meta
+            # key) makes the server's spans children of the client's —
+            # adopt-only, so an in-process caller whose span is already
+            # current keeps its natural nesting, and a malformed context
+            # parses to None rather than failing the request. The ids are
+            # correlation data only; admission never reads them.
+            inherited = propagation.parse_trace_context(meta)
+            with propagation.adopt_remote_context(inherited):
+                with self.tracer.span(
+                    f"server.{op}",
+                    op=op,
+                    tenant=self._tenant,
+                    repo=self._repo_label,
+                ) as span:
+                    trace_id = getattr(span, "trace_id", None)
+                    response = self._dispatch(op, meta, blobs, payload)
         except MLCaskError as error:
             response = error_response(error)
         except Exception as error:  # noqa: BLE001 - last-resort containment
@@ -526,10 +569,22 @@ class RepositoryServer:
                     f"internal server error: {type(error).__name__}: {error}"
                 )
             )
+        elapsed = time.perf_counter() - started
         self._m_requests[op].inc()
-        self._m_seconds[op].observe(time.perf_counter() - started)
+        self._m_seconds[op].observe(elapsed)
         self._m_bytes[("in", op)].observe(len(payload))
         self._m_bytes[("out", op)].observe(len(response))
+        if self.slow_ops is not None:
+            # After the metrics, outside every lock: capture itself walks
+            # thread stacks and must never extend a lock hold.
+            self.slow_ops.observe(
+                op,
+                elapsed,
+                tracer=self.tracer,
+                trace_id=trace_id,
+                tenant=self._tenant,
+                repo=self._repo_label,
+            )
         return response
 
     def _dispatch(self, op: str, meta: dict, blobs: list, payload: bytes) -> bytes:
@@ -546,7 +601,7 @@ class RepositoryServer:
                     if op in WRITE_OPS:
                         self.cache.invalidate()
         if op in CACHEABLE_OPS:
-            key = hashlib.sha256(payload).digest()
+            key = hashlib.sha256(self._cache_key_bytes(meta, blobs, payload)).digest()
             cached = self.cache.get(key, self._state_token())
             if cached is not None:
                 return cached
@@ -557,6 +612,25 @@ class RepositoryServer:
             return response
         with self._locked("read"):
             return handler(meta, blobs)
+
+    @staticmethod
+    def _cache_key_bytes(meta: dict, blobs: list, payload: bytes) -> bytes:
+        """The request bytes the response cache should key on.
+
+        A propagated trace context perturbs the raw payload per trace
+        while changing nothing about the answer — hashing it would turn
+        every traced client into a cache miss. Stripping the key and
+        re-encoding restores the untraced request's exact bytes (the
+        framing is deterministic: sorted keys, declared sizes), so traced
+        and untraced peers share cache entries. The common case (no
+        trace_ctx) stays zero-copy.
+        """
+        if propagation.TRACE_CTX_KEY not in meta:
+            return payload
+        stripped = {
+            k: v for k, v in meta.items() if k != propagation.TRACE_CTX_KEY
+        }
+        return encode_message(stripped, blobs)
 
     @contextlib.contextmanager
     def _locked(self, mode: str):
@@ -742,6 +816,20 @@ class RepositoryServer:
                             else 0
                         ),
                     },
+                    "trace": {
+                        "spans_recorded": getattr(
+                            self.tracer, "spans_recorded", 0
+                        ),
+                        "buffered": len(self.tracer.finished()),
+                        "sample_rate": getattr(
+                            self.tracer, "sample_rate", 1.0
+                        ),
+                    },
+                    "slow_ops": (
+                        self.slow_ops.snapshot()
+                        if self.slow_ops is not None
+                        else None
+                    ),
                 }
             }
         )
@@ -770,6 +858,56 @@ class RepositoryServer:
         else:  # "trace" — validate_request admits no other form
             result = queries.trace_forensics(repo, meta["trace_id"])
         return encode_message({"lineage": result})
+
+    def _op_trace(self, meta: dict, blobs) -> bytes:
+        """Distributed-trace readout: spans, summaries, slow captures.
+
+        With a ``trace_id``: that trace's finished spans (``limit``
+        bounds them, newest kept) plus its critical-path analysis. Without
+        one: per-trace summaries of the buffer, newest last. ``slow``
+        additionally returns the slow-op capture ring. Served under the
+        read lock like ``stats`` and, like it, never cached — the buffer
+        advances with every request.
+        """
+        from ..obs.critical_path import critical_path as compute_critical_path
+
+        spans = self.tracer.finished()
+        limit = meta.get("limit")
+        result: dict = {}
+        trace_id = meta.get("trace_id")
+        if trace_id is not None:
+            selected = [s for s in spans if s.get("trace_id") == trace_id]
+            if limit is not None:
+                selected = selected[-limit:]
+            result["spans"] = selected
+            result["critical_path"] = compute_critical_path(selected)
+        else:
+            summaries: dict[str, dict] = {}
+            for span in spans:
+                entry = summaries.setdefault(
+                    span.get("trace_id"),
+                    {
+                        "trace_id": span.get("trace_id"),
+                        "spans": 0,
+                        "errors": 0,
+                        "root": None,
+                        "seconds": 0.0,
+                        "sampled": bool(span.get("sampled", True)),
+                    },
+                )
+                entry["spans"] += 1
+                if span.get("status") == "error":
+                    entry["errors"] += 1
+                if span.get("parent_id") is None:
+                    entry["root"] = span.get("name")
+                    entry["seconds"] = span.get("seconds") or 0.0
+            traces = list(summaries.values())
+            result["traces"] = traces[-(limit or 50):]
+        if meta.get("slow", False):
+            result["slow"] = (
+                self.slow_ops.captures() if self.slow_ops is not None else []
+            )
+        return encode_message({"trace": result})
 
     def _op_fetch(self, meta: dict, blobs) -> bytes:
         """Commit-graph sync: everything reachable from the wanted refs
@@ -942,29 +1080,72 @@ class BaseRPCHandler(http.server.BaseHTTPRequestHandler):
     def requests_handled(self) -> int:
         raise NotImplementedError
 
+    def authorize_debug(self) -> bool:
+        """Whether this request may read the ``/debug/*`` endpoints.
+
+        The single-repo server trusts its network (it already serves the
+        repository content itself unauthenticated); the hub overrides
+        this with its token check, because forensics name tenants.
+        """
+        return True
+
+    def slow_captures(self) -> list[dict]:
+        """The slow-op capture ring backing ``/debug/slow``."""
+        return []
+
     # --------------------------------------------------- shared plumbing
     def do_GET(self):  # noqa: N802 - http.server naming convention
-        """The one GET route: ``/metrics`` in Prometheus text format.
+        """GET routes: ``/metrics`` (Prometheus text), ``/debug/profile``
+        (sampling-profiler snapshot + folded stacks, JSON), and
+        ``/debug/slow`` (slow-op captures, JSON).
 
-        Rendered from the server's registry (empty body when the server
-        was built without one). Every other GET path is a 404; scrapes
-        count against a bounded-serve budget like any other request —
-        the budget is a request budget, not an RPC budget.
+        ``/metrics`` renders from the server's registry (empty body when
+        the server was built without one); ``/debug/profile`` answers 404
+        until a profiler is attached to the server. Every other GET path
+        is a 404; all of them count against a bounded-serve budget like
+        any other request — the budget is a request budget, not an RPC
+        budget.
         """
         self.count_request()
-        if self.path.rstrip("/") != METRICS_PATH:
-            self.send_error(404, self.unknown_endpoint_message)
+        path = self.path.rstrip("/")
+        if path == METRICS_PATH:
+            registry = getattr(self.server, "metrics_registry", None)
+            text = registry.render_prometheus() if registry is not None else ""
+            self._answer_get(
+                text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
             return
-        registry = getattr(self.server, "metrics_registry", None)
-        text = registry.render_prometheus() if registry is not None else ""
-        body = text.encode("utf-8")
+        if path in (DEBUG_PROFILE_PATH, DEBUG_SLOW_PATH):
+            if not self.authorize_debug():
+                self.send_error(
+                    403, "debug endpoints require an authenticated token"
+                )
+                return
+            if path == DEBUG_PROFILE_PATH:
+                profiler = getattr(self.server, "profiler", None)
+                if profiler is None:
+                    self.send_error(404, "no profiler attached")
+                    return
+                body = {
+                    "profile": profiler.snapshot(),
+                    "folded": profiler.folded(),
+                }
+            else:
+                body = {"slow": self.slow_captures()}
+            self._answer_get(
+                json.dumps(body, sort_keys=True).encode("utf-8"),
+                "application/json",
+            )
+            return
+        self.send_error(404, self.unknown_endpoint_message)
+
+    def _answer_get(self, body: bytes, content_type: str) -> None:
         limit = getattr(self.server, "request_limit", None)
         spent = limit is not None and self.requests_handled() >= limit
         try:
             self.send_response(200)
-            self.send_header(
-                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-            )
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             if spent:
                 self.send_header("Connection", "close")
@@ -1059,6 +1240,10 @@ class _Handler(BaseRPCHandler):
     def requests_handled(self) -> int:
         return self.server.repository_server.requests_handled
 
+    def slow_captures(self) -> list[dict]:
+        slow = self.server.repository_server.slow_ops
+        return slow.captures() if slow is not None else []
+
 
 class SyncHTTPServer(http.server.ThreadingHTTPServer):
     """HTTP server bound to one :class:`RepositoryServer`.
@@ -1077,6 +1262,7 @@ class SyncHTTPServer(http.server.ThreadingHTTPServer):
         max_request_bytes: int | None = None,
         idle_timeout: float | None = None,
         metrics_registry=None,
+        profiler=None,
     ):
         super().__init__(address, _Handler)
         self.repository_server = repository_server
@@ -1085,6 +1271,8 @@ class SyncHTTPServer(http.server.ThreadingHTTPServer):
         self.idle_timeout = idle_timeout
         # Rendered by GET /metrics; None answers an empty scrape.
         self.metrics_registry = metrics_registry
+        # Read by GET /debug/profile; None answers 404 (not enabled).
+        self.profiler = profiler
         # When set, handlers stop honouring keep-alive once this many
         # requests have been handled (bounded serving, see the CLI).
         self.request_limit: int | None = None
@@ -1108,6 +1296,8 @@ def serve(
     idle_timeout: float | None = None,
     registry=None,
     tracer=None,
+    slow_ops=None,
+    profiler=None,
 ) -> SyncHTTPServer:
     """Expose ``repo`` at ``http://host:port/rpc``; returns the server.
 
@@ -1124,9 +1314,17 @@ def serve(
     :data:`repro.obs.metrics.NULL_REGISTRY` /
     :data:`repro.obs.trace.NULL_TRACER` to serve uninstrumented (the
     overhead benchmark's baseline arm).
+
+    ``slow_ops`` defaults to a fresh :class:`SlowOpCapture` with the
+    stock per-op budgets — an HTTP endpoint should be able to answer
+    ``GET /debug/slow`` out of the box; check costs one comparison per
+    request and nothing is snapshotted under budget. ``profiler``
+    (optional, a started :class:`~repro.obs.profiler.SamplingProfiler`)
+    backs ``GET /debug/profile``; the caller owns its lifecycle.
     """
     registry = registry if registry is not None else MetricsRegistry()
     tracer = tracer if tracer is not None else Tracer()
+    slow_ops = slow_ops if slow_ops is not None else SlowOpCapture()
     return SyncHTTPServer(
         (host, port),
         RepositoryServer(
@@ -1137,9 +1335,11 @@ def serve(
             exclusive=exclusive,
             registry=registry,
             tracer=tracer,
+            slow_ops=slow_ops,
         ),
         verbose=verbose,
         max_request_bytes=max_request_bytes,
         idle_timeout=idle_timeout,
         metrics_registry=registry,
+        profiler=profiler,
     )

@@ -229,3 +229,108 @@ class TestOB004LineageSchema:
             """,
         )
         assert tree.findings("OB004") == []
+
+
+UNADOPTED_HANDLER = """\
+    from repro.remote.protocol import decode_message
+
+
+    class Server:
+        def handle_bytes(self, payload):
+            meta, blobs = decode_message(payload)
+            with self.tracer.span("server.op"):  # MARK unadopted
+                return self.dispatch(meta, blobs)
+"""
+
+ADOPTED_HANDLER = """\
+    from repro.obs import propagation
+    from repro.remote.protocol import decode_message
+
+
+    class Server:
+        def handle_bytes(self, payload):
+            meta, blobs = decode_message(payload)
+            inherited = propagation.parse_trace_context(meta)
+            with propagation.adopt_remote_context(inherited):
+                with self.tracer.span("server.op"):
+                    return self.dispatch(meta, blobs)
+"""
+
+
+class TestOB005TraceContinuity:
+    def test_handler_span_without_adoption_flagged(self, tree, line_of):
+        source = tree.write("remote/server.py", UNADOPTED_HANDLER)
+        findings = tree.findings("OB005")
+        assert len(findings) == 1
+        assert findings[0].line == line_of(source, "MARK unadopted")
+        assert "adopting" in findings[0].message
+
+    def test_hub_handler_without_adoption_flagged(self, tree):
+        tree.write("hub/hub.py", UNADOPTED_HANDLER)
+        findings = tree.findings("OB005")
+        assert len(findings) == 1
+
+    def test_adopting_handler_passes(self, tree):
+        tree.write("remote/server.py", ADOPTED_HANDLER)
+        assert tree.findings("OB005") == []
+
+    def test_non_handler_file_exempt(self, tree):
+        # Client-side spans wrap *encoded* requests; only files that
+        # decode wire payloads can (and must) adopt a peer's context.
+        tree.write("remote/client.py", UNADOPTED_HANDLER)
+        assert tree.findings("OB005") == []
+
+    def test_span_without_decode_exempt(self, tree):
+        tree.write(
+            "hub/hub.py",
+            """\
+            class Hub:
+                def admitted(self, meta):
+                    with self.tracer.span("hub.request"):
+                        return self.route(meta)
+            """,
+        )
+        assert tree.findings("OB005") == []
+
+    def test_attr_write_after_span_close_flagged(self, tree, line_of):
+        source = tree.write(
+            "worker.py",
+            """\
+            def work(tracer):
+                with tracer.span("job") as span:
+                    result = run()
+                span.set(outcome="done")  # MARK late write
+                return result
+            """,
+        )
+        findings = tree.findings("OB005")
+        assert len(findings) == 1
+        assert findings[0].line == line_of(source, "MARK late write")
+        assert "after the span closed" in findings[0].message
+
+    def test_attr_write_inside_span_passes(self, tree):
+        tree.write(
+            "worker.py",
+            """\
+            def work(tracer):
+                with tracer.span("job") as span:
+                    span.set(outcome="done")
+                    return run()
+            """,
+        )
+        assert tree.findings("OB005") == []
+
+    def test_late_write_in_nested_block_flagged(self, tree):
+        tree.write(
+            "worker.py",
+            """\
+            def work(tracer, ok):
+                with tracer.span("job") as span:
+                    result = run()
+                if ok:
+                    span.set(outcome="done")
+                return result
+            """,
+        )
+        findings = tree.findings("OB005")
+        assert len(findings) == 1
