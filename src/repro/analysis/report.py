@@ -37,6 +37,8 @@ RULES: dict[str, str] = {
     "OB004": "lineage record constructed without the full provenance schema",
     "OB005": "trace continuity broken: unadopted wire context or a span "
     "attribute written after the span closed",
+    "OB006": "protocol op invisible to the health model: no default SLO "
+    "objective or no OPS-driven latency histogram coverage",
 }
 
 

@@ -15,6 +15,8 @@ Usage::
     python -m repro push REPO REMOTE                   # fast-forward publish
     python -m repro pull REPO REMOTE                   # sync (+merge) back
     python -m repro stats REMOTE                       # telemetry readout
+    python -m repro stats REMOTE --watch 2             # re-render every 2s
+    python -m repro health REMOTE                      # SLO health readout
     python -m repro lineage REMOTE REF                 # provenance closure
     python -m repro lineage REMOTE --trace ID          # request forensics
     python -m repro impact REMOTE COMPONENT            # what-if analysis
@@ -210,7 +212,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the raw stats object as one JSON document",
     )
+    stats.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-fetch and re-render every SECONDS seconds until "
+        "interrupted (Ctrl-C exits cleanly)",
+    )
     _add_hub_client_arguments(stats)
+
+    health = sub.add_parser(
+        "health",
+        help="read a server's sliding-window health model: readiness, "
+        "per-op latency percentiles vs SLO objectives, error-budget "
+        "burn, and overload-shedding state",
+    )
+    health.add_argument("target", help="http:// URL or repository directory")
+    health.add_argument(
+        "--json", action="store_true",
+        help="emit the raw health object as one JSON document",
+    )
+    _add_hub_client_arguments(health)
 
     lineage = sub.add_parser(
         "lineage",
@@ -474,6 +494,12 @@ def _add_observability_arguments(parser) -> None:
         help="default slow-op capture threshold in seconds (built-in "
         "per-op thresholds for push/fetch/chunk ops still apply)",
     )
+    parser.add_argument(
+        "--slo-config", default=None, metavar="PATH",
+        help="JSON file of SLO overrides (per-op p99 objectives, "
+        "availability target, burn windows, shedding knobs); default: "
+        "the built-in objectives",
+    )
 
 
 def _build_observability(args):
@@ -505,6 +531,24 @@ def _build_observability(args):
             exporter.stop()
 
     return tracer, slow_ops, profiler, close
+
+
+def _load_slo(args):
+    """The :class:`~repro.obs.slo.SLOConfig` behind ``--slo-config``
+    (the built-in defaults when the flag is absent)."""
+    from .errors import MLCaskError
+    from .obs import SLOConfig
+
+    if args.slo_config is None:
+        return SLOConfig.default()
+    try:
+        return SLOConfig.load(args.slo_config)
+    except (OSError, ValueError) as error:
+        # Fail the verb before it binds a port: a server that came up
+        # with a half-read SLO would shed against the wrong promises.
+        raise MLCaskError(
+            f"invalid SLO config {args.slo_config}: {error}"
+        ) from error
 
 
 def _add_rebind_arguments(parser) -> None:
@@ -793,6 +837,7 @@ def _cmd_serve(args, out) -> int:
         ),
         cache_entries=args.cache_entries,
         max_request_bytes=args.max_request_bytes,
+        slo=_load_slo(args),
         # Bounded serving must return promptly after the Nth request even
         # when clients leave keep-alive sockets open: a short idle timeout
         # lets server_close() join the handler threads without waiting out
@@ -945,22 +990,47 @@ def _cmd_pull(args, out) -> int:
 
 
 def _cmd_stats(args, out) -> int:
-    """The ``stats`` op as a verb: one server's counters, human or JSON."""
+    """The ``stats`` op as a verb: one server's counters, human or JSON;
+    ``--watch N`` re-fetches and re-renders every N seconds."""
+    import time
+
+    target = _resolve_remote_target(args.target, args.tenant)
+    if args.watch is None:
+        transport = _transport_for(target, token=args.token)
+        try:
+            _render_stats_once(args, transport, out)
+        finally:
+            transport.close()
+        return 0
+    interval = max(args.watch, 0.1)
+    # One transport across iterations: keep-alive instead of a fresh
+    # connection per refresh.  Ctrl-C is the documented exit path.
+    transport = _transport_for(target, token=args.token)
+    try:
+        while True:
+            _render_stats_once(args, transport, out, stamp=True)
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        transport.close()
+    return 0
+
+
+def _render_stats_once(args, transport, out, stamp: bool = False) -> None:
     import json
+    import time
 
     from .remote.client import Remote
 
-    target = _resolve_remote_target(args.target, args.tenant)
-    transport = _transport_for(target, token=args.token)
-    try:
-        # repo=None: stats is pure readout, no local repository involved
-        # (the same probe shape clone uses for the manifest).
-        stats = Remote(repo=None, transport=transport).stats()
-    finally:
-        transport.close()
+    # repo=None: stats is pure readout, no local repository involved
+    # (the same probe shape clone uses for the manifest).
+    stats = Remote(repo=None, transport=transport).stats()
+    if stamp:
+        print(f"--- {time.strftime('%H:%M:%S')} ---", file=out)
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True), file=out)
-        return 0
+        return
     cache = stats.get("cache", {})
     storage = stats.get("storage", {})
     repository = stats.get("repository", {})
@@ -968,6 +1038,16 @@ def _cmd_stats(args, out) -> int:
     tasks = engine.get("scheduler_tasks", {})
     flight = engine.get("single_flight", {})
     lineage = stats.get("lineage", {})
+    health = stats.get("health", {})
+    if health:
+        state = "ready" if health.get("ready") else (
+            "NOT READY: " + "; ".join(health.get("reasons", []))
+        )
+        print(
+            f"health: {state} (queue depth {health.get('queue_depth', 0):g}, "
+            f"{health.get('window_seconds', 0):g}s window)",
+            file=out,
+        )
     print(
         f"requests handled: {stats.get('requests_handled', 0)}\n"
         f"cache: {cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses "
@@ -989,6 +1069,58 @@ def _cmd_stats(args, out) -> int:
         f"({lineage.get('collected', 0)} collected)",
         file=out,
     )
+
+
+def _cmd_health(args, out) -> int:
+    """The ``health`` op as a verb: the sliding-window report, human or
+    JSON — readiness, per-op percentiles vs objectives, burn, shedding."""
+    import json
+
+    from .remote.client import Remote
+
+    target = _resolve_remote_target(args.target, args.tenant)
+    transport = _transport_for(target, token=args.token)
+    try:
+        report = Remote(repo=None, transport=transport).health()
+    finally:
+        transport.close()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        return 0
+    state = "ready" if report["ready"] else (
+        "NOT READY: " + "; ".join(report.get("reasons", []))
+    )
+    burn = report.get("burn", {})
+    shedding = report.get("shedding", {})
+    slo = report.get("slo", {})
+    print(
+        f"{state} ({report.get('window_seconds', 0):g}s window, "
+        f"queue depth {report.get('queue_depth', 0):g})\n"
+        f"error budget: {slo.get('availability', 0.0):.2%} availability "
+        f"target; burn fast {burn.get('fast', {}).get('burn', 0.0):.2f}x "
+        f"/ slow {burn.get('slow', {}).get('burn', 0.0):.2f}x",
+        file=out,
+    )
+    shed_state = "on" if shedding.get("enabled") else "off"
+    active = " ACTIVE" if shedding.get("active") else ""
+    print(
+        f"shedding: {shed_state}{active}, {shedding.get('total', 0)} shed",
+        file=out,
+    )
+    for op, summary in sorted(report.get("ops", {}).items()):
+        if not summary.get("count"):
+            continue
+        breach = "  << over objective" if summary.get("breach") else ""
+        objective = summary.get("objective_p99_seconds")
+        objective_text = "-" if objective is None else f"{objective * 1000.0:.0f}"
+        print(
+            f"  {op:14s} {summary['count']:6d} reqs  "
+            f"p50 {summary['p50'] * 1000.0:7.1f} ms  "
+            f"p95 {summary['p95'] * 1000.0:7.1f} ms  "
+            f"p99 {summary['p99'] * 1000.0:7.1f} ms  "
+            f"(objective {objective_text} ms){breach}",
+            file=out,
+        )
     return 0
 
 
@@ -1321,6 +1453,7 @@ def _cmd_hub_serve(args, out) -> int:
         cache_entries=args.cache_entries,
         tracer=tracer,
         slow_ops=slow_ops,
+        slo=_load_slo(args),
         **kwargs,
     )
     server = serve_hub(
@@ -1399,8 +1532,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if args.command == "demo":
         return _cmd_demo(args, out)
     if args.command in (
-        "init", "serve", "clone", "push", "pull", "stats", "lineage",
-        "impact", "trace", "profile", "run", "merge", "gc", "hub", "lint",
+        "init", "serve", "clone", "push", "pull", "stats", "health",
+        "lineage", "impact", "trace", "profile", "run", "merge", "gc",
+        "hub", "lint",
     ):
         handler = {
             "init": _cmd_init,
@@ -1409,6 +1543,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
             "push": _cmd_push,
             "pull": _cmd_pull,
             "stats": _cmd_stats,
+            "health": _cmd_health,
             "lineage": _cmd_lineage,
             "impact": _cmd_impact,
             "trace": _cmd_trace,

@@ -195,6 +195,27 @@ class RepositoryNotFoundError(HubError):
         super().__init__(message)
 
 
+class ServerOverloadedError(HubError):
+    """The health model reported overload and admission shed the request.
+
+    Raised by the hub's admission pipeline *before* any repository state
+    is touched (the same never-partially-mutate contract as auth, quota,
+    and rate denials), so a shed request is guaranteed side-effect-free.
+    ``retry_after`` is the server's backoff hint in seconds; it rides the
+    typed error response across the wire and
+    :meth:`repro.remote.client.Remote` honors it with jittered
+    exponential backoff.
+    """
+
+    def __init__(
+        self,
+        message: str = "server overloaded; retry later",
+        retry_after: float = 1.0,
+    ):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ProvenanceError(MLCaskError):
     """A lineage-ledger operation or query failed."""
 

@@ -70,13 +70,16 @@ from ..errors import (
     RateLimitedError,
     RemoteProtocolError,
     RepositoryNotFoundError,
+    ServerOverloadedError,
 )
 from ..obs import propagation
+from ..obs.health import HealthMonitor
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import SLOConfig
 from ..obs.slowops import SlowOpCapture
 from ..obs.trace import Tracer
 from ..remote import pack
-from ..remote.protocol import WRITE_OPS, decode_message, error_response
+from ..remote.protocol import OPS, WRITE_OPS, decode_message, error_response
 from ..remote.server import RepositoryServer
 from ..remote.transport import Transport
 from ..storage.chunk_store import FileChunkStore
@@ -95,6 +98,7 @@ _DENIAL_REASONS = (
     (QuotaExceededError, "quota"),
     (RateLimitedError, "rate"),
     (RepositoryNotFoundError, "not_found"),
+    (ServerOverloadedError, "overload"),
     (HubError, "hub"),
     (RemoteProtocolError, "protocol"),
 )
@@ -177,6 +181,7 @@ class RepositoryHub:
         registry=None,
         tracer=None,
         slow_ops=None,
+        slo: SLOConfig | None = None,
     ):
         self.root = os.fspath(root) if root is not None else None
         self.authenticator = authenticator or TokenAuthenticator()
@@ -230,6 +235,15 @@ class RepositoryHub:
         # hub's /debug/slow readout covers all tenants (each capture is
         # stamped with its tenant/repo context by the server).
         self.slow_ops = slow_ops if slow_ops is not None else SlowOpCapture()
+        # The health model behind /healthz, /readyz, the health op, and
+        # admission shedding. One deployment-wide monitor over the shared
+        # registry/tracer: hosted servers answer the health op from it,
+        # so a tenant's view is the hub's view (per-op windows aggregate
+        # across tenants — overload is a shared-substrate condition).
+        self.slo = slo if slo is not None else SLOConfig.default()
+        self.health = HealthMonitor(
+            registry=self.registry, slo=self.slo, tracer=self.tracer
+        )
         self._m_admission = self.registry.counter(
             "repro_admission_total",
             "Hub admission decisions, by tenant and outcome",
@@ -459,6 +473,7 @@ class RepositoryHub:
             tracer=self.tracer,
             metric_labels={"tenant": tenant, "repo": name},
             slow_ops=self.slow_ops,
+            health_monitor=self.health,
         )
         return hosted
 
@@ -721,8 +736,18 @@ class RepositoryHub:
 
     def stats(self) -> dict:
         """Hub-wide numbers the benchmark and tests read."""
+        # Health computed before taking the hub lock: the monitor reads
+        # the registry (its own lock) and must not extend this hold.
+        ready, reasons = self.health.ready()
+        health_window = self.health.window()
         with self._lock:
             return {
+                "health": {
+                    "ready": ready,
+                    "reasons": reasons,
+                    "queue_depth": health_window["queue_depth"],
+                    "window_seconds": health_window["seconds"],
+                },
                 "physical_bytes": self.backend.physical_bytes,
                 "chunks": self.backend.chunk_count(),
                 "loaded_repos": len(self._loaded),
@@ -801,9 +826,9 @@ class RepositoryHub:
     ) -> bytes:
         """Admit and execute one wire request; never raises.
 
-        Denials (auth, rate, quota, unknown repo) are answered as typed
-        error responses *before* the repository server — and therefore
-        any repository state — is touched.
+        Denials (auth, rate, quota, unknown repo, overload shed) are
+        answered as typed error responses *before* the repository server
+        — and therefore any repository state — is touched.
 
         Telemetry: the whole request runs under a ``hub.request`` root
         span (admission itself under a ``hub.admission`` child, the
@@ -863,6 +888,23 @@ class RepositoryHub:
                         raise decode_error
                     op = meta.get("op")
                     write = op in WRITE_OPS
+                    # Observability-driven load shedding: the last
+                    # admission gate, still before any repository state
+                    # is touched (same never-partially-mutate contract
+                    # as auth/quota/rate — _acquire runs strictly after
+                    # this). Only known ops shed, so an unknown op keeps
+                    # its typed protocol error; exempt ops (health,
+                    # stats, trace) always pass so probes work under the
+                    # very overload they diagnose.
+                    if op in OPS:
+                        retry_after = self.health.shed_decision(op)
+                        if retry_after is not None:
+                            self.health.note_shed(op)
+                            raise ServerOverloadedError(
+                                f"hub overloaded; shedding {op!r} "
+                                "admissions — retry with backoff",
+                                retry_after=retry_after,
+                            )
                 try:
                     hosted = self._acquire(tenant, repo, create=write)
                 except RepositoryNotFoundError:

@@ -113,6 +113,10 @@ class HubHTTPServer(http.server.ThreadingHTTPServer):
         # GET /metrics renders the hub's registry: admission outcomes,
         # per-repo request/latency series, chunk bytes — one scrape.
         self.metrics_registry = hub.registry
+        # GET /healthz and /readyz answer from the hub's health model
+        # (unauthenticated, boolean-plus-reasons only; the detailed
+        # report is the token-gated health op).
+        self.health_monitor = hub.health
         # GET /debug/profile (token-gated) reads this; None answers 404.
         self.profiler = profiler
         # When set, handlers stop honouring keep-alive once this many

@@ -24,7 +24,13 @@ Small, dependency-free pieces:
 * :mod:`repro.obs.critical_path` — trace-tree reconstruction and
   longest-blocking-chain analysis with executed-vs-reused attribution;
 * :mod:`repro.obs.events` — structured one-line JSON log events
-  (startup readiness, transport reconnect warnings).
+  (startup readiness, transport reconnect warnings);
+* :mod:`repro.obs.slo` / :mod:`repro.obs.health` — the self-aware
+  serving pair: declarative per-op latency objectives with error-budget
+  burn windows, and the sliding-window :class:`HealthMonitor` that
+  derives per-op percentiles, error rate, denial mix, and queue/lock
+  pressure from the registry and tracer — feeding ``/healthz`` /
+  ``/readyz``, the ``health`` RPC op, and the hub's overload shedding.
 
 Both metrics and tracing follow the same null-default discipline:
 library code resolves its sink via ``default_registry()`` /
@@ -37,6 +43,7 @@ an ``if registry is not None`` guard.
 from .critical_path import build_trace_tree, critical_path, render_critical_path
 from .events import emit
 from .export import ExportPolicy, FileSpanSink, HttpSpanSink, SpanExporter, sink_for
+from .health import SHED_EXEMPT_OPS, HealthMonitor
 from .metrics import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -51,17 +58,23 @@ from .propagation import (
     inject,
     parse_trace_context,
 )
+from .slo import DEFAULT_OP_OBJECTIVES, SLOConfig, SLObjective
 from .slowops import SlowOpCapture
 from .trace import NULL_TRACER, Span, Tracer, default_tracer
 
 __all__ = [
+    "DEFAULT_OP_OBJECTIVES",
     "ExportPolicy",
     "FileSpanSink",
+    "HealthMonitor",
     "HttpSpanSink",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "RemoteSpanContext",
+    "SHED_EXEMPT_OPS",
+    "SLOConfig",
+    "SLObjective",
     "SamplingProfiler",
     "SlowOpCapture",
     "Span",

@@ -1,0 +1,414 @@
+"""Sliding-window health model: the serving stack reading its own telemetry.
+
+The measurement half of self-aware serving (:mod:`repro.obs.slo` is the
+policy half). A :class:`HealthMonitor` periodically snapshots the
+*existing* telemetry streams — the :class:`~repro.obs.metrics.MetricsRegistry`
+families the servers already populate (``repro_request_seconds``,
+``repro_admission_denied_total``, ``repro_lock_wait_seconds``,
+``repro_scheduler_queue_depth``) and the :class:`~repro.obs.trace.Tracer`'s
+finished-span buffer — and derives windowed signals from the deltas:
+per-op p50/p95/p99 latency (interpolated from histogram-bucket deltas),
+error rate, admission-denial mix, lock-wait pressure, and queue depth.
+No new instrumentation points: if a server emits metrics, it can be
+health-modelled.
+
+Snapshots are ticked *lazily* from the read paths (``health()``,
+``ready()``, ``shed_decision()``), rate-limited to the SLO's
+``tick_seconds`` — no background thread, so a monitor on an idle server
+costs nothing and a monitor under load amortizes one registry copy per
+tick across every admission decision in that tick.
+
+Three consumers, deliberately decoupled:
+
+* **liveness** (``GET /healthz``): the process answers — always true if
+  the handler runs;
+* **readiness** (``GET /readyz``): flips down on fast error-budget burn,
+  scheduler-queue saturation, or active shedding; recovers as the
+  windows slide clean;
+* **shedding** (:meth:`shed_decision`, called by the hub admission
+  pipeline *before any repository state is touched*): triggers on
+  windowed per-op p99 exceeding its objective or queue saturation —
+  never on error burn. Shed requests are answered as typed
+  :class:`~repro.errors.ServerOverloadedError`\\ s and land in the
+  admission-denial counters, not the request-latency histograms, so the
+  shedder's own output cannot feed its input and latch it on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from .metrics import NULL_REGISTRY
+from .slo import SLOConfig
+from .trace import NULL_TRACER
+
+#: Ops never shed: the probes an operator (or an automated client
+#: backing off) needs precisely when the server is overloaded.
+SHED_EXEMPT_OPS = frozenset({"health", "stats", "trace"})
+
+#: Quantiles the window report carries.
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+#: Span-name prefix identifying served requests (error-rate source).
+#: Hub/client spans are excluded on purpose: a shed request errors its
+#: ``hub.request`` span, and counting that into burn would couple the
+#: shedder to its own output.
+_REQUEST_SPAN_PREFIX = "server."
+
+
+def _percentile(buckets, deltas, q: float) -> float | None:
+    """Quantile from histogram-bucket *deltas*, linearly interpolated.
+
+    ``buckets`` are the finite upper bounds; ``deltas`` has one extra
+    trailing +Inf entry. Follows ``histogram_quantile``'s convention for
+    the +Inf bucket: answer the largest finite bound (there is no upper
+    edge to interpolate toward).
+    """
+    total = sum(deltas)
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(deltas):
+        if count <= 0:
+            continue
+        previous = cumulative
+        cumulative += count
+        if cumulative < rank:
+            continue
+        if i >= len(buckets):  # the +Inf bucket
+            return float(buckets[-1]) if buckets else None
+        lower = float(buckets[i - 1]) if i > 0 else 0.0
+        upper = float(buckets[i])
+        fraction = (rank - previous) / count
+        return lower + (upper - lower) * fraction
+    return float(buckets[-1]) if buckets else None
+
+
+class _Sample:
+    """One timestamped cut of the cumulative telemetry counters."""
+
+    __slots__ = ("mono", "wall", "ops", "denied", "lock_wait", "queue_depth")
+
+    def __init__(self, mono, wall, ops, denied, lock_wait, queue_depth):
+        self.mono = mono
+        self.wall = wall
+        self.ops = ops                  # op -> {buckets, counts, count, sum}
+        self.denied = denied            # reason -> cumulative total
+        self.lock_wait = lock_wait      # {"count": n, "sum": seconds}
+        self.queue_depth = queue_depth  # instantaneous gauge
+
+
+class HealthMonitor:
+    """Windowed health/readiness/shedding decisions over live telemetry.
+
+    Thread-safe; every public method may be called concurrently with
+    the servers still writing the underlying registry (the registry's
+    own lock guarantees each snapshot is a consistent cut).
+    """
+
+    def __init__(self, registry=None, slo: SLOConfig | None = None,
+                 tracer=None, clock=time.monotonic, wallclock=time.time):
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.slo = slo if slo is not None else SLOConfig.default()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock
+        self._wallclock = wallclock
+        self._lock = threading.Lock()
+        self._samples: deque[_Sample] = deque()
+        self._last_tick = float("-inf")
+        self._last_shed_mono = float("-inf")
+        self._shed_total = 0
+        self._shed_by_op: dict[str, int] = {}
+        # Baseline cut at construction: the first window measures what
+        # happened since the monitor (== the server) came up, not the
+        # whole cumulative history of a shared registry.
+        self._tick(force=True)
+
+    # ------------------------------------------------------------ sampling
+    def _collect(self) -> _Sample:
+        ops: dict[str, dict] = {}
+        for series in self.registry.series("repro_request_seconds"):
+            op = series["labels"].get("op", "-")
+            agg = ops.get(op)
+            if agg is None:
+                ops[op] = {
+                    "buckets": tuple(series["buckets"]),
+                    "counts": list(series["bucket_counts"]),
+                    "count": series["count"],
+                    "sum": series["sum"],
+                }
+            else:
+                for i, n in enumerate(series["bucket_counts"]):
+                    agg["counts"][i] += n
+                agg["count"] += series["count"]
+                agg["sum"] += series["sum"]
+        denied: dict[str, float] = {}
+        for series in self.registry.series("repro_admission_denied_total"):
+            reason = series["labels"].get("reason", "-")
+            denied[reason] = denied.get(reason, 0.0) + series["value"]
+        lock_wait = {"count": 0, "sum": 0.0}
+        for series in self.registry.series("repro_lock_wait_seconds"):
+            lock_wait["count"] += series["count"]
+            lock_wait["sum"] += series["sum"]
+        queue_depth = sum(
+            series["value"]
+            for series in self.registry.series("repro_scheduler_queue_depth")
+        )
+        return _Sample(
+            self._clock(), self._wallclock(), ops, denied, lock_wait,
+            queue_depth,
+        )
+
+    def _tick(self, force: bool = False) -> None:
+        """Snapshot the registry if the last cut is older than a tick."""
+        now = self._clock()
+        with self._lock:
+            if not force and now - self._last_tick < self.slo.tick_seconds:
+                return
+            self._last_tick = now
+            self._samples.append(self._collect())
+            horizon = self.slo.window_seconds + 2 * self.slo.tick_seconds
+            while (
+                len(self._samples) > 2
+                and now - self._samples[1].mono > horizon
+            ):
+                self._samples.popleft()
+
+    def _window_edges(self) -> tuple[_Sample, _Sample] | None:
+        """(baseline, newest): baseline is the newest sample at least a
+        window old, else the oldest available (short-lived monitor)."""
+        with self._lock:
+            if len(self._samples) < 2:
+                return None
+            newest = self._samples[-1]
+            cutoff = newest.mono - self.slo.window_seconds
+            baseline = self._samples[0]
+            for sample in self._samples:
+                if sample.mono <= cutoff:
+                    baseline = sample
+                else:
+                    break
+            if baseline is newest:
+                baseline = self._samples[0]
+            return baseline, newest
+
+    # ------------------------------------------------------------- windows
+    def window(self) -> dict:
+        """Deltas over the sliding window, as one JSON-ready dict."""
+        self._tick()
+        edges = self._window_edges()
+        if edges is None:
+            return {
+                "seconds": 0.0,
+                "ops": {},
+                "denied": {},
+                "lock_wait": {"count": 0, "avg_seconds": 0.0},
+                "queue_depth": 0.0,
+            }
+        baseline, newest = edges
+        ops: dict[str, dict] = {}
+        for op, current in newest.ops.items():
+            before = baseline.ops.get(op)
+            deltas = list(current["counts"])
+            count = current["count"]
+            total = current["sum"]
+            if before is not None and before["buckets"] == current["buckets"]:
+                for i, n in enumerate(before["counts"]):
+                    deltas[i] -= n
+                count -= before["count"]
+                total -= before["sum"]
+            if count <= 0:
+                continue
+            report = {"count": count, "mean_seconds": total / count}
+            for name, q in _QUANTILES:
+                value = _percentile(current["buckets"], deltas, q)
+                if value is not None:
+                    report[name] = value
+            ops[op] = report
+        denied = {}
+        for reason, value in newest.denied.items():
+            delta = value - baseline.denied.get(reason, 0.0)
+            if delta > 0:
+                denied[reason] = delta
+        lock_count = newest.lock_wait["count"] - baseline.lock_wait["count"]
+        lock_sum = newest.lock_wait["sum"] - baseline.lock_wait["sum"]
+        return {
+            "seconds": newest.mono - baseline.mono,
+            "ops": ops,
+            "denied": denied,
+            "lock_wait": {
+                "count": max(lock_count, 0),
+                "avg_seconds": (
+                    lock_sum / lock_count if lock_count > 0 else 0.0
+                ),
+            },
+            "queue_depth": newest.queue_depth,
+        }
+
+    def _burn_rates(self) -> dict:
+        """Error-budget burn over the fast/slow windows, from spans.
+
+        Burn = (error fraction of served requests in the window) divided
+        by the budget; 1.0 means "spending exactly what the availability
+        objective allows". Only ``server.*`` spans count — see
+        :data:`_REQUEST_SPAN_PREFIX`.
+        """
+        spans = self.tracer.finished()
+        now = self._wallclock()
+        rates = {}
+        for name, horizon in (
+            ("fast", self.slo.fast_window_seconds),
+            ("slow", self.slo.slow_window_seconds),
+        ):
+            total = errors = 0
+            cutoff = now - horizon
+            for span in spans:
+                if not str(span.get("name", "")).startswith(
+                    _REQUEST_SPAN_PREFIX
+                ):
+                    continue
+                start = span.get("start")
+                if start is None or start < cutoff:
+                    continue
+                total += 1
+                if span.get("status") == "error":
+                    errors += 1
+            rate = errors / total if total else 0.0
+            rates[name] = {
+                "requests": total,
+                "errors": errors,
+                "error_rate": rate,
+                "burn": rate / self.slo.error_budget,
+            }
+        return rates
+
+    # ----------------------------------------------------------- decisions
+    def alive(self) -> bool:
+        """Liveness: the process is running and answering. Always true
+        from inside the process — the signal is in *reaching* it."""
+        return True
+
+    def ready(self) -> tuple[bool, list[str]]:
+        """Readiness and the reasons it is (not) — empty list when ready.
+
+        Flips down on: fast error-budget burn over threshold, scheduler
+        queue saturated past the configured depth, or shedding having
+        fired within the last window. All three clear themselves as the
+        windows slide past the incident.
+        """
+        self._tick()
+        reasons = []
+        burn = self._burn_rates()
+        fast = burn["fast"]
+        if (
+            fast["requests"] >= self.slo.min_samples
+            and fast["burn"] >= self.slo.fast_burn_threshold
+        ):
+            reasons.append(
+                f"error budget fast burn {fast['burn']:.1f}x >= "
+                f"{self.slo.fast_burn_threshold:.1f}x"
+            )
+        window = self.window()
+        if (
+            self.slo.max_queue_depth > 0
+            and window["queue_depth"] > self.slo.max_queue_depth
+        ):
+            reasons.append(
+                f"scheduler queue depth {window['queue_depth']:.0f} > "
+                f"{self.slo.max_queue_depth:.0f}"
+            )
+        if self._shedding_active():
+            reasons.append("overload shedding active")
+        return (not reasons, reasons)
+
+    def _shedding_active(self) -> bool:
+        return (
+            self._clock() - self._last_shed_mono <= self.slo.window_seconds
+        )
+
+    def shed_decision(self, op: str) -> float | None:
+        """Should an admission of ``op`` be shed right now?
+
+        Returns the ``retry_after`` hint (seconds) to send the client,
+        or None to admit. Called by the hub *before* any repository
+        state is touched; exempt ops (:data:`SHED_EXEMPT_OPS`) are never
+        shed so probes and backoff decisions keep working under load.
+        Latency-driven: sheds when the windowed p99 of this op has
+        breached its objective across at least ``min_samples`` requests,
+        or when the scheduler queue is saturated — never on error burn.
+        """
+        if not self.slo.shed_enabled or op in SHED_EXEMPT_OPS:
+            return None
+        self._tick()
+        window = self.window()
+        if (
+            self.slo.max_queue_depth > 0
+            and window["queue_depth"] > self.slo.max_queue_depth
+        ):
+            return self.slo.retry_after_seconds
+        objective = self.slo.objective_for(op)
+        if objective is None:
+            return None
+        report = window["ops"].get(op)
+        if report is None or report["count"] < self.slo.min_samples:
+            return None
+        p99 = report.get("p99")
+        if p99 is not None and p99 > objective.p99_seconds:
+            return self.slo.retry_after_seconds
+        return None
+
+    def note_shed(self, op: str) -> None:
+        """Record that the admission pipeline shed one ``op`` request."""
+        with self._lock:
+            self._last_shed_mono = self._clock()
+            self._shed_total += 1
+            self._shed_by_op[op] = self._shed_by_op.get(op, 0) + 1
+
+    # ------------------------------------------------------------- reports
+    def health(self) -> dict:
+        """The full health report (the ``health`` RPC's payload).
+
+        JSON-ready; schema-additive consumers should tolerate new keys.
+        """
+        self._tick()
+        window = self.window()
+        burn = self._burn_rates()
+        ready, reasons = self.ready()
+        ops = {}
+        for op, report in sorted(window["ops"].items()):
+            entry = dict(report)
+            objective = self.slo.objective_for(op)
+            if objective is not None:
+                entry["objective_p99_seconds"] = objective.p99_seconds
+                p99 = report.get("p99")
+                entry["breach"] = bool(
+                    p99 is not None and p99 > objective.p99_seconds
+                )
+            ops[op] = entry
+        with self._lock:
+            shed = {
+                "active": self._shedding_active(),
+                "total": self._shed_total,
+                "by_op": dict(self._shed_by_op),
+                "enabled": self.slo.shed_enabled,
+            }
+        return {
+            "alive": self.alive(),
+            "ready": ready,
+            "reasons": reasons,
+            "generated_at": self._wallclock(),
+            "window_seconds": window["seconds"],
+            "ops": ops,
+            "denied": window["denied"],
+            "lock_wait": window["lock_wait"],
+            "queue_depth": window["queue_depth"],
+            "burn": burn,
+            "shedding": shed,
+            "slo": self.slo.to_dict(),
+        }
+
+
+__all__ = ["SHED_EXEMPT_OPS", "HealthMonitor"]

@@ -346,6 +346,36 @@ class MetricsRegistry:
             child = family._children.get(key)
             return child.value if child is not None else 0.0
 
+    def series(self, name: str) -> list[dict]:
+        """Every series of one family, with full per-series state.
+
+        Unlike :meth:`snapshot`, histograms come back with their bucket
+        bounds and per-bucket counts — the raw material the health model
+        (:mod:`repro.obs.health`) interpolates percentiles from. Copied
+        under the registry lock, so a caller never observes a torn
+        histogram. Unknown families answer ``[]``.
+        """
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return []
+            out = []
+            for key, child in family._children.items():
+                labels = dict(zip(family.label_names, key))
+                if family.kind == "histogram":
+                    out.append(
+                        {
+                            "labels": labels,
+                            "buckets": child.buckets,
+                            "bucket_counts": list(child.bucket_counts),
+                            "count": child.count,
+                            "sum": child.sum,
+                        }
+                    )
+                else:
+                    out.append({"labels": labels, "value": child.value})
+            return out
+
 
 def _render_labels(names, values) -> str:
     if not names:
@@ -408,6 +438,9 @@ class NullRegistry:
 
     def value(self, name, **label_values) -> float:
         return 0.0
+
+    def series(self, name) -> list[dict]:
+        return []
 
 
 NULL_REGISTRY = NullRegistry()

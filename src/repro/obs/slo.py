@@ -1,0 +1,227 @@
+"""Declarative service-level objectives for the serving stack.
+
+The policy half of self-aware serving (:mod:`repro.obs.health` is the
+measurement half): an :class:`SLOConfig` names, per wire operation, the
+latency the server promises (p99 seconds) and, globally, how much
+failure the deployment tolerates (the error budget) and when burning
+through that budget should flip readiness (fast/slow burn-rate
+windows, the multiwindow alerting shape from the SRE workbook).
+
+Two consumers with deliberately different signals:
+
+* **readiness** (``GET /readyz``) flips on error-budget *burn* or queue
+  saturation — symptoms that outlast any single request;
+* **load shedding** (the hub admission pipeline) triggers on windowed
+  per-op latency exceeding its objective (plus queue depth), never on
+  burn: shed requests are answered as typed errors, and an error-driven
+  shedder would feed its own signal and latch itself on.
+
+Everything here is plain data — JSON-loadable via :meth:`SLOConfig.load`
+(the ``--slo-config`` flag on both serve verbs) — so operators tune
+objectives without touching code. :data:`DEFAULT_OP_OBJECTIVES` must
+cover every op in :data:`repro.remote.protocol.OPS`; the OB006 lint rule
+holds that line, so a new RPC cannot ship invisible to the health model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Default per-op p99 latency objectives (seconds). Writes move chunk
+#: content and get generous budgets (aligned with the slow-op capture
+#: thresholds in :mod:`repro.obs.slowops`); metadata reads are expected
+#: to be near-instant. Keys must cover every member of
+#: :data:`repro.remote.protocol.OPS` — the OB006 lint rule checks this
+#: dict literal statically, so keep it a literal.
+DEFAULT_OP_OBJECTIVES = {
+    "manifest": 0.5,
+    "known_commits": 0.5,
+    "missing_chunks": 0.5,
+    "get_chunks": 2.0,
+    "put_chunks": 5.0,
+    "fetch": 2.0,
+    "push": 5.0,
+    "stats": 0.5,
+    "lineage": 1.0,
+    "trace": 1.0,
+    "health": 0.5,
+}
+
+#: Default availability objective: at most 1% of requests may fail
+#: before the error budget is spent.
+DEFAULT_AVAILABILITY = 0.99
+
+#: Burn-rate thresholds: readiness flips when the *fast* window burns
+#: budget at >= 14.4x the sustainable rate (the classic page-worthy
+#: figure: a 30-day budget gone in ~2 days) — the slow window is
+#: reported for context and keeps the signal honest against blips.
+DEFAULT_FAST_BURN = 14.4
+DEFAULT_SLOW_BURN = 6.0
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One operation's promise: p99 latency under ``p99_seconds``."""
+
+    op: str
+    p99_seconds: float
+
+    def to_dict(self) -> dict:
+        return {"op": self.op, "p99_seconds": self.p99_seconds}
+
+
+@dataclass
+class SLOConfig:
+    """The serving stack's objectives plus the knobs that act on them.
+
+    ``window_seconds``/``tick_seconds`` shape the sliding window the
+    health model aggregates over (the shed signal's horizon);
+    ``fast_window_seconds``/``slow_window_seconds`` are the burn-rate
+    horizons readiness watches. ``max_queue_depth`` is the scheduler
+    queue saturation point (0 disables the queue signal);
+    ``min_samples`` keeps one slow outlier from tripping the shedder on
+    a quiet server. ``retry_after_seconds`` rides every
+    :class:`~repro.errors.ServerOverloadedError` as the client's backoff
+    hint; ``shed_enabled`` turns admission shedding off wholesale
+    (readiness keeps reporting either way).
+    """
+
+    objectives: dict[str, SLObjective] = field(default_factory=dict)
+    availability: float = DEFAULT_AVAILABILITY
+    window_seconds: float = 30.0
+    tick_seconds: float = 1.0
+    fast_window_seconds: float = 60.0
+    slow_window_seconds: float = 600.0
+    fast_burn_threshold: float = DEFAULT_FAST_BURN
+    slow_burn_threshold: float = DEFAULT_SLOW_BURN
+    max_queue_depth: float = 0.0
+    min_samples: int = 20
+    retry_after_seconds: float = 1.0
+    shed_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        # Plain ``{op: seconds}`` dicts are accepted wherever objectives
+        # go (constructor, JSON config) and normalized here once.
+        self.objectives = {
+            op: value
+            if isinstance(value, SLObjective)
+            else SLObjective(op, float(value))
+            for op, value in self.objectives.items()
+        }
+        self.availability = min(1.0, max(0.0, self.availability))
+        self.window_seconds = max(1.0, self.window_seconds)
+        self.tick_seconds = max(0.05, self.tick_seconds)
+        self.fast_window_seconds = max(1.0, self.fast_window_seconds)
+        self.slow_window_seconds = max(
+            self.fast_window_seconds, self.slow_window_seconds
+        )
+
+    @property
+    def error_budget(self) -> float:
+        """Tolerated failure fraction; floored so burn stays finite."""
+        return max(1.0 - self.availability, 1e-6)
+
+    def objective_for(self, op: str) -> SLObjective | None:
+        return self.objectives.get(op)
+
+    @classmethod
+    def default(cls) -> "SLOConfig":
+        """The stock config: every wire op covered at its default p99."""
+        return cls(
+            objectives={
+                op: SLObjective(op, seconds)
+                for op, seconds in DEFAULT_OP_OBJECTIVES.items()
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SLOConfig":
+        """Build from a JSON-shaped dict; unlisted ops keep defaults.
+
+        Shape (all keys optional)::
+
+            {"objectives": {"push": 2.0, ...},
+             "availability": 0.999,
+             "window_seconds": 30, "tick_seconds": 1,
+             "fast_window_seconds": 60, "slow_window_seconds": 600,
+             "fast_burn_threshold": 14.4, "slow_burn_threshold": 6,
+             "max_queue_depth": 64, "min_samples": 20,
+             "retry_after_seconds": 1.0, "shed_enabled": true}
+        """
+        if not isinstance(data, dict):
+            raise ValueError("SLO config must be a JSON object")
+        config = cls.default()
+        objectives = data.get("objectives", {})
+        if not isinstance(objectives, dict):
+            raise ValueError("'objectives' must map op names to seconds")
+        for op, seconds in objectives.items():
+            if not isinstance(seconds, (int, float)) or seconds <= 0:
+                raise ValueError(
+                    f"objective for {op!r} must be positive seconds"
+                )
+            config.objectives[op] = SLObjective(op, float(seconds))
+        for name in (
+            "availability",
+            "window_seconds",
+            "tick_seconds",
+            "fast_window_seconds",
+            "slow_window_seconds",
+            "fast_burn_threshold",
+            "slow_burn_threshold",
+            "max_queue_depth",
+            "retry_after_seconds",
+        ):
+            if name in data:
+                value = data[name]
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    raise ValueError(f"{name!r} must be a number")
+                setattr(config, name, float(value))
+        if "min_samples" in data:
+            value = data["min_samples"]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError("'min_samples' must be an integer")
+            config.min_samples = value
+        if "shed_enabled" in data:
+            if not isinstance(data["shed_enabled"], bool):
+                raise ValueError("'shed_enabled' must be a boolean")
+            config.shed_enabled = data["shed_enabled"]
+        config.__post_init__()  # re-clamp after overrides
+        return config
+
+    @classmethod
+    def load(cls, path: str) -> "SLOConfig":
+        """Read a JSON config file (the ``--slo-config`` flag)."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def to_dict(self) -> dict:
+        return {
+            "objectives": {
+                op: objective.p99_seconds
+                for op, objective in sorted(self.objectives.items())
+            },
+            "availability": self.availability,
+            "window_seconds": self.window_seconds,
+            "tick_seconds": self.tick_seconds,
+            "fast_window_seconds": self.fast_window_seconds,
+            "slow_window_seconds": self.slow_window_seconds,
+            "fast_burn_threshold": self.fast_burn_threshold,
+            "slow_burn_threshold": self.slow_burn_threshold,
+            "max_queue_depth": self.max_queue_depth,
+            "min_samples": self.min_samples,
+            "retry_after_seconds": self.retry_after_seconds,
+            "shed_enabled": self.shed_enabled,
+        }
+
+
+__all__ = [
+    "DEFAULT_AVAILABILITY",
+    "DEFAULT_FAST_BURN",
+    "DEFAULT_OP_OBJECTIVES",
+    "DEFAULT_SLOW_BURN",
+    "SLObjective",
+    "SLOConfig",
+]

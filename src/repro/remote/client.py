@@ -26,9 +26,11 @@ fetched commits to runnable components when the caller has them.
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field
 
-from ..errors import ChunkNotFoundError, RemoteError
+from ..errors import ChunkNotFoundError, RemoteError, ServerOverloadedError
 from ..obs import propagation
 from ..obs import trace as obs_trace
 from . import pack
@@ -83,6 +85,13 @@ class Remote:
     message in either direction: fetches window their ``get_chunks``
     requests to it, and a push whose missing content exceeds it streams
     the chunks in ``put_chunks`` batches before the final ref update.
+
+    ``overload_retries`` is how many times a request shed by an
+    overloaded peer (:class:`~repro.errors.ServerOverloadedError`) is
+    retried after backing off per the server's ``retry_after`` hint;
+    the final attempt's error propagates. ``backoff`` (optional, a
+    ``callable(seconds)``) replaces ``time.sleep`` — tests inject a
+    recorder, schedulers could yield instead of blocking.
     """
 
     def __init__(
@@ -92,14 +101,28 @@ class Remote:
         name: str = "origin",
         max_pack_bytes: int = pack.DEFAULT_MAX_PACK_BYTES,
         tracer=None,
+        overload_retries: int = 2,
+        backoff=None,
     ):
         self.repo = repo
         self.transport = transport
         self.name = name
         self.max_pack_bytes = max_pack_bytes
         self.tracer = tracer
+        self.overload_retries = max(0, overload_retries)
+        self._backoff = backoff if backoff is not None else time.sleep
 
     # ------------------------------------------------------------ plumbing
+    def _backoff_seconds(self, retry_after: float, attempt: int) -> float:
+        """Jittered exponential delay scaled by the server's hint.
+
+        Full jitter over ``[0.5, 1.5) * retry_after * 2^attempt``: shed
+        clients must not return in lockstep and re-create the very storm
+        that shed them.
+        """
+        base = max(retry_after, 0.0) * (2 ** attempt)
+        return base * (0.5 + random.random())
+
     def _call(self, meta: dict, blobs: list[bytes] | None = None):
         # Every RPC goes out under a client.<op> span, and the *current*
         # span's identity rides the envelope (trace_ctx) so the server's
@@ -108,12 +131,24 @@ class Remote:
         # request bytes untouched — untraced clients stay byte-identical.
         tracer = self.tracer if self.tracer is not None else obs_trace.default_tracer()
         op = meta.get("op", "?")
-        with tracer.span(f"client.{op}", op=op, remote=self.name):
-            payload = encode_message(propagation.inject(meta), blobs)
-            response = self.transport.call(payload)
-            meta_out, blobs_out = decode_message(response)
-            raise_remote_error(meta_out)
-            return meta_out, blobs_out
+        for attempt in range(self.overload_retries + 1):
+            with tracer.span(f"client.{op}", op=op, remote=self.name):
+                payload = encode_message(propagation.inject(meta), blobs)
+                response = self.transport.call(payload)
+                meta_out, blobs_out = decode_message(response)
+                try:
+                    raise_remote_error(meta_out)
+                except ServerOverloadedError as error:
+                    # A shed request has touched no repository state
+                    # (the hub's admission contract), so a verbatim
+                    # retry is always safe — including for writes.
+                    if attempt >= self.overload_retries:
+                        raise
+                    self._backoff(
+                        self._backoff_seconds(error.retry_after, attempt)
+                    )
+                    continue
+                return meta_out, blobs_out
 
     def tracking_branch(self, branch: str) -> str:
         return f"{self.name}/{branch}"
@@ -134,6 +169,18 @@ class Remote:
         """
         meta, _ = self._call({"op": "stats"})
         return meta["stats"]
+
+    def health(self) -> dict:
+        """The peer's sliding-window health report (per-op latency
+        percentiles, error-budget burn, shedding state, SLO config).
+
+        Schema-additive read op like :meth:`stats`: old servers answer
+        with a typed unknown-operation error. On a hub, reaching this op
+        at all means the token passed admission — the detailed report is
+        deliberately not on the unauthenticated probe routes.
+        """
+        meta, _ = self._call({"op": "health"})
+        return meta["health"]
 
     # ------------------------------------------------------------- lineage
     def lineage(self, ref: str) -> dict:

@@ -38,6 +38,7 @@ from ..errors import (
     RemoteError,
     RemoteProtocolError,
     RepositoryNotFoundError,
+    ServerOverloadedError,
 )
 
 MAGIC = b"MLCR"
@@ -48,13 +49,15 @@ MAGIC = b"MLCR"
 PROTOCOL_VERSION = 2
 
 #: Operations a server understands; anything else is a protocol error.
-#: ``stats`` (telemetry readout), ``lineage`` (provenance queries), and
-#: ``trace`` (distributed-trace / slow-op readout) are schema-additive:
-#: old clients never send them, and an old server answers them with a
-#: typed unknown-operation error — no version bump needed. The same
-#: rule covers the optional ``trace_ctx`` meta key (distributed-trace
-#: propagation, :mod:`repro.obs.propagation`): an old server ignores
-#: unknown meta keys, so traced clients interoperate with legacy peers.
+#: ``stats`` (telemetry readout), ``lineage`` (provenance queries),
+#: ``trace`` (distributed-trace / slow-op readout), and ``health``
+#: (sliding-window health report, :mod:`repro.obs.health`) are
+#: schema-additive: old clients never send them, and an old server
+#: answers them with a typed unknown-operation error — no version bump
+#: needed. The same rule covers the optional ``trace_ctx`` meta key
+#: (distributed-trace propagation, :mod:`repro.obs.propagation`): an old
+#: server ignores unknown meta keys, so traced clients interoperate with
+#: legacy peers.
 OPS = (
     "manifest",
     "known_commits",
@@ -66,6 +69,7 @@ OPS = (
     "stats",
     "lineage",
     "trace",
+    "health",
 )
 
 #: Operations that mutate repository state (served under the exclusive
@@ -130,6 +134,8 @@ def error_response(error: Exception) -> bytes:
         payload.update(
             pipeline=error.pipeline, branch=error.branch, reason=error.reason
         )
+    if isinstance(error, ServerOverloadedError):
+        payload.update(retry_after=error.retry_after)
     return encode_message({"error": payload})
 
 
@@ -166,6 +172,13 @@ def raise_remote_error(meta: dict) -> None:
     if error.get("type") == "RemoteProtocolError":
         raise RemoteProtocolError(
             f"remote rejected request: {error.get('message')}"
+        )
+    if error.get("type") == "ServerOverloadedError":
+        # Special-cased (not TYPED_ERRORS) to reconstruct the backoff
+        # hint: clients schedule their retry off ``retry_after``.
+        raise ServerOverloadedError(
+            error.get("message", "server overloaded; retry later"),
+            retry_after=float(error.get("retry_after", 1.0)),
         )
     typed = TYPED_ERRORS.get(error.get("type"))
     if typed is not None:

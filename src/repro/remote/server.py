@@ -1,11 +1,11 @@
 """Repository server: answers sync requests against a live ``MLCask``.
 
 The server side of the wire protocol. One :class:`RepositoryServer` wraps
-one repository and handles the ten operations — ``manifest``,
+one repository and handles the eleven operations — ``manifest``,
 ``known_commits``, ``missing_chunks``, ``get_chunks``, ``put_chunks``,
 ``fetch``, ``push``, ``stats`` (telemetry readout), ``lineage``
-(provenance queries), and ``trace`` (distributed-trace and slow-op
-readout) — entirely in
+(provenance queries), ``trace`` (distributed-trace and slow-op
+readout), and ``health`` (sliding-window health report) — entirely in
 terms of pack assembly/import from
 :mod:`repro.remote.pack`. It is transport-agnostic: :class:`LocalTransport`
 calls :meth:`handle_bytes` directly, and :func:`serve` exposes the same
@@ -61,7 +61,9 @@ from ..errors import MLCaskError, PushRejectedError, RemoteProtocolError
 from ..obs import metrics as obs_metrics
 from ..obs import propagation
 from ..obs import trace as obs_trace
+from ..obs.health import HealthMonitor
 from ..obs.metrics import NULL_METRIC, MetricsRegistry
+from ..obs.slo import SLOConfig
 from ..obs.slowops import SlowOpCapture
 from ..obs.trace import Tracer
 from . import pack
@@ -82,6 +84,15 @@ from .transport import RPC_PATH
 METRICS_PATH = "/metrics"
 DEBUG_PROFILE_PATH = "/debug/profile"
 DEBUG_SLOW_PATH = "/debug/slow"
+
+#: Kubernetes-style probe routes, unauthenticated on both endpoints:
+#: ``/healthz`` answers liveness (reaching the handler *is* the signal),
+#: ``/readyz`` answers 200/503 from the health model's readiness
+#: decision. Deliberately boolean-plus-reasons only — the *detailed*
+#: health report travels over the authenticated ``health`` RPC, because
+#: it names tenants and ops.
+HEALTHZ_PATH = "/healthz"
+READYZ_PATH = "/readyz"
 
 #: Read operations whose responses are worth caching: pure metadata, so
 #: entries stay small. ``get_chunks`` is deliberately excluded — content
@@ -403,6 +414,7 @@ class RepositoryServer:
         tracer=None,
         metric_labels: dict | None = None,
         slow_ops: SlowOpCapture | None = None,
+        health_monitor: HealthMonitor | None = None,
     ):
         self.repo = repo
         self.on_change = on_change
@@ -497,6 +509,15 @@ class RepositoryServer:
         lineage = getattr(repo, "lineage", None)
         if lineage is not None:
             lineage.bind_registry(registry, self._tenant, self._repo_label)
+        # Health model over this server's own telemetry; a hub passes its
+        # shared monitor instead so the deployment-wide view answers the
+        # ``health`` op for every hosted repo. Defaults to the stock SLO
+        # over this registry/tracer — null sinks just report ready.
+        self.health_monitor = (
+            health_monitor
+            if health_monitor is not None
+            else HealthMonitor(registry=registry, tracer=self.tracer)
+        )
 
     def count_request(self) -> None:
         with self._count_lock:
@@ -830,9 +851,34 @@ class RepositoryServer:
                         if self.slow_ops is not None
                         else None
                     ),
+                    # Schema-additive summary; the full report (per-op
+                    # percentiles, burn, SLO config) is the health op's.
+                    "health": self._health_summary(),
                 }
             }
         )
+
+    def _health_summary(self) -> dict:
+        """The compact health section ``stats`` carries."""
+        ready, reasons = self.health_monitor.ready()
+        window = self.health_monitor.window()
+        return {
+            "ready": ready,
+            "reasons": reasons,
+            "queue_depth": window["queue_depth"],
+            "window_seconds": window["seconds"],
+        }
+
+    def _op_health(self, meta: dict, blobs) -> bytes:
+        """The full sliding-window health report (:mod:`repro.obs.health`).
+
+        A read like ``stats`` — served under the shared lock, never
+        cached (the window slides with every tick). On a hub this is
+        the deployment-wide monitor, and reaching it at all means the
+        request passed token authentication, which is why the detailed
+        report lives here rather than on the unauthenticated probes.
+        """
+        return encode_message({"health": self.health_monitor.health()})
 
     def _op_lineage(self, meta: dict, blobs) -> bytes:
         """Provenance queries over the repository's lineage ledger.
@@ -1095,12 +1141,15 @@ class BaseRPCHandler(http.server.BaseHTTPRequestHandler):
 
     # --------------------------------------------------- shared plumbing
     def do_GET(self):  # noqa: N802 - http.server naming convention
-        """GET routes: ``/metrics`` (Prometheus text), ``/debug/profile``
-        (sampling-profiler snapshot + folded stacks, JSON), and
-        ``/debug/slow`` (slow-op captures, JSON).
+        """GET routes: ``/metrics`` (Prometheus text), ``/healthz`` /
+        ``/readyz`` (liveness and readiness probes, JSON),
+        ``/debug/profile`` (sampling-profiler snapshot + folded stacks,
+        JSON), and ``/debug/slow`` (slow-op captures, JSON).
 
         ``/metrics`` renders from the server's registry (empty body when
-        the server was built without one); ``/debug/profile`` answers 404
+        the server was built without one); the probes are deliberately
+        unauthenticated (an orchestrator cannot carry tenant tokens) and
+        carry only a boolean plus reasons; ``/debug/profile`` answers 404
         until a profiler is attached to the server. Every other GET path
         is a 404; all of them count against a bounded-serve budget like
         any other request — the budget is a request budget, not an RPC
@@ -1108,6 +1157,27 @@ class BaseRPCHandler(http.server.BaseHTTPRequestHandler):
         """
         self.count_request()
         path = self.path.rstrip("/")
+        if path == HEALTHZ_PATH:
+            # Liveness: producing this response is the proof.
+            self._answer_get(
+                json.dumps({"alive": True}).encode("utf-8"),
+                "application/json",
+            )
+            return
+        if path == READYZ_PATH:
+            monitor = getattr(self.server, "health_monitor", None)
+            if monitor is None:
+                ready, reasons = True, []
+            else:
+                ready, reasons = monitor.ready()
+            self._answer_get(
+                json.dumps(
+                    {"ready": ready, "reasons": reasons}, sort_keys=True
+                ).encode("utf-8"),
+                "application/json",
+                status=200 if ready else 503,
+            )
+            return
         if path == METRICS_PATH:
             registry = getattr(self.server, "metrics_registry", None)
             text = registry.render_prometheus() if registry is not None else ""
@@ -1140,11 +1210,13 @@ class BaseRPCHandler(http.server.BaseHTTPRequestHandler):
             return
         self.send_error(404, self.unknown_endpoint_message)
 
-    def _answer_get(self, body: bytes, content_type: str) -> None:
+    def _answer_get(
+        self, body: bytes, content_type: str, status: int = 200
+    ) -> None:
         limit = getattr(self.server, "request_limit", None)
         spent = limit is not None and self.requests_handled() >= limit
         try:
-            self.send_response(200)
+            self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             if spent:
@@ -1263,6 +1335,7 @@ class SyncHTTPServer(http.server.ThreadingHTTPServer):
         idle_timeout: float | None = None,
         metrics_registry=None,
         profiler=None,
+        health_monitor=None,
     ):
         super().__init__(address, _Handler)
         self.repository_server = repository_server
@@ -1273,6 +1346,13 @@ class SyncHTTPServer(http.server.ThreadingHTTPServer):
         self.metrics_registry = metrics_registry
         # Read by GET /debug/profile; None answers 404 (not enabled).
         self.profiler = profiler
+        # Read by GET /readyz; defaults to the repository server's own
+        # monitor, None answers always-ready.
+        self.health_monitor = (
+            health_monitor
+            if health_monitor is not None
+            else getattr(repository_server, "health_monitor", None)
+        )
         # When set, handlers stop honouring keep-alive once this many
         # requests have been handled (bounded serving, see the CLI).
         self.request_limit: int | None = None
@@ -1298,6 +1378,7 @@ def serve(
     tracer=None,
     slow_ops=None,
     profiler=None,
+    slo: SLOConfig | None = None,
 ) -> SyncHTTPServer:
     """Expose ``repo`` at ``http://host:port/rpc``; returns the server.
 
@@ -1321,10 +1402,16 @@ def serve(
     request and nothing is snapshotted under budget. ``profiler``
     (optional, a started :class:`~repro.obs.profiler.SamplingProfiler`)
     backs ``GET /debug/profile``; the caller owns its lifecycle.
+
+    ``slo`` (optional :class:`~repro.obs.slo.SLOConfig`, the
+    ``--slo-config`` flag) parameterizes the health model behind
+    ``GET /healthz`` / ``GET /readyz`` and the ``health`` op; the stock
+    objectives apply when omitted.
     """
     registry = registry if registry is not None else MetricsRegistry()
     tracer = tracer if tracer is not None else Tracer()
     slow_ops = slow_ops if slow_ops is not None else SlowOpCapture()
+    health_monitor = HealthMonitor(registry=registry, slo=slo, tracer=tracer)
     return SyncHTTPServer(
         (host, port),
         RepositoryServer(
@@ -1336,10 +1423,12 @@ def serve(
             registry=registry,
             tracer=tracer,
             slow_ops=slow_ops,
+            health_monitor=health_monitor,
         ),
         verbose=verbose,
         max_request_bytes=max_request_bytes,
         idle_timeout=idle_timeout,
         metrics_registry=registry,
         profiler=profiler,
+        health_monitor=health_monitor,
     )

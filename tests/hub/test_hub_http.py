@@ -136,3 +136,102 @@ class TestHttpRouting:
         with pytest.raises(Exception) as excinfo:
             raise_remote_error(meta)
         assert "AuthorizationError" in type(excinfo.value).__name__
+
+
+class TestConcurrentScrapesDuringEviction:
+    def test_metrics_and_health_scrapes_survive_repo_churn(
+        self, tmp_path, workload
+    ):
+        """GET /metrics and /healthz//readyz hammered while the hub
+        LRU-evicts and reloads repos underneath them: every scrape must
+        be whole (parseable text, one # TYPE per family) and readiness
+        must never go stale — eviction is bookkeeping, not unhealth."""
+        import re
+        import urllib.request
+
+        hub = RepositoryHub(tmp_path / "hub", max_loaded_repos=1)
+        hub.add_tenant("ana", tokens=["tok-ana"])
+        hub.add_tenant("ben", tokens=["tok-ben"])
+        local = build_workload_repo(workload)
+        server = serve_hub(hub)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            push_over_http(server, local, workload, "ana", "proj", "tok-ana")
+            push_over_http(server, local, workload, "ben", "proj", "tok-ben")
+
+            stop = threading.Event()
+            failures = []
+
+            def churn():
+                # Alternating manifests with max_loaded_repos=1: every
+                # request evicts one repo and reloads the other.
+                pairs = [("ana", "tok-ana"), ("ben", "tok-ben")]
+                while not stop.is_set():
+                    for tenant, token in pairs:
+                        transport = HttpTransport(
+                            server.repo_url(tenant, "proj"), token=token
+                        )
+                        try:
+                            transport.call(
+                                encode_message({"op": "manifest"})
+                            )
+                        except Exception as error:  # noqa: BLE001
+                            failures.append(("churn", error))
+                            stop.set()
+                        finally:
+                            transport.close()
+
+            line_re = re.compile(
+                r"^[a-z_]+(\{[^}]*\})? [0-9.e+-]+(\s[0-9.e+-]+)?$"
+            )
+
+            def scrape(path, check_body):
+                while not stop.is_set():
+                    try:
+                        with urllib.request.urlopen(
+                            f"{server.url}{path}", timeout=10
+                        ) as resp:
+                            body = resp.read().decode("utf-8")
+                            if resp.status != 200:
+                                failures.append((path, resp.status))
+                            elif check_body:
+                                types = [
+                                    line for line in body.splitlines()
+                                    if line.startswith("# TYPE ")
+                                ]
+                                # A torn scrape shows as a duplicated
+                                # family header or a garbled series line.
+                                if len(types) != len(set(types)):
+                                    failures.append((path, "dup family"))
+                                for line in body.splitlines():
+                                    if line.startswith("#") or not line:
+                                        continue
+                                    if not line_re.match(line):
+                                        failures.append((path, line))
+                    except Exception as error:  # noqa: BLE001
+                        failures.append((path, error))
+                        stop.set()
+
+            threads = [
+                threading.Thread(target=churn),
+                threading.Thread(target=scrape, args=("/metrics", True)),
+                threading.Thread(target=scrape, args=("/healthz", False)),
+                threading.Thread(target=scrape, args=("/readyz", False)),
+            ]
+            for t in threads:
+                t.start()
+            import time
+
+            time.sleep(1.5)
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+            assert not failures, failures[:3]
+            # The churn really exercised the lifecycle under the scrapes.
+            assert hub.evictions >= 2
+            assert hub.loads >= 2
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

@@ -1,0 +1,265 @@
+"""HealthMonitor under a fake clock: windowed percentiles, burn-driven
+readiness, shed decisions, and the report shape — no sleeping, no real
+servers; the registry and tracer are fed by hand."""
+
+import pytest
+
+from repro.obs.health import SHED_EXEMPT_OPS, HealthMonitor, _percentile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOConfig
+
+
+class Clock:
+    """Deterministic monotonic + wall clock the tests advance by hand."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeTracer:
+    """Just enough tracer: a hand-fed finished-span buffer."""
+
+    def __init__(self):
+        self.spans = []
+
+    def finished(self):
+        return list(self.spans)
+
+
+def make_monitor(slo=None, registry=None, tracer=None, clock=None):
+    clock = clock if clock is not None else Clock()
+    monitor = HealthMonitor(
+        registry=registry if registry is not None else MetricsRegistry(),
+        slo=slo if slo is not None else SLOConfig(),
+        tracer=tracer,
+        clock=clock,
+        wallclock=clock,
+    )
+    return monitor, clock
+
+
+def observe_requests(registry, op, seconds, n):
+    child = registry.histogram(
+        "repro_request_seconds", "latency", ("op", "tenant", "repo")
+    ).labels(op=op, tenant="-", repo="-")
+    for _ in range(n):
+        child.observe(seconds)
+
+
+class TestPercentileInterpolation:
+    def test_interpolates_within_a_bucket(self):
+        # 10 observations all in the (1, 2] bucket: p50 sits mid-bucket.
+        buckets = (1.0, 2.0, 4.0)
+        deltas = [0, 10, 0, 0]  # trailing +Inf entry
+        assert _percentile(buckets, deltas, 0.50) == pytest.approx(1.5)
+        assert _percentile(buckets, deltas, 0.99) == pytest.approx(1.99)
+
+    def test_inf_bucket_answers_largest_finite_bound(self):
+        buckets = (1.0, 2.0)
+        deltas = [0, 0, 5]
+        assert _percentile(buckets, deltas, 0.99) == pytest.approx(2.0)
+
+    def test_empty_window_is_none(self):
+        assert _percentile((1.0,), [0, 0], 0.5) is None
+
+
+class TestWindowedPercentiles:
+    def test_window_reports_only_recent_deltas(self):
+        registry = MetricsRegistry()
+        slo = SLOConfig(window_seconds=10.0, tick_seconds=1.0)
+        monitor, clock = make_monitor(slo=slo, registry=registry)
+
+        observe_requests(registry, "fetch", 0.2, 20)
+        clock.advance(2.0)
+        window = monitor.window()
+        fetch = window["ops"]["fetch"]
+        assert fetch["count"] == 20
+        # All observations landed in the (0.1, 0.25] default bucket.
+        assert 0.1 < fetch["p50"] <= 0.25
+        assert 0.1 < fetch["p99"] <= 0.25
+        assert fetch["mean_seconds"] == pytest.approx(0.2)
+
+        # Slide everything out of the window: the op disappears.
+        for _ in range(15):
+            clock.advance(1.1)
+            monitor.window()
+        assert "fetch" not in monitor.window()["ops"]
+
+    def test_tick_rate_limited_by_tick_seconds(self):
+        registry = MetricsRegistry()
+        slo = SLOConfig(window_seconds=10.0, tick_seconds=1.0)
+        monitor, clock = make_monitor(slo=slo, registry=registry)
+        observe_requests(registry, "fetch", 0.2, 5)
+        clock.advance(0.5)  # under a tick: the new sample is not cut yet
+        assert "fetch" not in monitor.window()["ops"]
+        clock.advance(0.6)
+        assert monitor.window()["ops"]["fetch"]["count"] == 5
+
+
+class TestShedDecision:
+    def slo(self, **overrides):
+        defaults = dict(
+            objectives={"put_chunks": 0.01},
+            window_seconds=10.0, tick_seconds=1.0,
+            min_samples=3, retry_after_seconds=1.5,
+        )
+        defaults.update(overrides)
+        return SLOConfig(**defaults)
+
+    def breach(self, registry, clock, monitor):
+        observe_requests(registry, "put_chunks", 0.2, 10)
+        clock.advance(2.0)
+
+    def test_sheds_on_windowed_p99_breach(self):
+        registry = MetricsRegistry()
+        monitor, clock = make_monitor(slo=self.slo(), registry=registry)
+        self.breach(registry, clock, monitor)
+        assert monitor.shed_decision("put_chunks") == 1.5
+
+    def test_min_samples_guards_a_quiet_server(self):
+        registry = MetricsRegistry()
+        monitor, clock = make_monitor(
+            slo=self.slo(min_samples=100), registry=registry
+        )
+        self.breach(registry, clock, monitor)
+        assert monitor.shed_decision("put_chunks") is None
+
+    def test_exempt_ops_never_shed(self):
+        registry = MetricsRegistry()
+        monitor, clock = make_monitor(
+            slo=self.slo(objectives={op: 0.01 for op in SHED_EXEMPT_OPS}),
+            registry=registry,
+        )
+        for op in SHED_EXEMPT_OPS:
+            observe_requests(registry, op, 0.2, 10)
+        clock.advance(2.0)
+        for op in SHED_EXEMPT_OPS:
+            assert monitor.shed_decision(op) is None
+
+    def test_disabled_shedding_admits_everything(self):
+        registry = MetricsRegistry()
+        monitor, clock = make_monitor(
+            slo=self.slo(shed_enabled=False), registry=registry
+        )
+        self.breach(registry, clock, monitor)
+        assert monitor.shed_decision("put_chunks") is None
+
+    def test_queue_saturation_sheds_any_op(self):
+        registry = MetricsRegistry()
+        monitor, clock = make_monitor(
+            slo=self.slo(max_queue_depth=4), registry=registry
+        )
+        registry.gauge(
+            "repro_scheduler_queue_depth", "depth", ()
+        ).labels().set(9)
+        clock.advance(2.0)
+        # No latency samples at all: the queue signal alone decides.
+        assert monitor.shed_decision("fetch") == 1.5
+
+    def test_within_objective_admits(self):
+        registry = MetricsRegistry()
+        monitor, clock = make_monitor(
+            slo=self.slo(objectives={"put_chunks": 5.0}), registry=registry
+        )
+        self.breach(registry, clock, monitor)
+        assert monitor.shed_decision("put_chunks") is None
+
+
+class TestReadiness:
+    def test_ready_by_default(self):
+        monitor, _ = make_monitor()
+        ready, reasons = monitor.ready()
+        assert ready and reasons == []
+        assert monitor.alive() is True
+
+    def test_fast_burn_flips_readiness(self):
+        tracer = FakeTracer()
+        slo = SLOConfig(availability=0.99, min_samples=10)
+        monitor, clock = make_monitor(slo=slo, tracer=tracer)
+        # 20 served requests, half errored: burn = 0.5/0.01 = 50x.
+        tracer.spans = [
+            {"name": "server.push", "start": clock.now,
+             "status": "error" if i % 2 else "ok"}
+            for i in range(20)
+        ]
+        ready, reasons = monitor.ready()
+        assert not ready
+        assert any("fast burn" in reason for reason in reasons)
+
+    def test_non_server_spans_do_not_burn(self):
+        # A shed request errors its hub.request span; counting those
+        # would couple the shedder to its own output.
+        tracer = FakeTracer()
+        monitor, clock = make_monitor(
+            slo=SLOConfig(min_samples=1), tracer=tracer
+        )
+        tracer.spans = [
+            {"name": "hub.request", "start": clock.now, "status": "error"}
+            for _ in range(50)
+        ]
+        ready, reasons = monitor.ready()
+        assert ready, reasons
+
+    def test_few_errors_guarded_by_min_samples(self):
+        tracer = FakeTracer()
+        monitor, clock = make_monitor(
+            slo=SLOConfig(min_samples=20), tracer=tracer
+        )
+        tracer.spans = [
+            {"name": "server.push", "start": clock.now, "status": "error"}
+        ]
+        ready, _ = monitor.ready()
+        assert ready
+
+    def test_shedding_flips_readiness_until_the_window_slides(self):
+        slo = SLOConfig(window_seconds=10.0, tick_seconds=1.0)
+        monitor, clock = make_monitor(slo=slo)
+        monitor.note_shed("put_chunks")
+        ready, reasons = monitor.ready()
+        assert not ready and "overload shedding active" in reasons
+        clock.advance(11.0)
+        ready, reasons = monitor.ready()
+        assert ready, reasons
+
+
+class TestHealthReport:
+    def test_report_shape_and_breach_flags(self):
+        registry = MetricsRegistry()
+        tracer = FakeTracer()
+        slo = SLOConfig(
+            objectives={"put_chunks": 0.01, "fetch": 5.0},
+            window_seconds=10.0, tick_seconds=1.0,
+        )
+        monitor, clock = make_monitor(
+            slo=slo, registry=registry, tracer=tracer
+        )
+        observe_requests(registry, "put_chunks", 0.2, 8)
+        observe_requests(registry, "fetch", 0.2, 8)
+        registry.counter(
+            "repro_admission_denied_total", "denials", ("tenant", "reason")
+        ).labels(tenant="ana", reason="auth").inc(3)
+        monitor.note_shed("put_chunks")
+        clock.advance(2.0)
+
+        report = monitor.health()
+        assert report["alive"] is True
+        assert set(report) >= {
+            "ready", "reasons", "generated_at", "window_seconds", "ops",
+            "denied", "lock_wait", "queue_depth", "burn", "shedding", "slo",
+        }
+        put = report["ops"]["put_chunks"]
+        assert put["objective_p99_seconds"] == 0.01
+        assert put["breach"] is True
+        assert report["ops"]["fetch"]["breach"] is False
+        assert report["denied"] == {"auth": 3}
+        assert report["shedding"]["total"] == 1
+        assert report["shedding"]["by_op"] == {"put_chunks": 1}
+        assert report["shedding"]["active"] is True
+        assert report["burn"]["fast"]["requests"] == 0
+        assert report["slo"]["objectives"]["put_chunks"] == 0.01

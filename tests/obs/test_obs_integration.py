@@ -194,6 +194,67 @@ class TestStatsVerb:
         assert "error:" in text
 
 
+class TestExportDrainOnShutdown:
+    def test_bounded_serve_exports_every_kept_span(self, tmp_path):
+        """A ``--requests N`` run must drain the exporter queue before the
+        CLI returns: the last request's spans are typically still queued
+        (flush interval 0.5s) when the budget is spent, so only the
+        shutdown-path ``exporter.stop()`` gets them to disk."""
+        import socket
+
+        init_repo(tmp_path / "repo")
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        span_file = tmp_path / "spans.jsonl"
+        server_out = io.StringIO()
+        thread = threading.Thread(
+            target=main,
+            args=([
+                "serve", str(tmp_path / "repo"),
+                "--port", str(port), "--requests", "3",
+                "--export-spans", str(span_file),
+                "--sample-rate", "1.0",
+            ],),
+            kwargs={"out": server_out},
+        )
+        thread.start()
+        code, text = None, ""
+        for _ in range(50):
+            code, text = run_cli([
+                "clone", f"http://127.0.0.1:{port}", str(tmp_path / "C"),
+            ])
+            if code == 0:
+                break
+            import shutil
+
+            shutil.rmtree(tmp_path / "C", ignore_errors=True)
+            time.sleep(0.1)
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert code == 0, text
+
+        spans = [
+            json.loads(line)
+            for line in span_file.read_text().splitlines()
+        ]
+        # sample_rate=1.0 keeps everything: all three request spans (a
+        # clone is manifest + fetch + get_chunks) must have reached the
+        # file — no span left behind in the queue.
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        for op in ("manifest", "fetch", "get_chunks"):
+            assert len(by_name.get(f"server.{op}", [])) == 1, sorted(by_name)
+            (span,) = by_name[f"server.{op}"]
+            assert span["sampled"] is True
+        # Child spans rode along in the same traces (the read lock is
+        # taken per request), proving the drain got whole trees, not
+        # just the op roots.
+        assert "lock.read" in by_name, sorted(by_name)
+
+
 class TestStartupEvents:
     def ready_event(self, text, name):
         events = [
